@@ -1,0 +1,55 @@
+//! Encoding throughput: record-based (Eq. 1) and N-gram encoders, single
+//! sample and parallel corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdc::{Dim, Encode, NgramEncoder};
+use lehdc_bench::encoder_and_sample;
+use std::hint::black_box;
+
+fn bench_record_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_encode");
+    for &(d, n) in &[(1024usize, 32usize), (4096, 32), (4096, 128), (10_000, 128)] {
+        let (encoder, sample) = encoder_and_sample(d, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("D{d}_N{n}")),
+            &d,
+            |bencher, _| {
+                bencher.iter(|| black_box(encoder.encode(black_box(&sample)).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ngram_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ngram_encode");
+    for &n in &[3usize, 5] {
+        let encoder = NgramEncoder::new(Dim::new(2048), 64, n, 16, (0.0, 1.0), 3).unwrap();
+        let sample: Vec<f32> = (0..64).map(|i| (i as f32 * 0.13).fract()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| black_box(encoder.encode(black_box(&sample)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_corpus_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_encode_64_samples");
+    group.sample_size(20);
+    let (encoder, sample) = encoder_and_sample(2048, 64);
+    let corpus: Vec<f32> = (0..64).flat_map(|_| sample.clone()).collect();
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bencher, &threads| {
+                bencher.iter(|| black_box(encoder.encode_all(black_box(&corpus), threads).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_encode, bench_ngram_encode, bench_corpus_encode);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 3 pipeline bench: basic vs enhanced retraining over a fixed
+//! iteration budget — the enhanced strategy's per-iteration overhead is the
+//! full similarity vector it computes per sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lehdc::enhanced::train_enhanced;
+use lehdc::retrain::{train_retraining, RetrainConfig};
+use lehdc_bench::bench_encoded;
+use std::hint::black_box;
+
+fn bench_fig3_arms(c: &mut Criterion) {
+    let encoded = bench_encoded(2048);
+    let cfg = RetrainConfig {
+        iterations: 5,
+        ..RetrainConfig::default()
+    };
+    let mut group = c.benchmark_group("fig3_retraining_5_iters");
+    group.sample_size(10);
+    group.bench_function("basic", |b| {
+        b.iter(|| black_box(train_retraining(black_box(&encoded), None, &cfg).unwrap()))
+    });
+    group.bench_function("enhanced", |b| {
+        b.iter(|| black_box(train_enhanced(black_box(&encoded), None, &cfg).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_arms);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 5 pipeline bench: the cost of a LeHDC epoch under each
+//! regularization arm — dropout's mask generation and the sparse-aware
+//! matmul are the only cost differences.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lehdc::lehdc_trainer::train_lehdc;
+use lehdc::LehdcConfig;
+use lehdc_bench::bench_encoded;
+use std::hint::black_box;
+
+fn bench_fig5_arms(c: &mut Criterion) {
+    let encoded = bench_encoded(2048);
+    let base = LehdcConfig {
+        epochs: 2,
+        batch_size: 32,
+        ..LehdcConfig::default()
+    };
+    let arms: Vec<(&str, LehdcConfig)> = vec![
+        ("neither", base.clone().without_weight_decay().without_dropout()),
+        ("wd_only", base.clone().without_dropout()),
+        ("dropout_only", base.clone().without_weight_decay()),
+        ("both", base.clone()),
+    ];
+    let mut group = c.benchmark_group("fig5_lehdc_2_epochs");
+    group.sample_size(10);
+    for (name, cfg) in arms {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(train_lehdc(black_box(&encoded), None, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_arms);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 6 pipeline bench: how encoding + baseline training + inference
+//! scale with the hypervector dimension `D` — the cost axis of the paper's
+//! dimension sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc::Dim;
+use lehdc::{Pipeline, Strategy};
+use lehdc_bench::bench_profile;
+use std::hint::black_box;
+
+fn bench_fig6_dims(c: &mut Criterion) {
+    let data = bench_profile().generate(7).expect("generate");
+    let mut group = c.benchmark_group("fig6_encode_and_baseline");
+    group.sample_size(10);
+    for &d in &[512usize, 1024, 2048, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| {
+                let pipeline = Pipeline::builder(black_box(&data))
+                    .dim(Dim::new(d))
+                    .seed(7)
+                    .threads(1)
+                    .build()
+                    .unwrap();
+                black_box(pipeline.run(Strategy::Baseline).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_dims);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Hypervector kernel microbenchmarks: bind, Hamming distance, bundling,
+//! and rotation across dimensions.
+//!
+//! These are the primitive costs behind every number in the paper — in
+//! particular the claim that inference is a handful of XOR+popcount passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdc::{Accumulator, Dim};
+use lehdc_bench::random_pair;
+use std::hint::black_box;
+
+const DIMS: &[usize] = &[1024, 4096, 10_000];
+
+fn bench_bind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bind");
+    for &d in DIMS {
+        let (a, b) = random_pair(d);
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bencher, _| {
+            bencher.iter(|| black_box(a.bind(black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamming");
+    for &d in DIMS {
+        let (a, b) = random_pair(d);
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bencher, _| {
+            bencher.iter(|| black_box(a.hamming(black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bundle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bundle_add");
+    for &d in DIMS {
+        let (a, _) = random_pair(d);
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bencher, _| {
+            let mut acc = Accumulator::new(Dim::new(d));
+            bencher.iter(|| acc.add(black_box(&a)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bundle_threshold");
+    for &d in DIMS {
+        let (a, b) = random_pair(d);
+        let mut acc = Accumulator::new(Dim::new(d));
+        for _ in 0..5 {
+            acc.add(&a);
+            acc.add(&b);
+        }
+        acc.add(&a);
+        let mut rng = hdc::rng::rng_for(9, 9);
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bencher, _| {
+            bencher.iter(|| black_box(acc.threshold(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rotate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotate");
+    for &d in &[1024usize, 4096] {
+        let (a, _) = random_pair(d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bencher, _| {
+            bencher.iter(|| black_box(a.rotated(black_box(17))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bind,
+    bench_hamming,
+    bench_bundle,
+    bench_threshold,
+    bench_rotate
+);
+criterion_main!(benches);

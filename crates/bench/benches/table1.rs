@@ -1,0 +1,49 @@
+//! Table 1 pipeline bench: the cost of producing one Table 1 cell
+//! (dataset × strategy → test accuracy) at bench scale, for each of the
+//! four strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lehdc::{LehdcConfig, MultiModelConfig, Pipeline, RetrainConfig, Strategy};
+use lehdc_bench::bench_pipeline;
+use std::hint::black_box;
+
+fn strategy_set() -> Vec<(&'static str, Strategy)> {
+    vec![
+        ("baseline", Strategy::Baseline),
+        (
+            "multimodel",
+            Strategy::MultiModel(MultiModelConfig {
+                models_per_class: 4,
+                iterations: 3,
+                flip_rate: 0.2,
+                seed: 0,
+            }),
+        ),
+        (
+            "retraining",
+            Strategy::Retraining(RetrainConfig {
+                iterations: 5,
+                ..RetrainConfig::default()
+            }),
+        ),
+        (
+            "lehdc",
+            Strategy::Lehdc(LehdcConfig::quick().with_epochs(5)),
+        ),
+    ]
+}
+
+fn bench_table1_cell(c: &mut Criterion) {
+    let pipeline: Pipeline = bench_pipeline(2048);
+    let mut group = c.benchmark_group("table1_cell");
+    group.sample_size(10);
+    for (name, strategy) in strategy_set() {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(pipeline.run(black_box(strategy.clone())).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_cell);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Training cost per strategy: one full pass (iteration/epoch) over the
+//! bench corpus — the cost that differs between strategies while inference
+//! stays identical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lehdc::adaptive::{train_adaptive, AdaptiveConfig};
+use lehdc::baseline::train_baseline;
+use lehdc::enhanced::train_enhanced;
+use lehdc::lehdc_trainer::train_lehdc;
+use lehdc::retrain::{train_retraining, RetrainConfig};
+use lehdc::LehdcConfig;
+use lehdc_bench::bench_encoded;
+use std::hint::black_box;
+
+fn bench_training_passes(c: &mut Criterion) {
+    let encoded = bench_encoded(2048);
+    let mut group = c.benchmark_group("one_training_pass");
+    group.sample_size(20);
+
+    group.bench_function("baseline_full", |b| {
+        b.iter(|| black_box(train_baseline(black_box(&encoded), 0).unwrap()))
+    });
+
+    let retrain_cfg = RetrainConfig {
+        iterations: 1,
+        ..RetrainConfig::default()
+    };
+    group.bench_function("retraining_iter", |b| {
+        b.iter(|| black_box(train_retraining(black_box(&encoded), None, &retrain_cfg).unwrap()))
+    });
+    group.bench_function("enhanced_iter", |b| {
+        b.iter(|| black_box(train_enhanced(black_box(&encoded), None, &retrain_cfg).unwrap()))
+    });
+
+    let adaptive_cfg = AdaptiveConfig {
+        iterations: 1,
+        ..AdaptiveConfig::default()
+    };
+    group.bench_function("adaptive_iter", |b| {
+        b.iter(|| black_box(train_adaptive(black_box(&encoded), None, &adaptive_cfg).unwrap()))
+    });
+
+    let lehdc_cfg = LehdcConfig {
+        epochs: 1,
+        batch_size: 32,
+        ..LehdcConfig::default()
+    };
+    group.bench_function("lehdc_epoch", |b| {
+        b.iter(|| black_box(train_lehdc(black_box(&encoded), None, &lehdc_cfg).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_passes);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Deterministic shuffled mini-batch sampling.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::BinnetError;
+
+/// Produces shuffled mini-batches of sample indices, reshuffled every epoch
+/// with a deterministic per-epoch seed.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), binnet::BinnetError> {
+/// let sampler = binnet::BatchSampler::new(10, 4, 7)?;
+/// let batches: Vec<Vec<usize>> = sampler.epoch(0).collect();
+/// assert_eq!(batches.len(), 3);                    // 4 + 4 + 2
+/// assert_eq!(batches.iter().map(Vec::len).sum::<usize>(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchSampler {
+    n_samples: usize,
+    batch_size: usize,
+    seed: u64,
+}
+
+impl BatchSampler {
+    /// Creates a sampler over `n_samples` items with the given batch size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinnetError::InvalidConfig`] if either count is zero.
+    pub fn new(n_samples: usize, batch_size: usize, seed: u64) -> Result<Self, BinnetError> {
+        if n_samples == 0 || batch_size == 0 {
+            return Err(BinnetError::InvalidConfig(
+                "sample count and batch size must be non-zero".into(),
+            ));
+        }
+        Ok(BatchSampler {
+            n_samples,
+            batch_size,
+            seed,
+        })
+    }
+
+    /// Number of batches per epoch.
+    #[must_use]
+    pub fn batches_per_epoch(&self) -> usize {
+        self.n_samples.div_ceil(self.batch_size)
+    }
+
+    /// Iterates the shuffled batches of one epoch. Each index in
+    /// `0..n_samples` appears exactly once; the final batch may be short.
+    pub fn epoch(&self, epoch: usize) -> impl Iterator<Item = Vec<usize>> {
+        let mut order: Vec<usize> = (0..self.n_samples).collect();
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(epoch as u64),
+        );
+        order.shuffle(&mut rng);
+        let bs = self.batch_size;
+        (0..order.len())
+            .step_by(bs)
+            .map(move |start| order[start..(start + bs).min(order.len())].to_vec())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(BatchSampler::new(0, 4, 0).is_err());
+        assert!(BatchSampler::new(4, 0, 0).is_err());
+    }
+
+    #[test]
+    fn epoch_covers_every_index_exactly_once() {
+        let s = BatchSampler::new(23, 5, 1).unwrap();
+        let all: Vec<usize> = s.epoch(3).flatten().collect();
+        assert_eq!(all.len(), 23);
+        let set: BTreeSet<usize> = all.into_iter().collect();
+        assert_eq!(set.len(), 23);
+        assert_eq!(*set.iter().next().unwrap(), 0);
+        assert_eq!(*set.iter().last().unwrap(), 22);
+    }
+
+    #[test]
+    fn batches_have_requested_size_except_last() {
+        let s = BatchSampler::new(10, 4, 1).unwrap();
+        let sizes: Vec<usize> = s.epoch(0).map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(s.batches_per_epoch(), 3);
+    }
+
+    #[test]
+    fn epochs_are_reshuffled_but_reproducible() {
+        let s = BatchSampler::new(100, 10, 9);
+        let s = s.unwrap();
+        let e0: Vec<Vec<usize>> = s.epoch(0).collect();
+        let e1: Vec<Vec<usize>> = s.epoch(1).collect();
+        assert_ne!(e0, e1, "different epochs shuffle differently");
+        let e0_again: Vec<Vec<usize>> = s.epoch(0).collect();
+        assert_eq!(e0, e0_again, "same epoch is reproducible");
+    }
+
+    #[test]
+    fn oversized_batch_yields_single_batch() {
+        let s = BatchSampler::new(3, 100, 0).unwrap();
+        let batches: Vec<Vec<usize>> = s.epoch(0).collect();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 3);
+    }
+}

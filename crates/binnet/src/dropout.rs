@@ -1,0 +1,132 @@
+//! Inverted dropout on layer inputs.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::BinnetError;
+use crate::matrix::Matrix;
+
+/// Inverted dropout: during training each input coordinate is zeroed with
+/// probability `rate` and the survivors are scaled by `1/(1−rate)`, so the
+/// expected pre-activation is unchanged and inference needs no rescaling.
+///
+/// The paper (Sec. 4) argues dropout is "indispensable" for the wide
+/// single-layer BNN: with all `D` weights of every class updated each step,
+/// the class hypervectors otherwise overfit the training samples (Fig. 5).
+///
+/// # Examples
+///
+/// ```
+/// use binnet::{Dropout, Matrix};
+///
+/// # fn main() -> Result<(), binnet::BinnetError> {
+/// let mut dropout = Dropout::new(0.5, 42)?;
+/// let mut x = Matrix::from_rows(&[vec![1.0; 1000]])?;
+/// dropout.apply(&mut x);
+/// let kept = x.as_slice().iter().filter(|&&v| v != 0.0).count();
+/// assert!((300..700).contains(&kept)); // ≈ half survive
+/// assert!(x.as_slice().iter().all(|&v| v == 0.0 || v == 2.0)); // scaled by 2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Dropout {
+    rate: f32,
+    rng: StdRng,
+}
+
+impl Dropout {
+    /// Creates a dropout mask generator with drop probability `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinnetError::InvalidConfig`] unless `0 ≤ rate < 1`.
+    pub fn new(rate: f32, seed: u64) -> Result<Self, BinnetError> {
+        if !(0.0..1.0).contains(&rate) {
+            return Err(BinnetError::InvalidConfig(format!(
+                "dropout rate must be in [0, 1), got {rate}"
+            )));
+        }
+        Ok(Dropout {
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The drop probability.
+    #[must_use]
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+
+    /// Applies a fresh inverted-dropout mask to `x` in place.
+    ///
+    /// A rate of 0 leaves `x` untouched.
+    pub fn apply(&mut self, x: &mut Matrix) {
+        if self.rate == 0.0 {
+            return;
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        for v in x.as_mut_slice() {
+            if self.rng.random::<f32>() < self.rate {
+                *v = 0.0;
+            } else {
+                *v *= scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_rates() {
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(-0.1, 0).is_err());
+        assert!(Dropout::new(0.0, 0).is_ok());
+        assert!(Dropout::new(0.99, 0).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let mut d = Dropout::new(0.0, 1).unwrap();
+        let mut x = Matrix::from_rows(&[vec![1.0, -2.0, 3.0]]).unwrap();
+        let before = x.clone();
+        d.apply(&mut x);
+        assert_eq!(x, before);
+    }
+
+    #[test]
+    fn expected_value_is_preserved() {
+        let mut d = Dropout::new(0.3, 7).unwrap();
+        let n = 20_000;
+        let mut x = Matrix::from_flat(1, n, vec![1.0; n]).unwrap();
+        d.apply(&mut x);
+        let mean: f32 = x.as_slice().iter().sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean {mean}");
+    }
+
+    #[test]
+    fn masks_differ_between_applications() {
+        let mut d = Dropout::new(0.5, 9).unwrap();
+        let mut a = Matrix::from_flat(1, 256, vec![1.0; 256]).unwrap();
+        let mut b = a.clone();
+        d.apply(&mut a);
+        d.apply(&mut b);
+        assert_ne!(a, b, "consecutive masks should differ");
+    }
+
+    #[test]
+    fn same_seed_reproduces_masks() {
+        let mut d1 = Dropout::new(0.5, 11).unwrap();
+        let mut d2 = Dropout::new(0.5, 11).unwrap();
+        let mut a = Matrix::from_flat(1, 128, vec![1.0; 128]).unwrap();
+        let mut b = a.clone();
+        d1.apply(&mut a);
+        d2.apply(&mut b);
+        assert_eq!(a, b);
+    }
+}

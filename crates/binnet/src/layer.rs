@@ -1,0 +1,531 @@
+//! The binary linear layer with straight-through gradients.
+
+use rand::{Rng, RngExt};
+
+use crate::matrix::Matrix;
+use crate::optim::Optimizer;
+
+/// A fully connected layer with **binary effective weights** and **latent
+/// real weights** — the single-layer BNN of the paper's Fig. 4.
+///
+/// - The latent weights `C_nb ∈ ℝ^{D×K}` accumulate small gradient steps.
+/// - The effective weights are `C = sgn(C_nb)` with `sgn(0) = +1`
+///   (paper Eq. 8); the forward pass computes `o = x · C`.
+/// - The backward pass uses the identity **straight-through estimator**: the
+///   gradient w.r.t. `C` is applied to `C_nb` unchanged, which together with
+///   Adam lets sub-unit gradients accumulate until a sign flips.
+///
+/// There is no activation at the output (paper Sec. 4: the non-binary
+/// outputs feed softmax/argmax directly).
+///
+/// # Examples
+///
+/// ```
+/// use binnet::{BinaryLinear, Matrix};
+///
+/// # fn main() -> Result<(), binnet::BinnetError> {
+/// let layer = BinaryLinear::new(8, 3, 42);
+/// let x = Matrix::from_rows(&[vec![1.0; 8]])?;
+/// let logits = layer.forward(&x);
+/// assert_eq!((logits.rows(), logits.cols()), (1, 3));
+/// // every logit is a ±1 dot product, so it has the parity of D
+/// for j in 0..3 {
+///     assert_eq!(logits.get(0, j).abs() as usize % 2, 0);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinaryLinear {
+    latent: Matrix,   // D×K real-valued C_nb
+    binary: Matrix,   // D×K entries in {-1, +1}, kept in sync with latent
+    d_in: usize,
+    k_out: usize,
+}
+
+impl BinaryLinear {
+    /// Creates a layer with `d_in` inputs and `k_out` outputs, latent
+    /// weights initialized uniformly in `[-0.1, 0.1]` from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(d_in: usize, k_out: usize, seed: u64) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Self::with_init(d_in, k_out, |_, _| rng.random_range(-0.1..0.1))
+    }
+
+    /// Creates a layer with latent weights given by `init(row, col)`.
+    ///
+    /// This is how LeHDC warm-starts from baseline class hypervectors: pass
+    /// the bipolar values (scaled into the latent range) as the initializer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn with_init<F: FnMut(usize, usize) -> f32>(
+        d_in: usize,
+        k_out: usize,
+        mut init: F,
+    ) -> Self {
+        let mut latent = Matrix::zeros(d_in, k_out);
+        for r in 0..d_in {
+            for c in 0..k_out {
+                latent.set(r, c, init(r, c));
+            }
+        }
+        let mut layer = BinaryLinear {
+            binary: Matrix::zeros(d_in, k_out),
+            latent,
+            d_in,
+            k_out,
+        };
+        layer.rebinarize();
+        layer
+    }
+
+    /// Input width `D`.
+    #[must_use]
+    pub fn d_in(&self) -> usize {
+        self.d_in
+    }
+
+    /// Output width `K`.
+    #[must_use]
+    pub fn k_out(&self) -> usize {
+        self.k_out
+    }
+
+    /// Borrows the latent real weights `C_nb` (`D×K`).
+    #[must_use]
+    pub fn latent(&self) -> &Matrix {
+        &self.latent
+    }
+
+    /// Borrows the effective binary weights `C = sgn(C_nb)` (`D×K`,
+    /// entries `±1`).
+    #[must_use]
+    pub fn binary(&self) -> &Matrix {
+        &self.binary
+    }
+
+    /// Forward pass `o = x · C` with the current **binary** weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in`.
+    #[must_use]
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.binary)
+            .expect("input width must equal layer d_in")
+    }
+
+    /// Straight-through backward pass: returns the latent-weight gradient
+    /// `Xᵀ · dlogits` (`D×K`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes of `x` (`B×D`) and `dlogits` (`B×K`) are
+    /// inconsistent with the layer.
+    #[must_use]
+    pub fn backward(&self, x: &Matrix, dlogits: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.d_in, "input width must equal layer d_in");
+        assert_eq!(
+            dlogits.cols(),
+            self.k_out,
+            "gradient width must equal layer k_out"
+        );
+        x.transpose_matmul(dlogits)
+            .expect("batch sizes of x and dlogits must match")
+    }
+
+    /// Applies a gradient to the latent weights through `opt`, then
+    /// re-binarizes the effective weights (paper: "the binary hypervectors
+    /// … are updated after each iteration").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` has a different shape than the weights or the
+    /// optimizer was previously used with a different parameter length.
+    pub fn apply_gradient<O: Optimizer>(&mut self, grad: &Matrix, opt: &mut O) {
+        assert_eq!(
+            (grad.rows(), grad.cols()),
+            (self.d_in, self.k_out),
+            "gradient shape must match weights"
+        );
+        opt.step(self.latent.as_mut_slice(), grad.as_slice())
+            .expect("optimizer state length must match weights");
+        self.rebinarize();
+    }
+
+    /// Clamps every latent weight into `[-limit, limit]`.
+    ///
+    /// Latent clipping is a common BNN trick (it keeps dead weights able to
+    /// flip back); it is optional and off unless called each step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit <= 0`.
+    pub fn clip_latent(&mut self, limit: f32) {
+        assert!(limit > 0.0, "clip limit must be positive");
+        self.latent.map_inplace(|v| v.clamp(-limit, limit));
+        // clipping cannot change signs, so no rebinarize needed
+    }
+
+    /// Extracts column `k` of the binary weights as bipolar values — the
+    /// trained class hypervector for class `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= k_out`.
+    #[must_use]
+    pub fn binary_column(&self, k: usize) -> Vec<f32> {
+        assert!(k < self.k_out, "class index out of range");
+        (0..self.d_in).map(|r| self.binary.get(r, k)).collect()
+    }
+
+    /// Squared Frobenius norm of the latent weights — the `‖C_nb‖²` of the
+    /// paper's Eq. 10, for loss reporting.
+    #[must_use]
+    pub fn latent_norm_sq(&self) -> f64 {
+        let n = self.latent.frobenius_norm();
+        n * n
+    }
+
+    /// Fraction of binary weights that differ from `other` — a convergence
+    /// diagnostic ("how many bits still flip per epoch").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer shapes differ.
+    #[must_use]
+    pub fn binary_disagreement(&self, other: &BinaryLinear) -> f64 {
+        assert_eq!(
+            (self.d_in, self.k_out),
+            (other.d_in, other.k_out),
+            "layer shapes must match"
+        );
+        let diff = self
+            .binary
+            .as_slice()
+            .iter()
+            .zip(other.binary.as_slice())
+            .filter(|(a, b)| a != b)
+            .count();
+        diff as f64 / (self.d_in * self.k_out) as f64
+    }
+
+    fn rebinarize(&mut self) {
+        for (b, &l) in self
+            .binary
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.latent.as_slice())
+        {
+            *b = if l >= 0.0 { 1.0 } else { -1.0 };
+        }
+    }
+}
+
+/// Draws a random `±1` matrix — useful for tests and random binary inits.
+#[must_use]
+pub fn random_sign_matrix<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    m.map_inplace(|_| if rng.random::<bool>() { 1.0 } else { -1.0 });
+    m
+}
+
+/// A fully connected layer with **real** weights — the single-layer
+/// perceptron the paper's Sec. 3.1 remark equates with *non-binary* HDC
+/// ("a non-binary HDC can be equivalently viewed as a simple single-layer
+/// neural network").
+///
+/// Same forward/backward contract as [`BinaryLinear`], minus the
+/// binarization: what the optimizer updates is what inference uses.
+///
+/// # Examples
+///
+/// ```
+/// use binnet::{DenseLinear, Matrix};
+///
+/// # fn main() -> Result<(), binnet::BinnetError> {
+/// let layer = DenseLinear::new(4, 2, 1);
+/// let x = Matrix::from_rows(&[vec![1.0; 4]])?;
+/// assert_eq!(layer.forward(&x).cols(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseLinear {
+    weights: Matrix,
+    d_in: usize,
+    k_out: usize,
+}
+
+impl DenseLinear {
+    /// Creates a layer with weights uniform in `[-0.1, 0.1]` from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(d_in: usize, k_out: usize, seed: u64) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Self::with_init(d_in, k_out, |_, _| rng.random_range(-0.1..0.1))
+    }
+
+    /// Creates a layer with weights given by `init(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn with_init<F: FnMut(usize, usize) -> f32>(
+        d_in: usize,
+        k_out: usize,
+        mut init: F,
+    ) -> Self {
+        let mut weights = Matrix::zeros(d_in, k_out);
+        for r in 0..d_in {
+            for c in 0..k_out {
+                weights.set(r, c, init(r, c));
+            }
+        }
+        DenseLinear {
+            weights,
+            d_in,
+            k_out,
+        }
+    }
+
+    /// Input width `D`.
+    #[must_use]
+    pub fn d_in(&self) -> usize {
+        self.d_in
+    }
+
+    /// Output width `K`.
+    #[must_use]
+    pub fn k_out(&self) -> usize {
+        self.k_out
+    }
+
+    /// Borrows the weights (`D×K`).
+    #[must_use]
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Forward pass `o = x · W`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in`.
+    #[must_use]
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.weights)
+            .expect("input width must equal layer d_in")
+    }
+
+    /// Backward pass: the weight gradient `Xᵀ · dlogits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent with the layer.
+    #[must_use]
+    pub fn backward(&self, x: &Matrix, dlogits: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.d_in, "input width must equal layer d_in");
+        assert_eq!(
+            dlogits.cols(),
+            self.k_out,
+            "gradient width must equal layer k_out"
+        );
+        x.transpose_matmul(dlogits)
+            .expect("batch sizes of x and dlogits must match")
+    }
+
+    /// Applies a gradient to the weights through `opt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` has a different shape than the weights or the
+    /// optimizer was previously used with a different parameter length.
+    pub fn apply_gradient<O: Optimizer>(&mut self, grad: &Matrix, opt: &mut O) {
+        assert_eq!(
+            (grad.rows(), grad.cols()),
+            (self.d_in, self.k_out),
+            "gradient shape must match weights"
+        );
+        opt.step(self.weights.as_mut_slice(), grad.as_slice())
+            .expect("optimizer state length must match weights");
+    }
+
+    /// Extracts column `k` of the weights — the class vector for class `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= k_out`.
+    #[must_use]
+    pub fn column(&self, k: usize) -> Vec<f32> {
+        assert!(k < self.k_out, "class index out of range");
+        (0..self.d_in).map(|r| self.weights.get(r, k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::{Adam, Sgd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binary_weights_are_signs_of_latent() {
+        let layer = BinaryLinear::with_init(4, 2, |r, c| (r as f32 - 1.5) + 0.1 * c as f32);
+        for r in 0..4 {
+            for c in 0..2 {
+                let expect = if layer.latent().get(r, c) >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                };
+                assert_eq!(layer.binary().get(r, c), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn sgn_zero_is_plus_one() {
+        let layer = BinaryLinear::with_init(2, 2, |_, _| 0.0);
+        assert!(layer.binary().as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn forward_uses_binary_not_latent() {
+        // latent 0.3 and 30.0 both binarize to +1 → identical logits
+        let a = BinaryLinear::with_init(3, 1, |_, _| 0.3);
+        let b = BinaryLinear::with_init(3, 1, |_, _| 30.0);
+        let x = Matrix::from_rows(&[vec![1.0, -1.0, 1.0]]).unwrap();
+        assert_eq!(a.forward(&x), b.forward(&x));
+        assert_eq!(a.forward(&x).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn small_gradients_accumulate_until_sign_flip() {
+        // One latent weight at +0.05; repeated small positive gradients via
+        // plain SGD should eventually flip the binary weight to -1.
+        let mut layer = BinaryLinear::with_init(1, 1, |_, _| 0.05);
+        let mut opt = Sgd::new(0.01);
+        let grad = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert_eq!(layer.binary().get(0, 0), 1.0);
+        let mut flipped_at = None;
+        for step in 0..20 {
+            layer.apply_gradient(&grad, &mut opt);
+            if layer.binary().get(0, 0) < 0.0 {
+                flipped_at = Some(step);
+                break;
+            }
+        }
+        let at = flipped_at.expect("weight should flip");
+        assert!(at >= 4, "flip needed several accumulated steps, got {at}");
+    }
+
+    #[test]
+    fn training_separates_a_toy_problem() {
+        let d = 32;
+        let mut rng = StdRng::seed_from_u64(3);
+        let proto0: Vec<f32> = (0..d)
+            .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        let proto1: Vec<f32> = proto0.iter().map(|v| -v).collect();
+        let x = Matrix::from_rows(&[proto0, proto1]).unwrap();
+        let labels = [0usize, 1];
+        let mut layer = BinaryLinear::new(d, 2, 5);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..50 {
+            let logits = layer.forward(&x);
+            let (_, dlogits) = softmax_cross_entropy(&logits, &labels).unwrap();
+            let grad = layer.backward(&x, &dlogits);
+            layer.apply_gradient(&grad, &mut opt);
+        }
+        let logits = layer.forward(&x);
+        assert!(logits.get(0, 0) > logits.get(0, 1));
+        assert!(logits.get(1, 1) > logits.get(1, 0));
+    }
+
+    #[test]
+    fn clip_latent_bounds_weights_without_changing_signs() {
+        let mut layer = BinaryLinear::with_init(2, 2, |r, c| {
+            if (r + c) % 2 == 0 {
+                5.0
+            } else {
+                -5.0
+            }
+        });
+        let before = layer.binary().clone();
+        layer.clip_latent(1.0);
+        assert_eq!(layer.binary(), &before);
+        assert!(layer.latent().as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn binary_column_extracts_class_hypervector() {
+        let layer = BinaryLinear::with_init(3, 2, |r, c| if c == 0 { 1.0 } else { -(r as f32) });
+        assert_eq!(layer.binary_column(0), vec![1.0, 1.0, 1.0]);
+        assert_eq!(layer.binary_column(1), vec![1.0, -1.0, -1.0]); // -0 → +1
+    }
+
+    #[test]
+    fn disagreement_is_zero_for_clones() {
+        let layer = BinaryLinear::new(16, 4, 9);
+        assert_eq!(layer.binary_disagreement(&layer.clone()), 0.0);
+    }
+
+    #[test]
+    fn latent_norm_sq_matches_manual_sum() {
+        let layer = BinaryLinear::with_init(2, 2, |_, _| 2.0);
+        assert!((layer.latent_norm_sq() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "d_in")]
+    fn forward_rejects_wrong_width() {
+        let layer = BinaryLinear::new(4, 2, 0);
+        let x = Matrix::zeros(1, 5);
+        let _ = layer.forward(&x);
+    }
+
+    #[test]
+    fn dense_layer_trains_past_binary_precision() {
+        // A dense layer can express graded weights a binary layer cannot:
+        // fit a target where one input dimension matters twice as much.
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let labels = [0usize, 1, 0]; // dim 0 outweighs dim 1
+        let mut layer = DenseLinear::new(2, 2, 3);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..200 {
+            let logits = layer.forward(&x);
+            let (_, dlogits) = softmax_cross_entropy(&logits, &labels).unwrap();
+            let grad = layer.backward(&x, &dlogits);
+            layer.apply_gradient(&grad, &mut opt);
+        }
+        let logits = layer.forward(&x);
+        for (r, &y) in labels.iter().enumerate() {
+            let pred = if logits.get(r, 0) > logits.get(r, 1) { 0 } else { 1 };
+            assert_eq!(pred, y, "row {r}");
+        }
+    }
+
+    #[test]
+    fn dense_column_returns_weights_verbatim() {
+        let layer = DenseLinear::with_init(3, 2, |r, c| (r * 2 + c) as f32);
+        assert_eq!(layer.column(1), vec![1.0, 3.0, 5.0]);
+        assert_eq!(layer.d_in(), 3);
+        assert_eq!(layer.k_out(), 2);
+    }
+}

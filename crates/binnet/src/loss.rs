@@ -1,0 +1,187 @@
+//! Softmax and cross-entropy (the paper's Eq. 9).
+
+use crate::error::BinnetError;
+use crate::matrix::Matrix;
+
+/// Row-wise, numerically stable softmax.
+///
+/// # Examples
+///
+/// ```
+/// use binnet::{softmax, Matrix};
+///
+/// # fn main() -> Result<(), binnet::BinnetError> {
+/// let logits = Matrix::from_rows(&[vec![1.0, 1.0, 1.0]])?;
+/// let p = softmax(&logits);
+/// for j in 0..3 {
+///     assert!((p.get(0, j) - 1.0 / 3.0).abs() < 1e-6);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Fused softmax + cross-entropy loss with one-hot labels.
+///
+/// Returns the mean loss over the batch and the gradient of the loss with
+/// respect to the logits, `(softmax(o) − y) / B` — the only gradient the
+/// single-layer BNN needs (paper Eq. 9).
+///
+/// # Errors
+///
+/// Returns [`BinnetError::InvalidConfig`] if `labels.len()` differs from the
+/// batch size or any label is out of range.
+pub fn softmax_cross_entropy(
+    logits: &Matrix,
+    labels: &[usize],
+) -> Result<(f64, Matrix), BinnetError> {
+    let (b, k) = (logits.rows(), logits.cols());
+    if labels.len() != b {
+        return Err(BinnetError::InvalidConfig(format!(
+            "batch has {b} rows but {} labels",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&y| y >= k) {
+        return Err(BinnetError::InvalidConfig(format!(
+            "label {bad} out of range for {k} classes"
+        )));
+    }
+    let mut grad = softmax(logits);
+    let mut loss = 0.0f64;
+    let inv_b = 1.0 / b as f32;
+    for (r, &y) in labels.iter().enumerate() {
+        let row = grad.row_mut(r);
+        // -log p_y, clamped away from log(0)
+        loss += -f64::from(row[y].max(1e-12)).ln();
+        row[y] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_b;
+        }
+    }
+    Ok((loss / b as f64, grad))
+}
+
+/// Fraction of rows whose argmax logit equals the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or the batch is empty.
+#[must_use]
+pub fn accuracy_from_logits(logits: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "one label per row required");
+    assert!(!labels.is_empty(), "empty batch has no accuracy");
+    let mut correct = 0usize;
+    for (r, &y) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if pred == y {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_rows(&[vec![3.0, 1.0, -2.0], vec![0.0, 0.0, 100.0]]).unwrap();
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+            assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        // huge logit → probability ≈ 1 without overflow
+        assert!(p.get(1, 2) > 0.999);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap());
+        let b = softmax(&Matrix::from_rows(&[vec![101.0, 102.0, 103.0]]).unwrap());
+        for j in 0..3 {
+            assert!((a.get(0, j) - b.get(0, j)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_rows(&[vec![20.0, 0.0], vec![0.0, 20.0]]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-6);
+        for v in grad.as_slice() {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_prediction_is_log_k() {
+        let logits = Matrix::zeros(1, 4);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!((loss - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Matrix::from_rows(&[vec![0.5, -1.0, 2.0], vec![1.0, 1.0, 0.0]]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = logits.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let mut minus = logits.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                let (lp, _) = softmax_cross_entropy(&plus, &labels).unwrap();
+                let (lm, _) = softmax_cross_entropy(&minus, &labels).unwrap();
+                let numeric = (lp - lm) / (2.0 * f64::from(eps));
+                let analytic = f64::from(grad.get(r, c));
+                assert!(
+                    (numeric - analytic).abs() < 1e-3,
+                    "grad[{r}][{c}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Matrix::zeros(2, 3);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits =
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.9, 0.1]]).unwrap();
+        assert!((accuracy_from_logits(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((accuracy_from_logits(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-12);
+    }
+}

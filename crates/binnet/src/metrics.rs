@@ -1,0 +1,208 @@
+//! Classification metrics.
+
+use std::fmt;
+
+/// Fraction of predictions equal to their labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(binnet::accuracy(&[0, 1, 2], &[0, 1, 1]), 2.0 / 3.0);
+/// ```
+#[must_use]
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must pair up"
+    );
+    assert!(!labels.is_empty(), "empty prediction set has no accuracy");
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| p == y)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// A `K×K` confusion matrix: `counts[true][predicted]`.
+///
+/// # Examples
+///
+/// ```
+/// let mut cm = binnet::ConfusionMatrix::new(2);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(1, 1);
+/// assert_eq!(cm.count(0, 1), 1);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((cm.recall(0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty `k × k` confusion matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "confusion matrix needs at least one class");
+        ConfusionMatrix {
+            k,
+            counts: vec![0; k * k],
+        }
+    }
+
+    /// Number of classes `K`.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Records one `(true, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class index is out of range.
+    pub fn record(&mut self, true_class: usize, predicted: usize) {
+        assert!(
+            true_class < self.k && predicted < self.k,
+            "class index out of range"
+        );
+        self.counts[true_class * self.k + predicted] += 1;
+    }
+
+    /// The count at `(true, predicted)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class index is out of range.
+    #[must_use]
+    pub fn count(&self, true_class: usize, predicted: usize) -> u64 {
+        assert!(
+            true_class < self.k && predicted < self.k,
+            "class index out of range"
+        );
+        self.counts[true_class * self.k + predicted]
+    }
+
+    /// Total number of recorded observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (trace over total); 0 when empty.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.k).map(|i| self.counts[i * self.k + i]).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Recall of one class (diagonal over row sum); 0 when the class has no
+    /// observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn recall(&self, class: usize) -> f64 {
+        assert!(class < self.k, "class index out of range");
+        let row: u64 = self.counts[class * self.k..(class + 1) * self.k]
+            .iter()
+            .sum();
+        if row == 0 {
+            return 0.0;
+        }
+        self.counts[class * self.k + class] as f64 / row as f64
+    }
+
+    /// Precision of one class (diagonal over column sum); 0 when the class
+    /// was never predicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn precision(&self, class: usize) -> f64 {
+        assert!(class < self.k, "class index out of range");
+        let col: u64 = (0..self.k).map(|r| self.counts[r * self.k + class]).sum();
+        if col == 0 {
+            return 0.0;
+        }
+        self.counts[class * self.k + class] as f64 / col as f64
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion matrix ({} classes, rows = true):", self.k)?;
+        for r in 0..self.k {
+            for c in 0..self.k {
+                write!(f, "{:>7}", self.counts[r * self.k + c])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[0, 0, 0], &[1, 1, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn accuracy_rejects_length_mismatch() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_metrics() {
+        let mut cm = ConfusionMatrix::new(3);
+        for (t, p) in [(0, 0), (0, 0), (0, 2), (1, 1), (2, 2), (2, 0)] {
+            cm.record(t, p);
+        }
+        assert_eq!(cm.total(), 6);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((cm.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.recall(1), 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_accuracy() {
+        let cm = ConfusionMatrix::new(2);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.recall(0), 0.0);
+        assert_eq!(cm.precision(1), 0.0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 1);
+        let s = cm.to_string();
+        assert!(s.contains('1') && s.contains("classes"));
+    }
+}

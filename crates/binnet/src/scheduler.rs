@@ -1,0 +1,154 @@
+//! Learning-rate schedules.
+
+use crate::error::BinnetError;
+
+/// Decays the learning rate when the training loss *increases* — the
+/// schedule the paper states: "The learning rate will decay during the
+/// training, if the training loss increasing is detected."
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), binnet::BinnetError> {
+/// let mut sched = binnet::PlateauDecay::new(0.5, 1e-5)?;
+/// assert_eq!(sched.observe(1.0, 0.1), 0.1);  // first epoch: no decay
+/// assert_eq!(sched.observe(0.8, 0.1), 0.1);  // loss fell: no decay
+/// assert_eq!(sched.observe(0.9, 0.1), 0.05); // loss rose: halve LR
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlateauDecay {
+    factor: f32,
+    min_lr: f32,
+    last_loss: Option<f64>,
+}
+
+impl PlateauDecay {
+    /// Creates a scheduler multiplying the LR by `factor` on each loss
+    /// increase, never going below `min_lr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinnetError::InvalidConfig`] unless `0 < factor < 1` and
+    /// `min_lr >= 0`.
+    pub fn new(factor: f32, min_lr: f32) -> Result<Self, BinnetError> {
+        if !(0.0..1.0).contains(&factor) || factor == 0.0 {
+            return Err(BinnetError::InvalidConfig(format!(
+                "decay factor must be in (0, 1), got {factor}"
+            )));
+        }
+        if min_lr < 0.0 {
+            return Err(BinnetError::InvalidConfig(format!(
+                "min_lr must be non-negative, got {min_lr}"
+            )));
+        }
+        Ok(PlateauDecay {
+            factor,
+            min_lr,
+            last_loss: None,
+        })
+    }
+
+    /// Observes this epoch's training loss and returns the learning rate to
+    /// use next (decayed iff the loss rose relative to the previous epoch).
+    pub fn observe(&mut self, loss: f64, current_lr: f32) -> f32 {
+        let next = match self.last_loss {
+            Some(prev) if loss > prev => (current_lr * self.factor).max(self.min_lr),
+            _ => current_lr,
+        };
+        self.last_loss = Some(loss);
+        next
+    }
+}
+
+/// Multiplies the learning rate by `gamma` every `period` epochs.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), binnet::BinnetError> {
+/// let sched = binnet::StepDecay::new(10, 0.1)?;
+/// assert_eq!(sched.lr_at(0, 1.0), 1.0);
+/// assert!((sched.lr_at(10, 1.0) - 0.1).abs() < 1e-7);
+/// assert!((sched.lr_at(25, 1.0) - 0.01).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepDecay {
+    period: usize,
+    gamma: f32,
+}
+
+impl StepDecay {
+    /// Creates a step schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinnetError::InvalidConfig`] if `period == 0` or
+    /// `gamma <= 0`.
+    pub fn new(period: usize, gamma: f32) -> Result<Self, BinnetError> {
+        if period == 0 {
+            return Err(BinnetError::InvalidConfig("period must be non-zero".into()));
+        }
+        if gamma <= 0.0 {
+            return Err(BinnetError::InvalidConfig(format!(
+                "gamma must be positive, got {gamma}"
+            )));
+        }
+        Ok(StepDecay { period, gamma })
+    }
+
+    /// The learning rate at `epoch` given the initial rate.
+    #[must_use]
+    pub fn lr_at(&self, epoch: usize, initial_lr: f32) -> f32 {
+        initial_lr * self.gamma.powi((epoch / self.period) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plateau_decays_only_on_increase() {
+        let mut s = PlateauDecay::new(0.1, 0.0).unwrap();
+        let mut lr = 1.0;
+        lr = s.observe(5.0, lr);
+        assert_eq!(lr, 1.0);
+        lr = s.observe(4.0, lr); // improving
+        assert_eq!(lr, 1.0);
+        lr = s.observe(4.5, lr); // worse → decay
+        assert!((lr - 0.1).abs() < 1e-7);
+        lr = s.observe(4.5, lr); // equal → no decay
+        assert!((lr - 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn plateau_respects_min_lr() {
+        let mut s = PlateauDecay::new(0.5, 0.3).unwrap();
+        let mut lr = 1.0;
+        s.observe(1.0, lr);
+        for loss in [2.0, 3.0, 4.0, 5.0] {
+            lr = s.observe(loss, lr);
+        }
+        assert!(lr >= 0.3);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(PlateauDecay::new(0.0, 0.0).is_err());
+        assert!(PlateauDecay::new(1.0, 0.0).is_err());
+        assert!(PlateauDecay::new(0.5, -1.0).is_err());
+        assert!(StepDecay::new(0, 0.5).is_err());
+        assert!(StepDecay::new(5, 0.0).is_err());
+    }
+
+    #[test]
+    fn step_decay_is_piecewise_constant() {
+        let s = StepDecay::new(3, 0.5).unwrap();
+        assert_eq!(s.lr_at(0, 1.0), s.lr_at(2, 1.0));
+        assert!(s.lr_at(3, 1.0) < s.lr_at(2, 1.0));
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end: a single binary layer trained with the full LeHDC recipe
+//! (Adam + dropout + weight decay + plateau LR decay) must learn a noisy
+//! multi-class bipolar problem that plain averaging cannot solve perfectly.
+
+use binnet::{
+    accuracy_from_logits, softmax_cross_entropy, Adam, BatchSampler, BinaryLinear, Dropout,
+    Matrix, Optimizer, PlateauDecay,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const D: usize = 256;
+const K: usize = 4;
+
+/// Builds a dataset where each class is a pair of *sub-prototypes* (so the
+/// class-mean is a poor classifier) plus bit noise. The prototypes are drawn
+/// from `proto_seed` so train and test sets can share them while the noise
+/// differs (`noise_seed`).
+fn make_dataset(n_per_class: usize, proto_seed: u64, noise_seed: u64) -> (Matrix, Vec<usize>) {
+    let mut proto_rng = StdRng::seed_from_u64(proto_seed);
+    let protos: Vec<Vec<f32>> = (0..2 * K)
+        .map(|_| {
+            (0..D)
+                .map(|_| if proto_rng.random::<bool>() { 1.0 } else { -1.0 })
+                .collect()
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(noise_seed);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for class in 0..K {
+        for i in 0..n_per_class {
+            let proto = &protos[2 * class + (i % 2)];
+            let row: Vec<f32> = proto
+                .iter()
+                .map(|&v| if rng.random::<f32>() < 0.15 { -v } else { v })
+                .collect();
+            rows.push(row);
+            labels.push(class);
+        }
+    }
+    (Matrix::from_rows(&rows).unwrap(), labels)
+}
+
+fn gather(x: &Matrix, idx: &[usize]) -> Matrix {
+    Matrix::from_rows(&idx.iter().map(|&i| x.row(i).to_vec()).collect::<Vec<_>>()).unwrap()
+}
+
+#[test]
+fn full_recipe_learns_multimodal_classes() {
+    let (train_x, train_y) = make_dataset(40, 100, 1);
+    let (test_x, test_y) = make_dataset(20, 100, 2);
+
+    let mut layer = BinaryLinear::new(D, K, 3);
+    let mut opt = Adam::new(0.02).weight_decay(0.001);
+    let mut dropout = Dropout::new(0.2, 5).unwrap();
+    let mut sched = PlateauDecay::new(0.5, 1e-5).unwrap();
+    let sampler = BatchSampler::new(train_y.len(), 32, 7).unwrap();
+
+    for epoch in 0..30 {
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for batch in sampler.epoch(epoch) {
+            let mut x = gather(&train_x, &batch);
+            let y: Vec<usize> = batch.iter().map(|&i| train_y[i]).collect();
+            dropout.apply(&mut x);
+            let logits = layer.forward(&x);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &y).unwrap();
+            let grad = layer.backward(&x, &dlogits);
+            layer.apply_gradient(&grad, &mut opt);
+            epoch_loss += loss;
+            batches += 1;
+        }
+        let lr = sched.observe(epoch_loss / batches as f64, opt.learning_rate());
+        opt.set_learning_rate(lr);
+    }
+
+    let train_acc = accuracy_from_logits(&layer.forward(&train_x), &train_y);
+    let test_acc = accuracy_from_logits(&layer.forward(&test_x), &test_y);
+    assert!(train_acc > 0.9, "train accuracy {train_acc}");
+    assert!(test_acc > 0.8, "test accuracy {test_acc}");
+}
+
+#[test]
+fn trained_weights_stay_binary() {
+    let (train_x, train_y) = make_dataset(10, 100, 11);
+    let mut layer = BinaryLinear::new(D, K, 13);
+    let mut opt = Adam::new(0.05);
+    for epoch in 0..5 {
+        let sampler = BatchSampler::new(train_y.len(), 16, 17).unwrap();
+        for batch in sampler.epoch(epoch) {
+            let x = gather(&train_x, &batch);
+            let y: Vec<usize> = batch.iter().map(|&i| train_y[i]).collect();
+            let logits = layer.forward(&x);
+            let (_, dlogits) = softmax_cross_entropy(&logits, &y).unwrap();
+            let grad = layer.backward(&x, &dlogits);
+            layer.apply_gradient(&grad, &mut opt);
+        }
+    }
+    assert!(layer
+        .binary()
+        .as_slice()
+        .iter()
+        .all(|&v| v == 1.0 || v == -1.0));
+    // ... and the latent weights are NOT all binary (they accumulate).
+    assert!(layer
+        .latent()
+        .as_slice()
+        .iter()
+        .any(|&v| v != 1.0 && v != -1.0));
+}
+
+#[test]
+fn warm_start_from_prototypes_beats_random_init_early() {
+    let (train_x, train_y) = make_dataset(30, 100, 21);
+
+    // class means as init (like LeHDC warm-starting from baseline HDC)
+    let mut mean = vec![vec![0.0f32; D]; K];
+    for (i, &y) in train_y.iter().enumerate() {
+        for (m, &v) in mean[y].iter_mut().zip(train_x.row(i)) {
+            *m += v;
+        }
+    }
+    let warm = BinaryLinear::with_init(D, K, |r, c| mean[c][r].signum() * 0.05);
+    let cold = BinaryLinear::new(D, K, 99);
+
+    let warm_acc = accuracy_from_logits(&warm.forward(&train_x), &train_y);
+    let cold_acc = accuracy_from_logits(&cold.forward(&train_x), &train_y);
+    assert!(
+        warm_acc > cold_acc,
+        "warm start {warm_acc} should beat random init {cold_acc}"
+    );
+}

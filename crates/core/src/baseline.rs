@@ -1,0 +1,172 @@
+//! Baseline binary HDC training: bundle-and-sign (paper Eq. 2).
+
+use hdc::rng::rng_for;
+use hdc::{Accumulator, RealHv};
+
+use crate::encoded::EncodedDataset;
+use crate::error::LehdcError;
+use crate::model::HdcModel;
+
+/// Trains the baseline binary HDC classifier: each class hypervector is the
+/// majority vote over its samples, `c_k = sgn(Σ_{H ∈ Ω_k} H)`, with
+/// `sgn(0)` ties broken randomly from `seed`.
+///
+/// This is the weakest strategy in the paper's Table 1 and the reference
+/// every improvement is measured against.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] if some class has no samples (its
+/// hypervector would be all ties — a meaningless classifier).
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dim, RecordEncoder};
+/// use hdc_datasets::BenchmarkProfile;
+/// use lehdc::{baseline::train_baseline, EncodedDataset};
+///
+/// # fn main() -> Result<(), lehdc::LehdcError> {
+/// let data = BenchmarkProfile::pamap().quick().generate(1)?;
+/// let enc = RecordEncoder::builder(Dim::new(1024), data.train.n_features())
+///     .seed(1)
+///     .build()?;
+/// let train = EncodedDataset::encode(&data.train, &enc, 2)?;
+/// let model = train_baseline(&train, 7)?;
+/// assert!(model.accuracy(train.hvs(), train.labels()) > 1.0 / 5.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn train_baseline(train: &EncodedDataset, seed: u64) -> Result<HdcModel, LehdcError> {
+    let k = train.n_classes();
+    let mut accumulators: Vec<Accumulator> = (0..k).map(|_| Accumulator::new(train.dim())).collect();
+    for i in 0..train.len() {
+        let (hv, label) = train.sample(i);
+        accumulators[label].add(hv);
+    }
+    if let Some(empty) = accumulators.iter().position(Accumulator::is_empty) {
+        return Err(LehdcError::InvalidConfig(format!(
+            "class {empty} has no training samples"
+        )));
+    }
+    let mut rng = rng_for(seed, 0xBA5E);
+    let class_hvs = accumulators
+        .iter()
+        .map(|acc| acc.threshold(&mut rng))
+        .collect();
+    HdcModel::new(class_hvs)
+}
+
+/// Accumulates the *non-binary* class hypervectors (the raw bipolar sums of
+/// Eq. 2 before `sgn`) — the initialization the retraining strategies
+/// fine-tune (QuantHD keeps exactly these as its non-binary model).
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] if some class has no samples.
+pub fn accumulate_class_sums(train: &EncodedDataset) -> Result<Vec<RealHv>, LehdcError> {
+    let k = train.n_classes();
+    let mut sums: Vec<RealHv> = (0..k).map(|_| RealHv::zeros(train.dim())).collect();
+    let mut counts = vec![0usize; k];
+    for i in 0..train.len() {
+        let (hv, label) = train.sample(i);
+        sums[label].add_scaled(hv, 1.0);
+        counts[label] += 1;
+    }
+    if let Some(empty) = counts.iter().position(|&c| c == 0) {
+        return Err(LehdcError::InvalidConfig(format!(
+            "class {empty} has no training samples"
+        )));
+    }
+    Ok(sums)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::rng_for;
+    use hdc::{BinaryHv, Dim};
+
+    /// Builds an encoded corpus of noisy copies of per-class prototypes.
+    fn clustered_corpus(
+        k: usize,
+        per_class: usize,
+        d: usize,
+        flip: usize,
+        seed: u64,
+    ) -> (EncodedDataset, Vec<BinaryHv>) {
+        let mut rng = rng_for(seed, 0);
+        let dim = Dim::new(d);
+        let protos: Vec<BinaryHv> = (0..k).map(|_| BinaryHv::random(dim, &mut rng)).collect();
+        let mut hvs = Vec::new();
+        let mut labels = Vec::new();
+        for (c, proto) in protos.iter().enumerate() {
+            for _ in 0..per_class {
+                let mut hv = proto.clone();
+                for _ in 0..flip {
+                    hv.flip(rand::RngExt::random_range(&mut rng, 0..d));
+                }
+                hvs.push(hv);
+                labels.push(c);
+            }
+        }
+        (
+            EncodedDataset::from_parts(hvs, labels, k).unwrap(),
+            protos,
+        )
+    }
+
+    #[test]
+    fn baseline_recovers_cluster_prototypes() {
+        let (train, protos) = clustered_corpus(4, 15, 2048, 200, 1);
+        let model = train_baseline(&train, 3).unwrap();
+        for (c, proto) in protos.iter().enumerate() {
+            let h = model.class_hvs()[c].normalized_hamming(proto);
+            assert!(h < 0.1, "class {c} hypervector is {h} from its prototype");
+        }
+        assert!(model.accuracy(train.hvs(), train.labels()) > 0.95);
+    }
+
+    #[test]
+    fn baseline_rejects_empty_classes() {
+        let mut rng = rng_for(5, 5);
+        let hvs = vec![BinaryHv::random(Dim::new(64), &mut rng)];
+        // declared 2 classes, only class 0 has data
+        let train = EncodedDataset::from_parts(hvs, vec![0], 2).unwrap();
+        assert!(train_baseline(&train, 0).is_err());
+        assert!(accumulate_class_sums(&train).is_err());
+    }
+
+    #[test]
+    fn class_sums_binarize_to_the_baseline_model() {
+        let (train, _) = clustered_corpus(3, 9, 512, 50, 7); // odd count → no ties
+        let model = train_baseline(&train, 0).unwrap();
+        let sums = accumulate_class_sums(&train).unwrap();
+        for (c, sum) in sums.iter().enumerate() {
+            assert_eq!(
+                &sum.sign(),
+                &model.class_hvs()[c],
+                "sum sign must equal the baseline hypervector for class {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn tie_breaking_differs_by_seed_but_content_agrees() {
+        // Even per-class counts with opposite vectors force ties everywhere.
+        let dim = Dim::new(256);
+        let mut rng = rng_for(9, 9);
+        let a = BinaryHv::random(dim, &mut rng);
+        let train = EncodedDataset::from_parts(
+            vec![a.clone(), a.negated(), a.clone(), a.negated()],
+            vec![0, 0, 1, 1],
+            2,
+        )
+        .unwrap();
+        let m1 = train_baseline(&train, 1).unwrap();
+        let m2 = train_baseline(&train, 2).unwrap();
+        assert_ne!(m1.class_hvs()[0], m2.class_hvs()[0]);
+        let m1_again = train_baseline(&train, 1).unwrap();
+        assert_eq!(m1, m1_again, "same seed reproduces");
+    }
+}

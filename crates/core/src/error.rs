@@ -1,0 +1,97 @@
+//! Error type for the LeHDC crate.
+
+use std::error::Error;
+use std::fmt;
+
+use binnet::BinnetError;
+use hdc::HdcError;
+use hdc_datasets::DatasetError;
+
+/// Errors raised while building pipelines or training HDC models.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LehdcError {
+    /// An error from the hypervector substrate.
+    Hdc(HdcError),
+    /// An error from the BNN training substrate.
+    Binnet(BinnetError),
+    /// An error from dataset handling.
+    Dataset(DatasetError),
+    /// A training configuration was invalid.
+    InvalidConfig(String),
+    /// A model file was unreadable or malformed.
+    ModelFormat(String),
+    /// An I/O failure while persisting or loading a model.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for LehdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LehdcError::Hdc(e) => write!(f, "hdc error: {e}"),
+            LehdcError::Binnet(e) => write!(f, "binnet error: {e}"),
+            LehdcError::Dataset(e) => write!(f, "dataset error: {e}"),
+            LehdcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            LehdcError::ModelFormat(msg) => write!(f, "model format error: {msg}"),
+            LehdcError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for LehdcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LehdcError::Hdc(e) => Some(e),
+            LehdcError::Binnet(e) => Some(e),
+            LehdcError::Dataset(e) => Some(e),
+            LehdcError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HdcError> for LehdcError {
+    fn from(e: HdcError) -> Self {
+        LehdcError::Hdc(e)
+    }
+}
+
+impl From<BinnetError> for LehdcError {
+    fn from(e: BinnetError) -> Self {
+        LehdcError::Binnet(e)
+    }
+}
+
+impl From<DatasetError> for LehdcError {
+    fn from(e: DatasetError) -> Self {
+        LehdcError::Dataset(e)
+    }
+}
+
+impl From<std::io::Error> for LehdcError {
+    fn from(e: std::io::Error) -> Self {
+        LehdcError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: LehdcError = HdcError::DimMismatch { left: 1, right: 2 }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("hdc"));
+        let e: LehdcError = BinnetError::InvalidConfig("x".into()).into();
+        assert!(e.to_string().contains("binnet"));
+        let e: LehdcError = std::io::Error::other("disk").into();
+        assert!(e.to_string().contains("disk"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LehdcError>();
+    }
+}

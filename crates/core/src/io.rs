@@ -1,0 +1,662 @@
+//! Model persistence: a compact binary format for trained HDC models.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic   8 bytes  "LEHDCMDL"
+//! version u32      currently 1
+//! dim     u64      hypervector dimension D
+//! k       u64      number of classes
+//! data    k × ⌈D/64⌉ × u64   packed class hypervectors, class-major
+//! ```
+//!
+//! The packed representation makes a saved model exactly the artifact an
+//! embedded deployment would flash: `K × D` bits plus a 28-byte header.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use hdc::{BinaryHv, Dim, Encode, RecordEncoder};
+use hdc_datasets::MinMaxNormalizer;
+
+use crate::error::LehdcError;
+use crate::model::HdcModel;
+
+const MAGIC: &[u8; 8] = b"LEHDCMDL";
+const VERSION: u32 = 1;
+const BUNDLE_MAGIC: &[u8; 8] = b"LEHDCBDL";
+const BUNDLE_VERSION: u32 = 1;
+
+/// Serializes a model to any writer (a `&mut` reference works too).
+///
+/// # Errors
+///
+/// Returns [`LehdcError::Io`] on write failure.
+pub fn write_model<W: Write>(model: &HdcModel, mut writer: W) -> Result<(), LehdcError> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(model.dim().get() as u64).to_le_bytes())?;
+    writer.write_all(&(model.n_classes() as u64).to_le_bytes())?;
+    for hv in model.class_hvs() {
+        for word in hv.as_words() {
+            writer.write_all(&word.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a model from any reader.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::ModelFormat`] for a bad magic, version, or
+/// truncated payload, and [`LehdcError::Io`] on read failure.
+pub fn read_model<R: Read>(mut reader: R) -> Result<HdcModel, LehdcError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic).map_err(truncated)?;
+    if &magic != MAGIC {
+        return Err(LehdcError::ModelFormat(format!(
+            "bad magic {magic:?}, not a LeHDC model file"
+        )));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(LehdcError::ModelFormat(format!(
+            "unsupported version {version} (this build reads {VERSION})"
+        )));
+    }
+    let dim = read_u64(&mut reader)? as usize;
+    let k = read_u64(&mut reader)? as usize;
+    if dim == 0 || k == 0 {
+        return Err(LehdcError::ModelFormat(format!(
+            "degenerate model shape: D={dim}, K={k}"
+        )));
+    }
+    if k > 1_000_000 || dim > 1_000_000_000 {
+        return Err(LehdcError::ModelFormat(format!(
+            "implausible model shape: D={dim}, K={k}"
+        )));
+    }
+    let d = Dim::new(dim);
+    let words_per_hv = d.words();
+    let mut class_hvs = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut hv = BinaryHv::zeros(d);
+        let mut buf = [0u8; 8];
+        let mut words = Vec::with_capacity(words_per_hv);
+        for _ in 0..words_per_hv {
+            reader.read_exact(&mut buf).map_err(truncated)?;
+            words.push(u64::from_le_bytes(buf));
+        }
+        // Validate the tail-bit invariant before reconstructing.
+        if let Some(&last) = words.last() {
+            if last & !d.last_word_mask() != 0 {
+                return Err(LehdcError::ModelFormat(
+                    "padding bits beyond the dimension are set".into(),
+                ));
+            }
+        }
+        for (i, word) in words.iter().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                hv.set(i * 64 + b, true);
+                bits &= bits - 1;
+            }
+        }
+        class_hvs.push(hv);
+    }
+    HdcModel::new(class_hvs)
+}
+
+/// Saves a model to a file path.
+///
+/// # Errors
+///
+/// As [`write_model`], plus file-creation failures.
+pub fn save_model(model: &HdcModel, path: &Path) -> Result<(), LehdcError> {
+    let file = File::create(path)?;
+    write_model(model, BufWriter::new(file))
+}
+
+/// Loads a model from a file path.
+///
+/// # Errors
+///
+/// As [`read_model`], plus file-open failures.
+pub fn load_model(path: &Path) -> Result<HdcModel, LehdcError> {
+    let file = File::open(path)?;
+    read_model(BufReader::new(file))
+}
+
+/// A deployable artifact: a trained model together with everything needed
+/// to re-create its encoder (the item memories are regenerated from the
+/// persisted seed, so the bundle stays tiny).
+///
+/// This is what a CLI or an embedded target actually needs — a bare model
+/// cannot classify raw feature vectors without its codebooks.
+#[derive(Debug, Clone)]
+pub struct ModelBundle {
+    /// The trained binary HDC classifier.
+    pub model: HdcModel,
+    /// The encoder that produced the model's training encodings.
+    pub encoder: RecordEncoder,
+    /// The feature normalizer fitted on the training split, when the
+    /// training pipeline normalized; raw features must pass through it
+    /// before encoding.
+    pub normalizer: Option<MinMaxNormalizer>,
+}
+
+impl ModelBundle {
+    /// Classifies one raw feature vector end-to-end (normalize + encode +
+    /// Hamming inference).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LehdcError::Hdc`] if `features.len()` differs from the
+    /// encoder's feature count.
+    pub fn classify(&self, features: &[f32]) -> Result<usize, LehdcError> {
+        let hv = match &self.normalizer {
+            Some(norm) => {
+                if features.len() != norm.n_features() {
+                    return Err(LehdcError::Hdc(hdc::HdcError::FeatureCountMismatch {
+                        expected: norm.n_features(),
+                        actual: features.len(),
+                    }));
+                }
+                let mut row = features.to_vec();
+                norm.apply_row(&mut row);
+                self.encoder.encode(&row)?
+            }
+            None => self.encoder.encode(features)?,
+        };
+        Ok(self.model.classify(&hv))
+    }
+}
+
+/// Serializes a bundle: an encoder-spec header (dim, features, levels,
+/// range, seed) followed by the model payload.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] if the model and encoder dimensions
+/// disagree, or [`LehdcError::Io`] on write failure.
+pub fn write_bundle<W: Write>(bundle: &ModelBundle, mut writer: W) -> Result<(), LehdcError> {
+    if bundle.model.dim() != bundle.encoder.dim() {
+        return Err(LehdcError::InvalidConfig(format!(
+            "model dimension {} does not match encoder dimension {}",
+            bundle.model.dim(),
+            bundle.encoder.dim()
+        )));
+    }
+    writer.write_all(BUNDLE_MAGIC)?;
+    writer.write_all(&BUNDLE_VERSION.to_le_bytes())?;
+    writer.write_all(&(bundle.encoder.dim().get() as u64).to_le_bytes())?;
+    writer.write_all(&(bundle.encoder.n_features() as u64).to_le_bytes())?;
+    writer.write_all(&(bundle.encoder.levels().n_levels() as u64).to_le_bytes())?;
+    let (min, max) = bundle.encoder.quantizer().range();
+    writer.write_all(&min.to_le_bytes())?;
+    writer.write_all(&max.to_le_bytes())?;
+    writer.write_all(&bundle.encoder.seed().to_le_bytes())?;
+    match &bundle.normalizer {
+        None => writer.write_all(&[0u8])?,
+        Some(norm) => {
+            if norm.n_features() != bundle.encoder.n_features() {
+                return Err(LehdcError::InvalidConfig(format!(
+                    "normalizer covers {} features but the encoder expects {}",
+                    norm.n_features(),
+                    bundle.encoder.n_features()
+                )));
+            }
+            writer.write_all(&[1u8])?;
+            for &v in norm.mins() {
+                writer.write_all(&v.to_le_bytes())?;
+            }
+            for &v in norm.ranges() {
+                writer.write_all(&v.to_le_bytes())?;
+            }
+        }
+    }
+    write_model(&bundle.model, writer)
+}
+
+/// Deserializes a bundle, regenerating the encoder's item memories from the
+/// persisted seed.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::ModelFormat`] for a bad magic/version/payload and
+/// [`LehdcError::Hdc`] if the persisted encoder configuration is invalid.
+pub fn read_bundle<R: Read>(mut reader: R) -> Result<ModelBundle, LehdcError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic).map_err(truncated)?;
+    if &magic != BUNDLE_MAGIC {
+        return Err(LehdcError::ModelFormat(format!(
+            "bad magic {magic:?}, not a LeHDC bundle file"
+        )));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != BUNDLE_VERSION {
+        return Err(LehdcError::ModelFormat(format!(
+            "unsupported bundle version {version} (this build reads {BUNDLE_VERSION})"
+        )));
+    }
+    let dim = read_u64(&mut reader)? as usize;
+    let n_features = read_u64(&mut reader)? as usize;
+    let n_levels = read_u64(&mut reader)? as usize;
+    let min = f32::from_le_bytes(read_array(&mut reader)?);
+    let max = f32::from_le_bytes(read_array(&mut reader)?);
+    let seed = read_u64(&mut reader)?;
+    if dim == 0 || n_features == 0 || dim > 1_000_000_000 || n_features > 100_000_000 {
+        return Err(LehdcError::ModelFormat(format!(
+            "implausible encoder shape: D={dim}, N={n_features}"
+        )));
+    }
+    let encoder = RecordEncoder::builder(Dim::new(dim), n_features)
+        .levels(n_levels)
+        .value_range(min, max)
+        .seed(seed)
+        .build()?;
+    let has_normalizer = read_array::<1, _>(&mut reader)?[0];
+    let normalizer = match has_normalizer {
+        0 => None,
+        1 => {
+            let mut mins = Vec::with_capacity(n_features);
+            for _ in 0..n_features {
+                mins.push(f32::from_le_bytes(read_array(&mut reader)?));
+            }
+            let mut ranges = Vec::with_capacity(n_features);
+            for _ in 0..n_features {
+                ranges.push(f32::from_le_bytes(read_array(&mut reader)?));
+            }
+            Some(MinMaxNormalizer::from_parts(mins, ranges)?)
+        }
+        other => {
+            return Err(LehdcError::ModelFormat(format!(
+                "invalid normalizer flag {other}"
+            )));
+        }
+    };
+    let model = read_model(reader)?;
+    if model.dim() != encoder.dim() {
+        return Err(LehdcError::ModelFormat(format!(
+            "bundle model dimension {} does not match encoder dimension {}",
+            model.dim(),
+            encoder.dim()
+        )));
+    }
+    Ok(ModelBundle {
+        model,
+        encoder,
+        normalizer,
+    })
+}
+
+/// Saves a bundle to a file path.
+///
+/// # Errors
+///
+/// As [`write_bundle`], plus file-creation failures.
+pub fn save_bundle(bundle: &ModelBundle, path: &Path) -> Result<(), LehdcError> {
+    let file = File::create(path)?;
+    write_bundle(bundle, BufWriter::new(file))
+}
+
+/// Loads a bundle from a file path.
+///
+/// # Errors
+///
+/// As [`read_bundle`], plus file-open failures.
+pub fn load_bundle(path: &Path) -> Result<ModelBundle, LehdcError> {
+    let file = File::open(path)?;
+    read_bundle(BufReader::new(file))
+}
+
+const ENCODED_MAGIC: &[u8; 8] = b"LEHDCENC";
+const ENCODED_VERSION: u32 = 1;
+
+/// Serializes an encoded corpus (hypervectors + labels) — the cache that
+/// makes paper-scale runs practical, since record encoding at `D = 10,000`
+/// dominates their wall-clock.
+///
+/// Format: magic, u32 version, then `dim`, `n_classes`, `n_samples` as
+/// u64, then per sample a u64 label followed by the packed words.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::Io`] on write failure.
+pub fn write_encoded<W: Write>(
+    encoded: &crate::EncodedDataset,
+    mut writer: W,
+) -> Result<(), LehdcError> {
+    writer.write_all(ENCODED_MAGIC)?;
+    writer.write_all(&ENCODED_VERSION.to_le_bytes())?;
+    writer.write_all(&(encoded.dim().get() as u64).to_le_bytes())?;
+    writer.write_all(&(encoded.n_classes() as u64).to_le_bytes())?;
+    writer.write_all(&(encoded.len() as u64).to_le_bytes())?;
+    for i in 0..encoded.len() {
+        let (hv, label) = encoded.sample(i);
+        writer.write_all(&(label as u64).to_le_bytes())?;
+        for word in hv.as_words() {
+            writer.write_all(&word.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes an encoded corpus written by [`write_encoded`].
+///
+/// # Errors
+///
+/// Returns [`LehdcError::ModelFormat`] for a bad magic/version, implausible
+/// shape, truncated payload, or invalid labels/padding bits.
+pub fn read_encoded<R: Read>(mut reader: R) -> Result<crate::EncodedDataset, LehdcError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic).map_err(truncated)?;
+    if &magic != ENCODED_MAGIC {
+        return Err(LehdcError::ModelFormat(format!(
+            "bad magic {magic:?}, not a LeHDC encoded-corpus file"
+        )));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != ENCODED_VERSION {
+        return Err(LehdcError::ModelFormat(format!(
+            "unsupported encoded-corpus version {version}"
+        )));
+    }
+    let dim = read_u64(&mut reader)? as usize;
+    let n_classes = read_u64(&mut reader)? as usize;
+    let n_samples = read_u64(&mut reader)? as usize;
+    if dim == 0 || n_classes == 0 || n_samples == 0 {
+        return Err(LehdcError::ModelFormat(format!(
+            "degenerate corpus shape: D={dim}, K={n_classes}, N={n_samples}"
+        )));
+    }
+    if dim > 1_000_000_000 || n_classes > 1_000_000 || n_samples > 1_000_000_000 {
+        return Err(LehdcError::ModelFormat(format!(
+            "implausible corpus shape: D={dim}, K={n_classes}, N={n_samples}"
+        )));
+    }
+    let d = Dim::new(dim);
+    let words_per_hv = d.words();
+    let mut hvs = Vec::with_capacity(n_samples);
+    let mut labels = Vec::with_capacity(n_samples);
+    let mut buf = [0u8; 8];
+    for _ in 0..n_samples {
+        reader.read_exact(&mut buf).map_err(truncated)?;
+        labels.push(u64::from_le_bytes(buf) as usize);
+        let mut hv = BinaryHv::zeros(d);
+        for w in 0..words_per_hv {
+            reader.read_exact(&mut buf).map_err(truncated)?;
+            let word = u64::from_le_bytes(buf);
+            if w + 1 == words_per_hv && word & !d.last_word_mask() != 0 {
+                return Err(LehdcError::ModelFormat(
+                    "padding bits beyond the dimension are set".into(),
+                ));
+            }
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                hv.set(w * 64 + b, true);
+                bits &= bits - 1;
+            }
+        }
+        hvs.push(hv);
+    }
+    crate::EncodedDataset::from_parts(hvs, labels, n_classes)
+}
+
+/// Saves an encoded corpus to a file path.
+///
+/// # Errors
+///
+/// As [`write_encoded`], plus file-creation failures.
+pub fn save_encoded(encoded: &crate::EncodedDataset, path: &Path) -> Result<(), LehdcError> {
+    let file = File::create(path)?;
+    write_encoded(encoded, BufWriter::new(file))
+}
+
+/// Loads an encoded corpus from a file path.
+///
+/// # Errors
+///
+/// As [`read_encoded`], plus file-open failures.
+pub fn load_encoded(path: &Path) -> Result<crate::EncodedDataset, LehdcError> {
+    let file = File::open(path)?;
+    read_encoded(BufReader::new(file))
+}
+
+fn read_array<const N: usize, R: Read>(reader: &mut R) -> Result<[u8; N], LehdcError> {
+    let mut buf = [0u8; N];
+    reader.read_exact(&mut buf).map_err(truncated)?;
+    Ok(buf)
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32, LehdcError> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf).map_err(truncated)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> Result<u64, LehdcError> {
+    let mut buf = [0u8; 8];
+    reader.read_exact(&mut buf).map_err(truncated)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn truncated(e: std::io::Error) -> LehdcError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        LehdcError::ModelFormat("file truncated".into())
+    } else {
+        LehdcError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::rng_for;
+
+    fn random_model(k: usize, d: usize, seed: u64) -> HdcModel {
+        let mut rng = rng_for(seed, 0);
+        HdcModel::new(
+            (0..k)
+                .map(|_| BinaryHv::random(Dim::new(d), &mut rng))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_model() {
+        for (k, d) in [(2, 64), (5, 100), (26, 1000), (3, 10_000)] {
+            let model = random_model(k, d, k as u64);
+            let mut buf = Vec::new();
+            write_model(&model, &mut buf).unwrap();
+            let loaded = read_model(buf.as_slice()).unwrap();
+            assert_eq!(loaded, model, "roundtrip failed for K={k}, D={d}");
+        }
+    }
+
+    #[test]
+    fn header_size_is_as_documented() {
+        let model = random_model(2, 64, 1);
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).unwrap();
+        assert_eq!(buf.len(), 28 + 2 * 8);
+    }
+
+    #[test]
+    fn rejects_corrupted_files() {
+        let model = random_model(2, 128, 2);
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).unwrap();
+
+        // bad magic
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_model(bad.as_slice()),
+            Err(LehdcError::ModelFormat(_))
+        ));
+
+        // bad version
+        let mut bad = buf.clone();
+        bad[8] = 99;
+        assert!(read_model(bad.as_slice()).is_err());
+
+        // truncated payload
+        let bad = &buf[..buf.len() - 3];
+        assert!(matches!(
+            read_model(bad),
+            Err(LehdcError::ModelFormat(msg)) if msg.contains("truncated")
+        ));
+
+        // empty
+        assert!(read_model(&[][..]).is_err());
+    }
+
+    #[test]
+    fn rejects_padding_bit_violations() {
+        // D=65 → second word may only use bit 0
+        let model = random_model(1, 65, 3);
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] |= 0x80; // set a padding bit
+        assert!(matches!(
+            read_model(buf.as_slice()),
+            Err(LehdcError::ModelFormat(msg)) if msg.contains("padding")
+        ));
+    }
+
+    #[test]
+    fn bundle_roundtrip_classifies_identically() {
+        let encoder = RecordEncoder::builder(Dim::new(512), 12)
+            .levels(8)
+            .seed(5)
+            .build()
+            .unwrap();
+        let model = random_model(3, 512, 6);
+        let bundle = ModelBundle {
+            model,
+            encoder,
+            normalizer: None,
+        };
+        let mut buf = Vec::new();
+        write_bundle(&bundle, &mut buf).unwrap();
+        let restored = read_bundle(buf.as_slice()).unwrap();
+        assert_eq!(restored.model, bundle.model);
+        // The regenerated encoder is bit-identical in behaviour.
+        let sample: Vec<f32> = (0..12).map(|i| i as f32 / 12.0).collect();
+        assert_eq!(
+            restored.classify(&sample).unwrap(),
+            bundle.classify(&sample).unwrap()
+        );
+        assert_eq!(
+            restored.encoder.encode(&sample).unwrap(),
+            bundle.encoder.encode(&sample).unwrap()
+        );
+    }
+
+    #[test]
+    fn bundle_persists_the_normalizer() {
+        let encoder = RecordEncoder::builder(Dim::new(256), 2)
+            .levels(8)
+            .seed(9)
+            .build()
+            .unwrap();
+        let normalizer = MinMaxNormalizer::from_parts(vec![-1.0, 0.0], vec![2.0, 10.0]).unwrap();
+        let bundle = ModelBundle {
+            model: random_model(2, 256, 9),
+            encoder,
+            normalizer: Some(normalizer),
+        };
+        let mut buf = Vec::new();
+        write_bundle(&bundle, &mut buf).unwrap();
+        let restored = read_bundle(buf.as_slice()).unwrap();
+        assert_eq!(restored.normalizer, bundle.normalizer);
+        // Raw (un-normalized) features classify identically through both.
+        let raw = [0.7f32, 4.2];
+        assert_eq!(
+            restored.classify(&raw).unwrap(),
+            bundle.classify(&raw).unwrap()
+        );
+    }
+
+    #[test]
+    fn bundle_rejects_normalizer_feature_mismatch() {
+        let encoder = RecordEncoder::builder(Dim::new(128), 3).seed(1).build().unwrap();
+        let bundle = ModelBundle {
+            model: random_model(2, 128, 1),
+            encoder,
+            normalizer: Some(MinMaxNormalizer::from_parts(vec![0.0], vec![1.0]).unwrap()),
+        };
+        let mut buf = Vec::new();
+        assert!(write_bundle(&bundle, &mut buf).is_err());
+    }
+
+    #[test]
+    fn bundle_rejects_mismatched_dimensions() {
+        let encoder = RecordEncoder::builder(Dim::new(256), 4).seed(1).build().unwrap();
+        let model = random_model(2, 512, 1); // D mismatch
+        let bundle = ModelBundle { model, encoder, normalizer: None };
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_bundle(&bundle, &mut buf),
+            Err(LehdcError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn bundle_rejects_model_file_as_bundle() {
+        let model = random_model(2, 64, 2);
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).unwrap();
+        assert!(matches!(
+            read_bundle(buf.as_slice()),
+            Err(LehdcError::ModelFormat(msg)) if msg.contains("magic")
+        ));
+    }
+
+    #[test]
+    fn encoded_corpus_roundtrips() {
+        use hdc::rng::rng_for;
+        let mut rng = rng_for(8, 8);
+        let d = Dim::new(130);
+        let hvs: Vec<BinaryHv> = (0..7).map(|_| BinaryHv::random(d, &mut rng)).collect();
+        let labels: Vec<usize> = (0..7).map(|i| i % 3).collect();
+        let encoded = crate::EncodedDataset::from_parts(hvs, labels, 3).unwrap();
+        let mut buf = Vec::new();
+        write_encoded(&encoded, &mut buf).unwrap();
+        let restored = read_encoded(buf.as_slice()).unwrap();
+        assert_eq!(restored.len(), encoded.len());
+        assert_eq!(restored.labels(), encoded.labels());
+        assert_eq!(restored.hvs(), encoded.hvs());
+        assert_eq!(restored.n_classes(), 3);
+
+        // corrupted inputs are rejected
+        assert!(read_encoded(&buf[..buf.len() - 1]).is_err());
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_encoded(bad.as_slice()).is_err());
+        // an out-of-range label is rejected by from_parts at load time
+        let mut bad = buf.clone();
+        bad[28] = 9; // first sample's label byte
+        assert!(read_encoded(bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("lehdc_model_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.lehdc");
+        let model = random_model(4, 2048, 4);
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded, model);
+        assert!(load_model(Path::new("/nonexistent/model.lehdc")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

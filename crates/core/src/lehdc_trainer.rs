@@ -1,0 +1,611 @@
+//! The LeHDC trainer: class hypervectors learned as the weights of an
+//! equivalent single-layer BNN (paper Sec. 4).
+//!
+//! Training follows the paper's recipe exactly:
+//!
+//! - the BNN input is the encoded sample `En(x) ∈ {-1, +1}^D` (bipolar);
+//! - the weight matrix `C ∈ {-1, +1}^{D×K}` is the binarization of a latent
+//!   real matrix `C_nb` (Eq. 8), updated with the straight-through
+//!   estimator;
+//! - the loss is softmax cross-entropy over the `K` outputs (Eq. 9) plus an
+//!   L2 penalty `λ/2‖C_nb‖²` (Eq. 10), optimized with **Adam**;
+//! - **dropout** on the input and **weight decay** fight the overfitting a
+//!   wide single layer is prone to (Fig. 5);
+//! - the learning rate decays when the training loss increases;
+//! - after training, `C = sgn(C_nb)` *is* the class-hypervector set — the
+//!   inference path is the unchanged binary HDC classifier.
+
+use binnet::{
+    softmax_cross_entropy, Adam, BatchSampler, BinaryLinear, Dropout, Optimizer, PlateauDecay,
+};
+use hdc::BinaryHv;
+
+use crate::encoded::EncodedDataset;
+use crate::error::LehdcError;
+use crate::history::{EpochRecord, TrainingHistory};
+use crate::model::HdcModel;
+
+/// LeHDC hyper-parameters (the paper's Table 2).
+///
+/// # Examples
+///
+/// ```
+/// let cfg = lehdc::LehdcConfig::for_benchmark("Fashion-MNIST");
+/// assert_eq!(cfg.weight_decay, 0.03);
+/// assert_eq!(cfg.learning_rate, 0.1);
+/// assert_eq!(cfg.batch_size, 256);
+/// assert_eq!(cfg.dropout, 0.3);
+/// assert_eq!(cfg.epochs, 200);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LehdcConfig {
+    /// L2 weight-decay coefficient `λ` (Table 2 "WD").
+    pub weight_decay: f32,
+    /// Adam learning rate (Table 2 "LR").
+    pub learning_rate: f32,
+    /// Mini-batch size (Table 2 "B").
+    pub batch_size: usize,
+    /// Input dropout rate (Table 2 "DR").
+    pub dropout: f32,
+    /// Training epochs (Table 2 "Epochs").
+    pub epochs: usize,
+    /// Multiply the LR by this factor whenever the training loss rises.
+    pub lr_decay: f32,
+    /// Warm-start the latent weights from the baseline class sums instead of
+    /// random initialization (keeps early epochs close to baseline HDC).
+    pub warm_start: bool,
+    /// RNG seed for initialization, batching, and dropout masks.
+    pub seed: u64,
+    /// Record train/test accuracy every `eval_every` epochs (1 = always).
+    pub eval_every: usize,
+    /// Optional validation-split early stopping — one of the "implicit
+    /// hyper-parameters" the paper's conclusion singles out (the ratio of
+    /// the validation set).
+    pub early_stopping: Option<EarlyStopping>,
+    /// Optional element-wise gradient clipping bound (a common BNN training
+    /// stabilizer alongside latent clipping; `None` = off).
+    pub grad_clip: Option<f32>,
+}
+
+/// Validation-split early-stopping policy for [`LehdcConfig`].
+///
+/// A `fraction` of the training samples is held out before training; after
+/// every epoch the binary model is evaluated on it, and training stops when
+/// `patience` consecutive epochs fail to improve the best validation
+/// accuracy. The returned model is the best-validation snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EarlyStopping {
+    /// Fraction of the training split held out for validation, in `(0, 1)`.
+    pub fraction: f32,
+    /// Number of non-improving epochs tolerated before stopping.
+    pub patience: usize,
+}
+
+impl Default for EarlyStopping {
+    fn default() -> Self {
+        EarlyStopping {
+            fraction: 0.1,
+            patience: 10,
+        }
+    }
+}
+
+impl Default for LehdcConfig {
+    fn default() -> Self {
+        LehdcConfig {
+            weight_decay: 0.05,
+            learning_rate: 0.01,
+            batch_size: 64,
+            dropout: 0.5,
+            epochs: 100,
+            lr_decay: 0.5,
+            warm_start: true,
+            seed: 0,
+            eval_every: 1,
+            early_stopping: None,
+            grad_clip: None,
+        }
+    }
+}
+
+impl LehdcConfig {
+    /// The per-dataset hyper-parameters of the paper's Table 2. Unknown
+    /// names get the MNIST/UCIHAR/ISOLET/PAMAP row (the paper's default).
+    #[must_use]
+    pub fn for_benchmark(name: &str) -> Self {
+        match name {
+            "Fashion-MNIST" => LehdcConfig {
+                weight_decay: 0.03,
+                learning_rate: 0.1,
+                batch_size: 256,
+                dropout: 0.3,
+                epochs: 200,
+                ..LehdcConfig::default()
+            },
+            "CIFAR-10" => LehdcConfig {
+                weight_decay: 0.03,
+                learning_rate: 0.001,
+                batch_size: 512,
+                dropout: 0.3,
+                epochs: 200,
+                ..LehdcConfig::default()
+            },
+            // MNIST, UCIHAR, ISOLET, PAMAP and anything else
+            _ => LehdcConfig::default(),
+        }
+    }
+
+    /// A laptop-scale preset: Table 2 rates with 25 epochs and batch 32.
+    #[must_use]
+    pub fn quick() -> Self {
+        LehdcConfig {
+            epochs: 25,
+            batch_size: 32,
+            ..LehdcConfig::default()
+        }
+    }
+
+    /// Scales the epoch count (for `--quick` experiment modes), keeping at
+    /// least one epoch.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs.max(1);
+        self
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables weight decay (Fig. 5 ablation).
+    #[must_use]
+    pub fn without_weight_decay(mut self) -> Self {
+        self.weight_decay = 0.0;
+        self
+    }
+
+    /// Disables dropout (Fig. 5 ablation).
+    #[must_use]
+    pub fn without_dropout(mut self) -> Self {
+        self.dropout = 0.0;
+        self
+    }
+
+    /// Enables validation-split early stopping.
+    #[must_use]
+    pub fn with_early_stopping(mut self, early_stopping: EarlyStopping) -> Self {
+        self.early_stopping = Some(early_stopping);
+        self
+    }
+
+    /// Enables element-wise gradient clipping at `±bound`.
+    #[must_use]
+    pub fn with_grad_clip(mut self, bound: f32) -> Self {
+        self.grad_clip = Some(bound);
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LehdcError::InvalidConfig`] for non-positive rates, a
+    /// dropout outside `[0, 1)`, or zero epochs/batch size.
+    pub fn validate(&self) -> Result<(), LehdcError> {
+        if self.epochs == 0 || self.batch_size == 0 || self.eval_every == 0 {
+            return Err(LehdcError::InvalidConfig(
+                "epochs, batch size, and eval_every must be non-zero".into(),
+            ));
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return Err(LehdcError::InvalidConfig(format!(
+                "learning rate must be positive, got {}",
+                self.learning_rate
+            )));
+        }
+        if !self.weight_decay.is_finite() || self.weight_decay < 0.0 {
+            return Err(LehdcError::InvalidConfig(format!(
+                "weight decay must be non-negative, got {}",
+                self.weight_decay
+            )));
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(LehdcError::InvalidConfig(format!(
+                "dropout must be in [0, 1), got {}",
+                self.dropout
+            )));
+        }
+        if !(0.0..1.0).contains(&self.lr_decay) || self.lr_decay == 0.0 {
+            return Err(LehdcError::InvalidConfig(format!(
+                "lr_decay must be in (0, 1), got {}",
+                self.lr_decay
+            )));
+        }
+        if let Some(bound) = self.grad_clip {
+            if !bound.is_finite() || bound <= 0.0 {
+                return Err(LehdcError::InvalidConfig(format!(
+                    "grad_clip bound must be positive and finite, got {bound}"
+                )));
+            }
+        }
+        if let Some(es) = &self.early_stopping {
+            if !es.fraction.is_finite() || !(0.0..1.0).contains(&es.fraction) || es.fraction == 0.0
+            {
+                return Err(LehdcError::InvalidConfig(format!(
+                    "early-stopping fraction must be in (0, 1), got {}",
+                    es.fraction
+                )));
+            }
+            if es.patience == 0 {
+                return Err(LehdcError::InvalidConfig(
+                    "early-stopping patience must be non-zero".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Trains class hypervectors with the LeHDC equivalent-BNN recipe.
+///
+/// Returns the binary HDC model (`C = sgn(C_nb)`) and the per-epoch
+/// training trajectory. When `test` is given, test accuracy is evaluated
+/// with the *binary* model via the standard Hamming-distance inference path
+/// — exactly what would run on deployment hardware.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] for an invalid configuration, or a
+/// class with no samples when `warm_start` is enabled.
+pub fn train_lehdc(
+    train: &EncodedDataset,
+    test: Option<&EncodedDataset>,
+    config: &LehdcConfig,
+) -> Result<(HdcModel, TrainingHistory), LehdcError> {
+    config.validate()?;
+    let d = train.dim().get();
+    let k = train.n_classes();
+
+    // Carve a validation split off the training samples when early stopping
+    // is requested; otherwise fit on everything.
+    let all_indices: Vec<usize> = (0..train.len()).collect();
+    let (fit_indices, val_indices): (Vec<usize>, Vec<usize>) = match &config.early_stopping {
+        Some(es) => {
+            use rand::seq::SliceRandom;
+            let mut order = all_indices.clone();
+            let mut rng = hdc::rng::rng_for(config.seed, 0xE5_011);
+            order.shuffle(&mut rng);
+            let n_val = ((train.len() as f32 * es.fraction) as usize)
+                .clamp(1, train.len().saturating_sub(1));
+            let (val, fit) = order.split_at(n_val);
+            (fit.to_vec(), val.to_vec())
+        }
+        None => (all_indices, Vec::new()),
+    };
+
+    let mut layer = if config.warm_start {
+        // Initialize C_nb from the class sums over the fitting samples,
+        // normalized into the latent range so Adam's early steps can still
+        // flip bits.
+        let mut sums = vec![hdc::RealHv::zeros(train.dim()); k];
+        let mut counts = vec![0usize; k];
+        for &i in &fit_indices {
+            let (hv, label) = train.sample(i);
+            sums[label].add_scaled(hv, 1.0);
+            counts[label] += 1;
+        }
+        if let Some(empty) = counts.iter().position(|&c| c == 0) {
+            return Err(LehdcError::InvalidConfig(format!(
+                "class {empty} has no training samples after the validation split"
+            )));
+        }
+        let scale = 0.05 / (fit_indices.len() as f32 / k as f32).max(1.0);
+        BinaryLinear::with_init(d, k, |r, c| sums[c].values()[r] * scale)
+    } else {
+        BinaryLinear::new(d, k, hdc::rng::derive_seed(config.seed, 0x1417))
+    };
+
+    let mut opt = Adam::new(config.learning_rate).weight_decay(config.weight_decay);
+    let mut dropout = Dropout::new(config.dropout, hdc::rng::derive_seed(config.seed, 0xD40))?;
+    let mut sched = PlateauDecay::new(config.lr_decay, 1e-6)?;
+    let sampler = BatchSampler::new(
+        fit_indices.len(),
+        config.batch_size.min(fit_indices.len()),
+        hdc::rng::derive_seed(config.seed, 0xBA7C),
+    )?;
+    let mut history = TrainingHistory::new();
+
+    let accuracy_on = |model: &HdcModel, indices: &[usize]| -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        let correct = indices
+            .iter()
+            .filter(|&&i| {
+                let (hv, label) = train.sample(i);
+                model.classify(hv) == label
+            })
+            .count();
+        correct as f64 / indices.len() as f64
+    };
+
+    let mut best: Option<(f64, HdcModel)> = None;
+    let mut stale_epochs = 0usize;
+
+    for epoch in 0..config.epochs {
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for batch_positions in sampler.epoch(epoch) {
+            let batch_indices: Vec<usize> =
+                batch_positions.iter().map(|&p| fit_indices[p]).collect();
+            let (mut x, labels) = train.batch(&batch_indices);
+            dropout.apply(&mut x);
+            let logits = layer.forward(&x);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &labels)?;
+            let mut grad = layer.backward(&x, &dlogits);
+            if let Some(bound) = config.grad_clip {
+                grad.map_inplace(|v| v.clamp(-bound, bound));
+            }
+            layer.apply_gradient(&grad, &mut opt);
+            epoch_loss += loss;
+            batches += 1;
+        }
+        let mean_loss = epoch_loss / batches.max(1) as f64;
+        let lr = sched.observe(mean_loss, opt.learning_rate());
+        opt.set_learning_rate(lr);
+
+        let last_epoch = epoch + 1 == config.epochs;
+        let early = config.early_stopping.as_ref();
+        let mut stop = false;
+        let mut val_accuracy = None;
+
+        if let Some(es) = early {
+            let model = model_from_layer(&layer, k)?;
+            let acc = accuracy_on(&model, &val_indices);
+            val_accuracy = Some(acc);
+            match &best {
+                Some((best_acc, _)) if acc <= *best_acc => {
+                    stale_epochs += 1;
+                    if stale_epochs >= es.patience {
+                        stop = true;
+                    }
+                }
+                _ => {
+                    best = Some((acc, model));
+                    stale_epochs = 0;
+                }
+            }
+        }
+
+        if epoch % config.eval_every == 0 || last_epoch || stop {
+            let model = model_from_layer(&layer, k)?;
+            history.push(EpochRecord {
+                epoch,
+                train_accuracy: model.accuracy(train.hvs(), train.labels()),
+                test_accuracy: test.map(|t| model.accuracy(t.hvs(), t.labels())),
+                validation_accuracy: val_accuracy,
+                loss: Some(mean_loss),
+                learning_rate: Some(lr),
+            });
+        }
+        if stop {
+            break;
+        }
+    }
+
+    let final_model = match best {
+        Some((_, model)) => model, // best-validation snapshot
+        None => model_from_layer(&layer, k)?,
+    };
+    Ok((final_model, history))
+}
+
+/// Extracts the binary HDC model from the layer's sign weights.
+fn model_from_layer(layer: &BinaryLinear, k: usize) -> Result<HdcModel, LehdcError> {
+    let d = layer.d_in();
+    let hvs: Vec<BinaryHv> = (0..k)
+        .map(|c| {
+            let col = layer.binary_column(c);
+            BinaryHv::from_fn(hdc::Dim::new(d), |i| col[i] > 0.0)
+        })
+        .collect();
+    HdcModel::new(hvs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::train_baseline;
+    use crate::retrain::{train_retraining, RetrainConfig};
+    use crate::test_util::multimodal_corpus;
+
+    #[test]
+    fn config_presets_match_table2() {
+        let mnist = LehdcConfig::for_benchmark("MNIST");
+        assert_eq!(
+            (mnist.weight_decay, mnist.learning_rate, mnist.batch_size, mnist.dropout, mnist.epochs),
+            (0.05, 0.01, 64, 0.5, 100)
+        );
+        let cifar = LehdcConfig::for_benchmark("CIFAR-10");
+        assert_eq!(
+            (cifar.weight_decay, cifar.learning_rate, cifar.batch_size, cifar.dropout, cifar.epochs),
+            (0.03, 0.001, 512, 0.3, 200)
+        );
+        for name in ["UCIHAR", "ISOLET", "PAMAP", "anything-else"] {
+            assert_eq!(LehdcConfig::for_benchmark(name), LehdcConfig::default());
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(LehdcConfig::default().validate().is_ok());
+        assert!(LehdcConfig {
+            epochs: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(LehdcConfig {
+            dropout: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(LehdcConfig {
+            learning_rate: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(LehdcConfig {
+            weight_decay: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(LehdcConfig {
+            lr_decay: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn lehdc_beats_baseline_and_retraining_on_hard_data() {
+        let (train, test) = crate::test_util::hard_encoded_pair(31);
+        let baseline = train_baseline(&train, 0).unwrap();
+        let (retrained, _) = train_retraining(&train, None, &RetrainConfig::quick()).unwrap();
+        let cfg = LehdcConfig {
+            epochs: 25,
+            batch_size: 32,
+            learning_rate: 0.01,
+            weight_decay: 0.01,
+            dropout: 0.2,
+            ..LehdcConfig::default()
+        };
+        let (learned, history) = train_lehdc(&train, Some(&test), &cfg).unwrap();
+        let base = baseline.accuracy(test.hvs(), test.labels());
+        let re = retrained.accuracy(test.hvs(), test.labels());
+        let le = learned.accuracy(test.hvs(), test.labels());
+        assert!(le > base, "lehdc {le} must beat baseline {base}");
+        assert!(le >= re - 0.02, "lehdc {le} should match/beat retraining {re}");
+        assert_eq!(history.len(), 25);
+        assert!(history.records().iter().all(|r| r.loss.is_some()));
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let (train, _) = crate::test_util::hard_encoded_pair(32);
+        let cfg = LehdcConfig::quick().with_epochs(15);
+        let (_, history) = train_lehdc(&train, None, &cfg).unwrap();
+        let losses: Vec<f64> = history.records().iter().filter_map(|r| r.loss).collect();
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "loss should fall: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn lehdc_is_seed_reproducible() {
+        let train = multimodal_corpus(2, 5, 256, 40, 33);
+        let cfg = LehdcConfig::quick().with_epochs(5).with_seed(7);
+        let (a, _) = train_lehdc(&train, None, &cfg).unwrap();
+        let (b, _) = train_lehdc(&train, None, &cfg).unwrap();
+        assert_eq!(a, b);
+        let (c, _) = train_lehdc(&train, None, &cfg.clone().with_seed(8)).unwrap();
+        assert!(a != c || a.n_classes() == 2, "different seeds usually differ");
+    }
+
+    #[test]
+    fn cold_start_also_trains() {
+        let train = multimodal_corpus(2, 8, 256, 30, 34);
+        let cfg = LehdcConfig {
+            warm_start: false,
+            epochs: 15,
+            batch_size: 8,
+            dropout: 0.1,
+            weight_decay: 0.001,
+            ..LehdcConfig::default()
+        };
+        let (model, _) = train_lehdc(&train, None, &cfg).unwrap();
+        assert!(model.accuracy(train.hvs(), train.labels()) > 0.6);
+    }
+
+    #[test]
+    fn eval_every_thins_the_history() {
+        let train = multimodal_corpus(2, 4, 128, 20, 35);
+        let cfg = LehdcConfig {
+            epochs: 10,
+            eval_every: 4,
+            batch_size: 8,
+            ..LehdcConfig::default()
+        };
+        let (_, history) = train_lehdc(&train, None, &cfg).unwrap();
+        // epochs 0, 4, 8, and the final epoch 9
+        assert_eq!(history.len(), 4);
+        assert_eq!(history.records().last().unwrap().epoch, 9);
+    }
+
+    #[test]
+    fn early_stopping_halts_and_returns_best_snapshot() {
+        let (train, test) = crate::test_util::hard_encoded_pair(36);
+        let cfg = LehdcConfig::quick()
+            .with_epochs(40)
+            .with_early_stopping(EarlyStopping {
+                fraction: 0.2,
+                patience: 3,
+            });
+        let (model, history) = train_lehdc(&train, Some(&test), &cfg).unwrap();
+        // validation accuracy was tracked
+        assert!(history
+            .records()
+            .iter()
+            .any(|r| r.validation_accuracy.is_some()));
+        // the returned snapshot is a working classifier
+        assert!(model.accuracy(test.hvs(), test.labels()) > 0.2);
+        // patience 3 on 40 epochs almost always stops early; at minimum the
+        // history cannot exceed the epoch budget
+        assert!(history.len() <= 40);
+    }
+
+    #[test]
+    fn early_stopping_config_is_validated() {
+        let es_bad_fraction = LehdcConfig::default().with_early_stopping(EarlyStopping {
+            fraction: 0.0,
+            patience: 3,
+        });
+        assert!(es_bad_fraction.validate().is_err());
+        let es_bad_patience = LehdcConfig::default().with_early_stopping(EarlyStopping {
+            fraction: 0.5,
+            patience: 0,
+        });
+        assert!(es_bad_patience.validate().is_err());
+        let es_ok = LehdcConfig::default().with_early_stopping(EarlyStopping::default());
+        assert!(es_ok.validate().is_ok());
+    }
+
+    #[test]
+    fn grad_clip_validates_and_trains() {
+        assert!(LehdcConfig::default().with_grad_clip(0.0).validate().is_err());
+        assert!(LehdcConfig::default()
+            .with_grad_clip(f32::NAN)
+            .validate()
+            .is_err());
+        let train = multimodal_corpus(2, 6, 256, 30, 37);
+        let cfg = LehdcConfig::quick().with_epochs(8).with_grad_clip(0.01);
+        let (model, _) = train_lehdc(&train, None, &cfg).unwrap();
+        assert!(model.accuracy(train.hvs(), train.labels()) > 0.6);
+    }
+
+    #[test]
+    fn ablation_helpers_zero_the_right_fields() {
+        let cfg = LehdcConfig::default().without_dropout().without_weight_decay();
+        assert_eq!(cfg.dropout, 0.0);
+        assert_eq!(cfg.weight_decay, 0.0);
+        assert!(cfg.validate().is_ok());
+    }
+}

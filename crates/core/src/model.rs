@@ -1,0 +1,435 @@
+//! The HDC classifier models produced by every training strategy.
+
+use hdc::{BinaryHv, Dim, RealHv};
+
+use crate::error::LehdcError;
+
+/// A binary HDC classifier: one class hypervector per class, classifying by
+/// minimum Hamming distance (equivalently maximum `En(x)ᵀc_k`, paper Eq. 6).
+///
+/// Every training strategy in this crate — baseline, retraining, enhanced,
+/// adaptive, multi-model (after collapse), and LeHDC — produces this same
+/// type, so inference latency and storage are identical across strategies.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{BinaryHv, Dim};
+/// use lehdc::HdcModel;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), lehdc::LehdcError> {
+/// let d = Dim::new(512);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let c0 = BinaryHv::random(d, &mut rng);
+/// let c1 = BinaryHv::random(d, &mut rng);
+/// let model = HdcModel::new(vec![c0.clone(), c1])?;
+/// assert_eq!(model.classify(&c0), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdcModel {
+    class_hvs: Vec<BinaryHv>,
+    dim: Dim,
+}
+
+impl HdcModel {
+    /// Creates a model from one hypervector per class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LehdcError::InvalidConfig`] if no class hypervectors are
+    /// given or their dimensions disagree.
+    pub fn new(class_hvs: Vec<BinaryHv>) -> Result<Self, LehdcError> {
+        let first = class_hvs
+            .first()
+            .ok_or_else(|| LehdcError::InvalidConfig("model needs at least one class".into()))?;
+        let dim = first.dim();
+        if let Some(bad) = class_hvs.iter().find(|hv| hv.dim() != dim) {
+            return Err(LehdcError::InvalidConfig(format!(
+                "class hypervector dimensions disagree: {} vs {}",
+                dim,
+                bad.dim()
+            )));
+        }
+        Ok(HdcModel { class_hvs, dim })
+    }
+
+    /// The hypervector dimensionality `D`.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Number of classes `K`.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.class_hvs.len()
+    }
+
+    /// The class hypervectors in class order.
+    #[must_use]
+    pub fn class_hvs(&self) -> &[BinaryHv] {
+        &self.class_hvs
+    }
+
+    /// The similarity scores `En(x)ᵀ c_k` for every class (higher = more
+    /// similar).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the model's.
+    #[must_use]
+    pub fn similarities(&self, query: &BinaryHv) -> Vec<i64> {
+        self.class_hvs.iter().map(|c| query.dot(c)).collect()
+    }
+
+    /// Classifies a query hypervector: the class with the smallest Hamming
+    /// distance (paper Eq. 4). Ties resolve to the lowest class index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the model's.
+    #[must_use]
+    pub fn classify(&self, query: &BinaryHv) -> usize {
+        let mut best = (i64::MIN, 0usize);
+        for (k, c) in self.class_hvs.iter().enumerate() {
+            let dot = query.dot(c);
+            if dot > best.0 {
+                best = (dot, k);
+            }
+        }
+        best.1
+    }
+
+    /// Classifies a batch of queries.
+    #[must_use]
+    pub fn classify_all(&self, queries: &[BinaryHv]) -> Vec<usize> {
+        queries.iter().map(|q| self.classify(q)).collect()
+    }
+
+    /// Classifies and reports the **margin**: the cosine-similarity gap
+    /// between the winning class and the runner-up, in `[0, 2]`.
+    ///
+    /// The paper's Sec. 3.2 limitation ② is exactly about small margins —
+    /// "the sample is very close to the classification border" — so exposing
+    /// the margin lets callers flag low-confidence predictions. A model with
+    /// a single class reports the maximum margin `2.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the model's.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use hdc::{BinaryHv, Dim};
+    /// # use rand::SeedableRng;
+    /// # fn main() -> Result<(), lehdc::LehdcError> {
+    /// # let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    /// # let c0 = BinaryHv::random(Dim::new(512), &mut rng);
+    /// # let c1 = BinaryHv::random(Dim::new(512), &mut rng);
+    /// let model = lehdc::HdcModel::new(vec![c0.clone(), c1])?;
+    /// let (class, margin) = model.classify_with_margin(&c0);
+    /// assert_eq!(class, 0);
+    /// assert!(margin > 0.5); // an exact class hypervector is far from the border
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn classify_with_margin(&self, query: &BinaryHv) -> (usize, f64) {
+        let sims = self.similarities(query);
+        let mut best = (i64::MIN, 0usize);
+        let mut second = i64::MIN;
+        for (k, &dot) in sims.iter().enumerate() {
+            if dot > best.0 {
+                second = best.0;
+                best = (dot, k);
+            } else if dot > second {
+                second = dot;
+            }
+        }
+        let margin = if second == i64::MIN {
+            2.0
+        } else {
+            (best.0 - second) as f64 / self.dim.get() as f64
+        };
+        (best.1, margin)
+    }
+
+    /// Shrinks the model to its first `new_dim` dimensions.
+    ///
+    /// Because HDC spreads information evenly across dimensions, truncation
+    /// trades accuracy for storage along the same curve as training at a
+    /// smaller `D` (paper Fig. 6) — without retraining. Queries must be
+    /// encoded with a correspondingly truncated encoder.
+    ///
+    /// # Errors
+    ///
+    /// This method is infallible for `new_dim <= D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_dim > D`.
+    #[must_use]
+    pub fn truncated(&self, new_dim: Dim) -> HdcModel {
+        HdcModel {
+            class_hvs: self.class_hvs.iter().map(|hv| hv.truncated(new_dim)).collect(),
+            dim: new_dim,
+        }
+    }
+
+    /// Accuracy on encoded samples with known labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    #[must_use]
+    pub fn accuracy(&self, queries: &[BinaryHv], labels: &[usize]) -> f64 {
+        assert_eq!(queries.len(), labels.len(), "one label per query required");
+        assert!(!queries.is_empty(), "empty query set has no accuracy");
+        let correct = queries
+            .iter()
+            .zip(labels)
+            .filter(|(q, &y)| self.classify(q) == y)
+            .count();
+        correct as f64 / queries.len() as f64
+    }
+}
+
+/// A non-binary HDC classifier: real-valued class hypervectors with cosine
+/// similarity (paper Sec. 3.1 remark: equivalent to a single-layer
+/// perceptron).
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{BinaryHv, Dim, RealHv};
+/// use lehdc::NonBinaryModel;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), lehdc::LehdcError> {
+/// let d = Dim::new(256);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let proto = BinaryHv::random(d, &mut rng);
+/// let other = BinaryHv::random(d, &mut rng);
+/// let model = NonBinaryModel::new(vec![
+///     RealHv::from_binary(&proto),
+///     RealHv::from_binary(&other),
+/// ])?;
+/// assert_eq!(model.classify(&proto), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonBinaryModel {
+    class_hvs: Vec<RealHv>,
+    dim: Dim,
+}
+
+impl NonBinaryModel {
+    /// Creates a model from one real hypervector per class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LehdcError::InvalidConfig`] if no class hypervectors are
+    /// given or their dimensions disagree.
+    pub fn new(class_hvs: Vec<RealHv>) -> Result<Self, LehdcError> {
+        let first = class_hvs
+            .first()
+            .ok_or_else(|| LehdcError::InvalidConfig("model needs at least one class".into()))?;
+        let dim = first.dim();
+        if let Some(bad) = class_hvs.iter().find(|hv| hv.dim() != dim) {
+            return Err(LehdcError::InvalidConfig(format!(
+                "class hypervector dimensions disagree: {} vs {}",
+                dim,
+                bad.dim()
+            )));
+        }
+        Ok(NonBinaryModel { class_hvs, dim })
+    }
+
+    /// The hypervector dimensionality `D`.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Number of classes `K`.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.class_hvs.len()
+    }
+
+    /// The class hypervectors in class order.
+    #[must_use]
+    pub fn class_hvs(&self) -> &[RealHv] {
+        &self.class_hvs
+    }
+
+    /// Classifies by maximum cosine similarity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the model's.
+    #[must_use]
+    pub fn classify(&self, query: &BinaryHv) -> usize {
+        let mut best = (f64::NEG_INFINITY, 0usize);
+        for (k, c) in self.class_hvs.iter().enumerate() {
+            let cos = c.cosine_binary(query);
+            if cos > best.0 {
+                best = (cos, k);
+            }
+        }
+        best.1
+    }
+
+    /// Accuracy on encoded samples with known labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    #[must_use]
+    pub fn accuracy(&self, queries: &[BinaryHv], labels: &[usize]) -> f64 {
+        assert_eq!(queries.len(), labels.len(), "one label per query required");
+        assert!(!queries.is_empty(), "empty query set has no accuracy");
+        let correct = queries
+            .iter()
+            .zip(labels)
+            .filter(|(q, &y)| self.classify(q) == y)
+            .count();
+        correct as f64 / queries.len() as f64
+    }
+
+    /// Binarizes into an [`HdcModel`] via `sgn` (paper Eq. 8 convention).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LehdcError::InvalidConfig`] (cannot occur for a valid
+    /// model).
+    pub fn to_binary(&self) -> Result<HdcModel, LehdcError> {
+        HdcModel::new(self.class_hvs.iter().map(RealHv::sign).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::rng_for;
+
+    fn random_model(k: usize, d: usize) -> (HdcModel, Vec<BinaryHv>) {
+        let mut rng = rng_for(3, 1);
+        let hvs: Vec<BinaryHv> = (0..k)
+            .map(|_| BinaryHv::random(Dim::new(d), &mut rng))
+            .collect();
+        (HdcModel::new(hvs.clone()).unwrap(), hvs)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(HdcModel::new(vec![]).is_err());
+        let mut rng = rng_for(0, 0);
+        let a = BinaryHv::random(Dim::new(64), &mut rng);
+        let b = BinaryHv::random(Dim::new(65), &mut rng);
+        assert!(HdcModel::new(vec![a, b]).is_err());
+        assert!(NonBinaryModel::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn classify_recovers_exact_class_hvs() {
+        let (model, hvs) = random_model(5, 1024);
+        for (k, hv) in hvs.iter().enumerate() {
+            assert_eq!(model.classify(hv), k);
+        }
+    }
+
+    #[test]
+    fn classify_tolerates_noise() {
+        let (model, hvs) = random_model(4, 2048);
+        let mut rng = rng_for(9, 9);
+        for (k, hv) in hvs.iter().enumerate() {
+            let mut noisy = hv.clone();
+            for _ in 0..400 {
+                // flip ~20% of bits
+                noisy.flip(rand::RngExt::random_range(&mut rng, 0..2048));
+            }
+            assert_eq!(model.classify(&noisy), k);
+        }
+    }
+
+    #[test]
+    fn similarities_match_dot_products() {
+        let (model, hvs) = random_model(3, 256);
+        let sims = model.similarities(&hvs[1]);
+        assert_eq!(sims[1], 256);
+        assert_eq!(sims.len(), 3);
+        assert!(sims[0] < 256 && sims[2] < 256);
+    }
+
+    #[test]
+    fn accuracy_is_fraction_correct() {
+        let (model, hvs) = random_model(2, 512);
+        let acc = model.accuracy(&[hvs[0].clone(), hvs[1].clone()], &[0, 0]);
+        assert!((acc - 0.5).abs() < 1e-12);
+        assert_eq!(model.classify_all(&hvs), vec![0, 1]);
+    }
+
+    #[test]
+    fn margin_is_small_near_the_border_and_large_at_prototypes() {
+        let (model, hvs) = random_model(2, 2048);
+        // exact prototype → large margin
+        let (class, margin) = model.classify_with_margin(&hvs[0]);
+        assert_eq!(class, 0);
+        assert!(margin > 0.5, "prototype margin {margin}");
+        // a vector equidistant from both class hvs → tiny margin
+        let mut border = hvs[0].clone();
+        let mut flipped = 0;
+        for i in 0..2048 {
+            if hvs[0].get(i) != hvs[1].get(i) {
+                // flip half of the disagreeing bits toward class 1
+                if flipped % 2 == 0 {
+                    border.flip(i);
+                }
+                flipped += 1;
+            }
+        }
+        let (_, border_margin) = model.classify_with_margin(&border);
+        assert!(
+            border_margin < 0.01,
+            "border margin {border_margin} should be near zero"
+        );
+    }
+
+    #[test]
+    fn single_class_margin_is_maximal() {
+        let (model, hvs) = random_model(1, 64);
+        assert_eq!(model.classify_with_margin(&hvs[0]), (0, 2.0));
+    }
+
+    #[test]
+    fn truncated_model_still_classifies_truncated_queries() {
+        let (model, hvs) = random_model(4, 4096);
+        let small = model.truncated(Dim::new(1024));
+        assert_eq!(small.dim(), Dim::new(1024));
+        assert_eq!(small.n_classes(), 4);
+        for (k, hv) in hvs.iter().enumerate() {
+            let q = hv.truncated(Dim::new(1024));
+            assert_eq!(small.classify(&q), k, "class {k} after truncation");
+        }
+    }
+
+    #[test]
+    fn nonbinary_matches_binary_when_weights_are_bipolar() {
+        let (bin_model, hvs) = random_model(4, 512);
+        let nb = NonBinaryModel::new(hvs.iter().map(RealHv::from_binary).collect()).unwrap();
+        let mut rng = rng_for(11, 2);
+        for _ in 0..20 {
+            let q = BinaryHv::random(Dim::new(512), &mut rng);
+            assert_eq!(nb.classify(&q), bin_model.classify(&q));
+        }
+        assert_eq!(nb.to_binary().unwrap(), bin_model);
+        assert_eq!(nb.n_classes(), 4);
+        assert_eq!(nb.dim(), Dim::new(512));
+    }
+}

@@ -1,0 +1,391 @@
+//! Multi-model HDC (SearcHD, ref \[8\]): several class hypervectors per class
+//! with stochastic bit-flip training.
+//!
+//! SearcHD keeps `n` binary hypervectors per class (the paper's evaluation
+//! uses 64). Training is fully binary: for each misclassified sample, the
+//! best-matching hypervector of the *wrong* predicted class has the bits on
+//! which it agrees with the sample flipped away with a probability
+//! proportional to their distance, while the best-matching hypervector of
+//! the *true* class has disagreeing bits flipped toward the sample. At
+//! inference, the class of the most similar of all `K·n` hypervectors wins.
+//!
+//! The paper's Table 1 shows this strategy is memory-hungry (n× storage) and
+//! collapses when training data is scarce relative to the number of models
+//! (CIFAR-10, ISOLET) — behaviour this implementation reproduces.
+
+use hdc::item_memory::random_codebook;
+use hdc::rng::rng_for;
+use hdc::{Accumulator, BinaryHv};
+use rand::RngExt;
+
+use crate::encoded::EncodedDataset;
+use crate::error::LehdcError;
+use crate::history::{EpochRecord, TrainingHistory};
+use crate::model::HdcModel;
+
+/// Configuration of multi-model (SearcHD) training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiModelConfig {
+    /// Hypervectors per class (the paper uses 64).
+    pub models_per_class: usize,
+    /// Number of full passes over the training set.
+    pub iterations: usize,
+    /// Base bit-flip probability scale.
+    pub flip_rate: f32,
+    /// RNG seed for initialization and stochastic flips.
+    pub seed: u64,
+}
+
+impl Default for MultiModelConfig {
+    fn default() -> Self {
+        MultiModelConfig {
+            models_per_class: 64,
+            iterations: 30,
+            flip_rate: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl MultiModelConfig {
+    /// A laptop-scale preset (8 models per class, 10 iterations).
+    #[must_use]
+    pub fn quick() -> Self {
+        MultiModelConfig {
+            models_per_class: 8,
+            iterations: 10,
+            ..MultiModelConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LehdcError::InvalidConfig`] if any count is zero or the
+    /// flip rate is outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), LehdcError> {
+        if self.models_per_class == 0 || self.iterations == 0 {
+            return Err(LehdcError::InvalidConfig(
+                "models per class and iterations must be non-zero".into(),
+            ));
+        }
+        if !self.flip_rate.is_finite() || self.flip_rate <= 0.0 || self.flip_rate > 1.0 {
+            return Err(LehdcError::InvalidConfig(format!(
+                "flip rate must be in (0, 1], got {}",
+                self.flip_rate
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A trained multi-model HDC classifier: `K × n` binary hypervectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiModel {
+    // models[k] holds the n hypervectors of class k
+    models: Vec<Vec<BinaryHv>>,
+}
+
+impl MultiModel {
+    /// Number of classes `K`.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Hypervectors per class `n`.
+    #[must_use]
+    pub fn models_per_class(&self) -> usize {
+        self.models.first().map_or(0, Vec::len)
+    }
+
+    /// The hypervectors of class `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn class_models(&self, k: usize) -> &[BinaryHv] {
+        &self.models[k]
+    }
+
+    /// Classifies by the most similar of all `K·n` hypervectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the models'.
+    #[must_use]
+    pub fn classify(&self, query: &BinaryHv) -> usize {
+        self.best_match(query).0
+    }
+
+    /// Accuracy on encoded samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    #[must_use]
+    pub fn accuracy(&self, queries: &[BinaryHv], labels: &[usize]) -> f64 {
+        assert_eq!(queries.len(), labels.len(), "one label per query required");
+        assert!(!queries.is_empty(), "empty query set has no accuracy");
+        let correct = queries
+            .iter()
+            .zip(labels)
+            .filter(|(q, &y)| self.classify(q) == y)
+            .count();
+        correct as f64 / queries.len() as f64
+    }
+
+    /// Collapses to a single-hypervector-per-class [`HdcModel`] by majority
+    /// voting each class's models (for storage-parity comparisons).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LehdcError::InvalidConfig`] (cannot occur for a trained
+    /// model).
+    pub fn collapse(&self, seed: u64) -> Result<HdcModel, LehdcError> {
+        let mut rng = rng_for(seed, 0xC0_11A5);
+        let hvs = self
+            .models
+            .iter()
+            .map(|class| {
+                let mut acc = Accumulator::new(class[0].dim());
+                for hv in class {
+                    acc.add(hv);
+                }
+                acc.threshold(&mut rng)
+            })
+            .collect();
+        HdcModel::new(hvs)
+    }
+
+    /// `(class, model index, dot)` of the globally best-matching hypervector.
+    fn best_match(&self, query: &BinaryHv) -> (usize, usize, i64) {
+        let mut best = (0usize, 0usize, i64::MIN);
+        for (k, class) in self.models.iter().enumerate() {
+            for (m, hv) in class.iter().enumerate() {
+                let dot = query.dot(hv);
+                if dot > best.2 {
+                    best = (k, m, dot);
+                }
+            }
+        }
+        best
+    }
+
+    /// Best-matching model index within one class.
+    fn best_in_class(&self, query: &BinaryHv, k: usize) -> usize {
+        let mut best = (0usize, i64::MIN);
+        for (m, hv) in self.models[k].iter().enumerate() {
+            let dot = query.dot(hv);
+            if dot > best.1 {
+                best = (m, dot);
+            }
+        }
+        best.0
+    }
+}
+
+/// Trains a multi-model HDC classifier with SearcHD-style stochastic
+/// binary updates.
+///
+/// Initialization bundles a random partition of each class's samples into
+/// its `n` models (falling back to random hypervectors when a class has
+/// fewer samples than models — the data-starvation regime in which the
+/// paper observes multi-model falling below the baseline).
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] for an invalid configuration.
+pub fn train_multimodel(
+    train: &EncodedDataset,
+    test: Option<&EncodedDataset>,
+    config: &MultiModelConfig,
+) -> Result<(MultiModel, TrainingHistory), LehdcError> {
+    config.validate()?;
+    let k = train.n_classes();
+    let n = config.models_per_class;
+    let dim = train.dim();
+    let mut rng = rng_for(config.seed, 0x5EA_0C4D);
+
+    // Partition each class's samples round-robin into n buckets and bundle
+    // each bucket; empty buckets get random hypervectors.
+    let mut buckets: Vec<Vec<Accumulator>> = (0..k)
+        .map(|_| (0..n).map(|_| Accumulator::new(dim)).collect())
+        .collect();
+    let mut seen = vec![0usize; k];
+    for i in 0..train.len() {
+        let (hv, label) = train.sample(i);
+        buckets[label][seen[label] % n].add(hv);
+        seen[label] += 1;
+    }
+    let mut models: Vec<Vec<BinaryHv>> = Vec::with_capacity(k);
+    for class_buckets in &buckets {
+        let mut class_models = Vec::with_capacity(n);
+        for acc in class_buckets {
+            if acc.is_empty() {
+                class_models.extend(random_codebook(dim, 1, &mut rng));
+            } else {
+                class_models.push(acc.threshold(&mut rng));
+            }
+        }
+        models.push(class_models);
+    }
+    let mut model = MultiModel { models };
+    let mut history = TrainingHistory::new();
+    let d = dim.get();
+
+    for iter in 0..config.iterations {
+        let mut correct = 0usize;
+        for i in 0..train.len() {
+            let (hv, label) = train.sample(i);
+            let (pred_class, pred_model, pred_dot) = model.best_match(hv);
+            if pred_class == label {
+                correct += 1;
+                continue;
+            }
+            // Flip probability scales with the margin violation: how much
+            // more similar the wrong winner is than the best model of the
+            // true class. Near-ties get tiny, late-training updates.
+            let target = model.best_in_class(hv, label);
+            let label_dot = hv.dot(&model.models[label][target]);
+            let gap = (pred_dot - label_dot) as f32 / d as f32;
+            let p = (config.flip_rate * gap).clamp(0.0, 0.05);
+            // Push the wrong winner away: flip bits where it AGREES with H.
+            {
+                let wrong = &mut model.models[pred_class][pred_model];
+                for bit in 0..d {
+                    if wrong.get(bit) == hv.get(bit) && rng.random::<f32>() < p {
+                        wrong.flip(bit);
+                    }
+                }
+            }
+            // Pull the true class's best model toward H: flip disagreements.
+            {
+                let right = &mut model.models[label][target];
+                for bit in 0..d {
+                    if right.get(bit) != hv.get(bit) && rng.random::<f32>() < p {
+                        right.flip(bit);
+                    }
+                }
+            }
+        }
+        history.push(EpochRecord {
+            epoch: iter,
+            train_accuracy: correct as f64 / train.len() as f64,
+            test_accuracy: test.map(|t| model.accuracy(t.hvs(), t.labels())),
+            validation_accuracy: None,
+            loss: None,
+            learning_rate: Some(config.flip_rate),
+        });
+    }
+    Ok((model, history))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::train_baseline;
+    use crate::test_util::multimodal_corpus;
+
+    #[test]
+    fn config_validation() {
+        assert!(MultiModelConfig::default().validate().is_ok());
+        for bad in [
+            MultiModelConfig {
+                models_per_class: 0,
+                ..Default::default()
+            },
+            MultiModelConfig {
+                iterations: 0,
+                ..Default::default()
+            },
+            MultiModelConfig {
+                flip_rate: 0.0,
+                ..Default::default()
+            },
+            MultiModelConfig {
+                flip_rate: 1.5,
+                ..Default::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn multimodel_is_well_above_chance_on_hard_data() {
+        let (train, test) = crate::test_util::hard_encoded_pair(21);
+        let baseline = train_baseline(&train, 0).unwrap();
+        let cfg = MultiModelConfig {
+            models_per_class: 3,
+            iterations: 8,
+            flip_rate: 0.2,
+            seed: 3,
+        };
+        let (mm, history) = train_multimodel(&train, None, &cfg).unwrap();
+        let base_acc = baseline.accuracy(test.hvs(), test.labels());
+        let mm_acc = mm.accuracy(test.hvs(), test.labels());
+        // 10 classes → chance 0.1. With only ~50 samples per class the
+        // stochastic strategy may trail the baseline (the paper's CIFAR-10 /
+        // ISOLET observation) but must stay far above chance.
+        assert!(
+            mm_acc > 0.2,
+            "multi-model {mm_acc} is near chance (baseline was {base_acc})"
+        );
+        assert_eq!(history.len(), 8);
+        assert_eq!(mm.n_classes(), 10);
+        assert_eq!(mm.models_per_class(), 3);
+    }
+
+    #[test]
+    fn data_starved_multimodel_degrades() {
+        // Far fewer samples than models per class: most models stay random,
+        // and inference can be hijacked by them (the paper's ISOLET case).
+        let train = multimodal_corpus(4, 2, 512, 60, 22); // 4/class
+        let cfg = MultiModelConfig {
+            models_per_class: 32,
+            iterations: 3,
+            flip_rate: 0.5,
+            seed: 5,
+        };
+        let (mm, _) = train_multimodel(&train, None, &cfg).unwrap();
+        let few = mm.accuracy(train.hvs(), train.labels());
+        let cfg_fit = MultiModelConfig {
+            models_per_class: 2,
+            iterations: 3,
+            flip_rate: 0.5,
+            seed: 5,
+        };
+        let (mm_fit, _) = train_multimodel(&train, None, &cfg_fit).unwrap();
+        let fit = mm_fit.accuracy(train.hvs(), train.labels());
+        assert!(
+            few <= fit,
+            "oversized model bank ({few}) should not beat a fitted one ({fit})"
+        );
+    }
+
+    #[test]
+    fn collapse_produces_single_model() {
+        let train = multimodal_corpus(2, 6, 256, 30, 23);
+        let (mm, _) = train_multimodel(&train, None, &MultiModelConfig::quick()).unwrap();
+        let collapsed = mm.collapse(1).unwrap();
+        assert_eq!(collapsed.n_classes(), 2);
+        assert_eq!(collapsed.dim().get(), 256);
+    }
+
+    #[test]
+    fn training_is_seed_reproducible() {
+        let train = multimodal_corpus(2, 4, 128, 20, 24);
+        let cfg = MultiModelConfig {
+            models_per_class: 4,
+            iterations: 4,
+            flip_rate: 0.4,
+            seed: 9,
+        };
+        let (a, _) = train_multimodel(&train, None, &cfg).unwrap();
+        let (b, _) = train_multimodel(&train, None, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,288 @@
+//! The QuantHD retraining strategy (paper Sec. 2.2, Eq. 3, ref \[4\]).
+
+use hdc::RealHv;
+
+use crate::baseline::accumulate_class_sums;
+use crate::encoded::EncodedDataset;
+use crate::error::LehdcError;
+use crate::history::{EpochRecord, TrainingHistory};
+use crate::model::HdcModel;
+
+/// Configuration of the retraining strategy.
+///
+/// The defaults are the paper's evaluation settings: `α = 0.05`, `α = 1.5`
+/// in the first iteration, 150 iterations.
+///
+/// # Examples
+///
+/// ```
+/// let cfg = lehdc::RetrainConfig::default();
+/// assert_eq!(cfg.alpha, 0.05);
+/// assert_eq!(cfg.first_alpha, 1.5);
+/// assert_eq!(cfg.iterations, 150);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrainConfig {
+    /// Learning rate `α` of Eq. 3.
+    pub alpha: f32,
+    /// Learning rate used in the first iteration only.
+    pub first_alpha: f32,
+    /// Maximum number of full passes over the training set.
+    pub iterations: usize,
+    /// Optional convergence stop — the paper's Sec. 2.2: "the retraining
+    /// stops when the updating on class hypervectors is negligible".
+    /// Training ends early once the fraction of binary class-hypervector
+    /// bits that flipped in an iteration falls below this threshold.
+    pub convergence_threshold: Option<f64>,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> Self {
+        RetrainConfig {
+            alpha: 0.05,
+            first_alpha: 1.5,
+            iterations: 150,
+            convergence_threshold: None,
+        }
+    }
+}
+
+impl RetrainConfig {
+    /// A laptop-scale preset (30 iterations) for tests and quick runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        RetrainConfig {
+            iterations: 30,
+            ..RetrainConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LehdcError::InvalidConfig`] if `iterations == 0` or either
+    /// rate is non-positive or non-finite.
+    pub fn validate(&self) -> Result<(), LehdcError> {
+        if self.iterations == 0 {
+            return Err(LehdcError::InvalidConfig(
+                "retraining needs at least one iteration".into(),
+            ));
+        }
+        for (name, v) in [("alpha", self.alpha), ("first_alpha", self.first_alpha)] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(LehdcError::InvalidConfig(format!(
+                    "{name} must be positive and finite, got {v}"
+                )));
+            }
+        }
+        if let Some(t) = self.convergence_threshold {
+            if !t.is_finite() || !(0.0..1.0).contains(&t) {
+                return Err(LehdcError::InvalidConfig(format!(
+                    "convergence threshold must be in [0, 1), got {t}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Trains a binary HDC model with QuantHD-style retraining.
+///
+/// Starting from the baseline bundling (non-binary class sums), each
+/// iteration classifies every training sample with the current **binary**
+/// model; on a misclassification the **non-binary** class hypervectors are
+/// updated (Eq. 3):
+///
+/// ```text
+/// c⁺_nb ← c⁺_nb + α·En(x)    (true class)
+/// c⁻_nb ← c⁻_nb − α·En(x)    (predicted, wrong class)
+/// ```
+///
+/// and the binary model is refreshed from the signs after the pass. When
+/// `test` is given, test accuracy is logged per iteration (paper Fig. 3).
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] for an invalid configuration or a
+/// class with no training samples.
+pub fn train_retraining(
+    train: &EncodedDataset,
+    test: Option<&EncodedDataset>,
+    config: &RetrainConfig,
+) -> Result<(HdcModel, TrainingHistory), LehdcError> {
+    config.validate()?;
+    let mut nonbinary: Vec<RealHv> = accumulate_class_sums(train)?;
+    let mut model = binarize(&nonbinary)?;
+    let mut history = TrainingHistory::new();
+
+    for iter in 0..config.iterations {
+        let alpha = if iter == 0 {
+            config.first_alpha
+        } else {
+            config.alpha
+        };
+        let mut correct = 0usize;
+        for i in 0..train.len() {
+            let (hv, label) = train.sample(i);
+            let predicted = model.classify(hv);
+            if predicted == label {
+                correct += 1;
+            } else {
+                nonbinary[label].add_scaled(hv, alpha);
+                nonbinary[predicted].add_scaled(hv, -alpha);
+            }
+        }
+        let updated = binarize(&nonbinary)?;
+        // Fraction of class-hypervector bits that flipped this iteration —
+        // the paper's "updating on class hypervectors" convergence signal.
+        let flipped: usize = model
+            .class_hvs()
+            .iter()
+            .zip(updated.class_hvs())
+            .map(|(old, new)| old.hamming(new))
+            .sum();
+        let flip_fraction =
+            flipped as f64 / (train.dim().get() * train.n_classes()) as f64;
+        model = updated;
+        history.push(EpochRecord {
+            epoch: iter,
+            train_accuracy: correct as f64 / train.len() as f64,
+            test_accuracy: test.map(|t| model.accuracy(t.hvs(), t.labels())),
+            validation_accuracy: None,
+            loss: None,
+            learning_rate: Some(alpha),
+        });
+        if let Some(threshold) = config.convergence_threshold {
+            // Never stop on the first (boosted-α) iteration.
+            if iter > 0 && flip_fraction < threshold {
+                break;
+            }
+        }
+    }
+    Ok((model, history))
+}
+
+pub(crate) fn binarize(nonbinary: &[RealHv]) -> Result<HdcModel, LehdcError> {
+    HdcModel::new(nonbinary.iter().map(RealHv::sign).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::train_baseline;
+    use crate::test_util::multimodal_corpus;
+    use hdc::rng::rng_for;
+    use hdc::{BinaryHv, Dim};
+
+    #[test]
+    fn config_validation() {
+        assert!(RetrainConfig::default().validate().is_ok());
+        assert!(RetrainConfig {
+            iterations: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetrainConfig {
+            alpha: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetrainConfig {
+            first_alpha: f32::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn retraining_improves_on_baseline_for_hard_data() {
+        let (train, test) = crate::test_util::hard_encoded_pair(1);
+        let baseline = train_baseline(&train, 0).unwrap();
+        let (retrained, history) =
+            train_retraining(&train, None, &RetrainConfig::quick()).unwrap();
+        let base_acc = baseline.accuracy(test.hvs(), test.labels());
+        let re_acc = retrained.accuracy(test.hvs(), test.labels());
+        assert!(
+            re_acc > base_acc,
+            "retraining {re_acc} must beat baseline {base_acc}"
+        );
+        assert_eq!(history.len(), 30);
+    }
+
+    #[test]
+    fn history_logs_test_accuracy_when_given() {
+        let train = multimodal_corpus(2, 6, 256, 30, 2);
+        let test = multimodal_corpus(2, 3, 256, 30, 2);
+        let cfg = RetrainConfig {
+            iterations: 5,
+            ..RetrainConfig::default()
+        };
+        let (_, history) = train_retraining(&train, Some(&test), &cfg).unwrap();
+        assert_eq!(history.len(), 5);
+        assert!(history.records().iter().all(|r| r.test_accuracy.is_some()));
+        assert_eq!(history.records()[0].learning_rate, Some(1.5));
+        assert_eq!(history.records()[1].learning_rate, Some(0.05));
+    }
+
+    #[test]
+    fn convergence_threshold_stops_early() {
+        let (train, _) = crate::test_util::hard_encoded_pair(38);
+        let converge = RetrainConfig {
+            iterations: 40,
+            convergence_threshold: Some(0.002),
+            ..RetrainConfig::default()
+        };
+        let (_, history) = train_retraining(&train, None, &converge).unwrap();
+        assert!(
+            history.len() < 40,
+            "should stop before the budget, ran {} iterations",
+            history.len()
+        );
+        // invalid threshold is rejected
+        let bad = RetrainConfig {
+            convergence_threshold: Some(1.5),
+            ..RetrainConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn retraining_is_deterministic() {
+        let train = multimodal_corpus(3, 5, 256, 40, 3);
+        let cfg = RetrainConfig::quick();
+        let (m1, _) = train_retraining(&train, None, &cfg).unwrap();
+        let (m2, _) = train_retraining(&train, None, &cfg).unwrap();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn already_separable_data_stays_stable() {
+        // If the baseline classifies everything correctly, retraining never
+        // updates and returns the baseline model (modulo sgn(0) handling).
+        let mut rng = rng_for(4, 4);
+        let dim = Dim::new(512);
+        let a = BinaryHv::random(dim, &mut rng);
+        let b = BinaryHv::random(dim, &mut rng);
+        let train = EncodedDataset::from_parts(
+            vec![a.clone(), a.clone(), a.clone(), b.clone(), b.clone(), b.clone()],
+            vec![0, 0, 0, 1, 1, 1],
+            2,
+        )
+        .unwrap();
+        let cfg = RetrainConfig {
+            iterations: 3,
+            ..RetrainConfig::default()
+        };
+        let (model, history) = train_retraining(&train, None, &cfg).unwrap();
+        assert_eq!(model.class_hvs()[0], a);
+        assert_eq!(model.class_hvs()[1], b);
+        assert!(history
+            .records()
+            .iter()
+            .all(|r| (r.train_accuracy - 1.0).abs() < 1e-12));
+    }
+}

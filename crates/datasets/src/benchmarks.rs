@@ -1,0 +1,333 @@
+//! The six benchmark profiles of the paper's evaluation (Sec. 5).
+//!
+//! Each profile carries the real dataset's feature count, class count, and
+//! split sizes, plus a difficulty calibration (`prototypes_per_class`,
+//! `noise`, `separation`) for the synthetic generator in
+//! [`crate::synthetic`]. The calibrations were tuned so that the *relative*
+//! Table 1 behaviour holds: baseline < multi-model < retraining < LeHDC,
+//! with CIFAR-10 the hardest profile and PAMAP the easiest, and multi-model
+//! collapsing on the many-classes/few-samples profiles (ISOLET, CIFAR-10).
+
+use crate::dataset::TrainTest;
+use crate::error::DatasetError;
+use crate::synthetic::SyntheticSpec;
+
+/// One of the paper's six benchmarks, expressed as a synthetic profile.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_datasets::BenchmarkProfile;
+///
+/// # fn main() -> Result<(), hdc_datasets::DatasetError> {
+/// // Paper-shape Fashion-MNIST, scaled to 2% of its sample counts.
+/// let profile = BenchmarkProfile::fashion_mnist().scaled(0.02);
+/// let data = profile.generate(42)?;
+/// assert_eq!(data.train.n_features(), 784);
+/// assert_eq!(data.train.len(), 1200);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    name: &'static str,
+    n_features: usize,
+    n_classes: usize,
+    n_train: usize,
+    n_test: usize,
+    prototypes_per_class: usize,
+    noise: f32,
+    separation: f32,
+    cluster_spread: f32,
+}
+
+impl BenchmarkProfile {
+    /// MNIST: 784 features, 10 classes, 60k/10k (paper Table 1: baseline
+    /// 80.36 → LeHDC 94.89).
+    #[must_use]
+    pub fn mnist() -> Self {
+        BenchmarkProfile {
+            name: "MNIST",
+            n_features: 784,
+            n_classes: 10,
+            n_train: 60_000,
+            n_test: 10_000,
+            prototypes_per_class: 2,
+            noise: 0.30,
+            separation: 0.50,
+            cluster_spread: 0.4,
+        }
+    }
+
+    /// Fashion-MNIST: 784 features, 10 classes, 60k/10k (baseline 68.04 →
+    /// LeHDC 87.11).
+    #[must_use]
+    pub fn fashion_mnist() -> Self {
+        BenchmarkProfile {
+            name: "Fashion-MNIST",
+            n_features: 784,
+            n_classes: 10,
+            n_train: 60_000,
+            n_test: 10_000,
+            prototypes_per_class: 3,
+            noise: 0.32,
+            separation: 0.50,
+            cluster_spread: 0.4,
+        }
+    }
+
+    /// CIFAR-10: 3072 features, 10 classes, 50k/10k — the hardest profile
+    /// (baseline 29.55 → LeHDC 46.10).
+    #[must_use]
+    pub fn cifar10() -> Self {
+        BenchmarkProfile {
+            name: "CIFAR-10",
+            n_features: 3072,
+            n_classes: 10,
+            n_train: 50_000,
+            n_test: 10_000,
+            prototypes_per_class: 6,
+            noise: 0.48,
+            separation: 0.30,
+            cluster_spread: 0.55,
+        }
+    }
+
+    /// UCIHAR (smartphone activity): 561 features, 6 classes, 7352/2947
+    /// (baseline 82.46 → LeHDC 94.74).
+    #[must_use]
+    pub fn ucihar() -> Self {
+        BenchmarkProfile {
+            name: "UCIHAR",
+            n_features: 561,
+            n_classes: 6,
+            n_train: 7_352,
+            n_test: 2_947,
+            prototypes_per_class: 2,
+            noise: 0.30,
+            separation: 0.46,
+            cluster_spread: 0.35,
+        }
+    }
+
+    /// ISOLET (spoken letters): 617 features, 26 classes, 6238/1559
+    /// (baseline 87.42 → LeHDC 95.23). The many-classes/few-samples
+    /// combination is what starves multi-model HDC here.
+    #[must_use]
+    pub fn isolet() -> Self {
+        BenchmarkProfile {
+            name: "ISOLET",
+            n_features: 617,
+            n_classes: 26,
+            n_train: 6_238,
+            n_test: 1_559,
+            prototypes_per_class: 2,
+            noise: 0.16,
+            separation: 0.50,
+            cluster_spread: 0.3,
+        }
+    }
+
+    /// PAMAP (physical activity monitoring): 75 features, 5 classes — the
+    /// easiest profile (baseline 77.66 → LeHDC 99.55).
+    #[must_use]
+    pub fn pamap() -> Self {
+        BenchmarkProfile {
+            name: "PAMAP",
+            n_features: 75,
+            n_classes: 5,
+            n_train: 20_000,
+            n_test: 5_000,
+            prototypes_per_class: 3,
+            noise: 0.12,
+            separation: 0.52,
+            cluster_spread: 0.6,
+        }
+    }
+
+    /// All six paper benchmarks in Table 1 order.
+    #[must_use]
+    pub fn all() -> Vec<Self> {
+        vec![
+            Self::mnist(),
+            Self::fashion_mnist(),
+            Self::cifar10(),
+            Self::ucihar(),
+            Self::isolet(),
+            Self::pamap(),
+        ]
+    }
+
+    /// The benchmark's name as printed in the paper's tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of input features `N`.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes `K`.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Training-set size at the current scale.
+    #[must_use]
+    pub fn n_train(&self) -> usize {
+        self.n_train
+    }
+
+    /// Test-set size at the current scale.
+    #[must_use]
+    pub fn n_test(&self) -> usize {
+        self.n_test
+    }
+
+    /// Scales both split sizes by `fraction` (keeping at least two samples
+    /// per class in each split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not a positive finite number.
+    #[must_use]
+    pub fn scaled(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && fraction > 0.0,
+            "scale fraction must be positive"
+        );
+        let floor = 2 * self.n_classes;
+        self.n_train = ((self.n_train as f64 * fraction) as usize).max(floor);
+        self.n_test = ((self.n_test as f64 * fraction) as usize).max(floor);
+        self
+    }
+
+    /// Overrides the feature count (for fast tests and quick experiment
+    /// modes). The noise level is rescaled by `√(new/old)` so the
+    /// class-distance signal-to-noise ratio — which grows like `√N` —
+    /// stays at the profile's calibrated difficulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_features == 0`.
+    #[must_use]
+    pub fn with_features(mut self, n_features: usize) -> Self {
+        assert!(n_features > 0, "feature count must be non-zero");
+        self.noise *= (n_features as f32 / self.n_features as f32).sqrt();
+        self.n_features = n_features;
+        self
+    }
+
+    /// Overrides the split sizes exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is smaller than the class count.
+    #[must_use]
+    pub fn with_samples(mut self, n_train: usize, n_test: usize) -> Self {
+        assert!(
+            n_train >= self.n_classes && n_test >= self.n_classes,
+            "splits must hold at least one sample per class"
+        );
+        self.n_train = n_train;
+        self.n_test = n_test;
+        self
+    }
+
+    /// A laptop-scale preset: features capped at 128, ~100 training and ~30
+    /// test samples per class. Used by unit tests and `--quick` experiment
+    /// runs.
+    #[must_use]
+    pub fn quick(self) -> Self {
+        let k = self.n_classes;
+        let features = self.n_features.min(128);
+        self.with_features(features).with_samples(100 * k, 30 * k)
+    }
+
+    /// Converts the profile into the underlying synthetic spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if the (possibly overridden)
+    /// shape is degenerate.
+    pub fn spec(&self) -> Result<SyntheticSpec, DatasetError> {
+        SyntheticSpec::builder(self.name, self.n_features, self.n_classes)
+            .prototypes_per_class(self.prototypes_per_class)
+            .noise(self.noise)
+            .separation(self.separation)
+            .cluster_spread(self.cluster_spread)
+            .train_samples(self.n_train)
+            .test_samples(self.n_test)
+            .build()
+    }
+
+    /// Generates a train/test pair from this profile.
+    ///
+    /// # Errors
+    ///
+    /// See [`spec`](Self::spec) and [`SyntheticSpec::generate`].
+    pub fn generate(&self, seed: u64) -> Result<TrainTest, DatasetError> {
+        self.spec()?.generate(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_have_paper_shapes() {
+        let shapes: Vec<(&str, usize, usize, usize, usize)> = BenchmarkProfile::all()
+            .iter()
+            .map(|p| (p.name(), p.n_features(), p.n_classes(), p.n_train(), p.n_test()))
+            .collect();
+        assert_eq!(shapes[0], ("MNIST", 784, 10, 60_000, 10_000));
+        assert_eq!(shapes[1], ("Fashion-MNIST", 784, 10, 60_000, 10_000));
+        assert_eq!(shapes[2], ("CIFAR-10", 3072, 10, 50_000, 10_000));
+        assert_eq!(shapes[3], ("UCIHAR", 561, 6, 7_352, 2_947));
+        assert_eq!(shapes[4], ("ISOLET", 617, 26, 6_238, 1_559));
+        assert_eq!(shapes[5], ("PAMAP", 75, 5, 20_000, 5_000));
+    }
+
+    #[test]
+    fn scaled_respects_class_floor() {
+        let p = BenchmarkProfile::isolet().scaled(1e-9);
+        assert_eq!(p.n_train(), 52);
+        assert_eq!(p.n_test(), 52);
+    }
+
+    #[test]
+    fn quick_profiles_generate_fast_and_balanced() {
+        for profile in BenchmarkProfile::all() {
+            let quick = profile.quick();
+            assert!(quick.n_features() <= 128);
+            let data = quick.generate(1).unwrap();
+            let counts = data.train.class_counts();
+            assert!(counts.iter().all(|&c| c == counts[0]), "{}", quick.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_reproducible() {
+        let p = BenchmarkProfile::pamap().quick();
+        assert_eq!(p.generate(5).unwrap().train, p.generate(5).unwrap().train);
+        assert_ne!(p.generate(5).unwrap().train, p.generate(6).unwrap().train);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let p = BenchmarkProfile::mnist().with_features(10).with_samples(100, 50);
+        assert_eq!(p.n_features(), 10);
+        assert_eq!((p.n_train(), p.n_test()), (100, 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rejects_zero() {
+        let _ = BenchmarkProfile::mnist().scaled(0.0);
+    }
+}

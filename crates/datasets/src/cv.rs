@@ -1,0 +1,117 @@
+//! K-fold cross-validation splits.
+
+use crate::dataset::{Dataset, TrainTest};
+use crate::error::DatasetError;
+
+/// Produces `k` stratified-ish cross-validation folds of a dataset: fold
+/// `i` holds out every `k`-th sample starting at offset `i`, which keeps
+/// the class balance of interleaved corpora (like the synthetic generators'
+/// round-robin labels) exactly.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_datasets::{cv::k_folds, Dataset};
+///
+/// # fn main() -> Result<(), hdc_datasets::DatasetError> {
+/// let ds = Dataset::new("t", (0..20).map(|i| i as f32).collect(), vec![0, 1].repeat(5), 2, 2)?;
+/// let folds = k_folds(&ds, 5)?;
+/// assert_eq!(folds.len(), 5);
+/// for fold in &folds {
+///     assert_eq!(fold.test.len(), 2);
+///     assert_eq!(fold.train.len(), 8);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn k_folds(dataset: &Dataset, k: usize) -> Result<Vec<TrainTest>, DatasetError> {
+    if k < 2 {
+        return Err(DatasetError::InvalidConfig(format!(
+            "cross-validation needs at least 2 folds, got {k}"
+        )));
+    }
+    if dataset.len() < k {
+        return Err(DatasetError::InvalidConfig(format!(
+            "{} samples cannot form {k} folds",
+            dataset.len()
+        )));
+    }
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for i in 0..dataset.len() {
+            if i % k == fold {
+                test_idx.push(i);
+            } else {
+                train_idx.push(i);
+            }
+        }
+        folds.push(TrainTest::new(
+            dataset.subset(&train_idx)?,
+            dataset.subset(&test_idx)?,
+        )?);
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset::new(
+            "t",
+            (0..n * 2).map(|i| i as f32).collect(),
+            (0..n).map(|i| i % 3).collect(),
+            2,
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn folds_partition_the_dataset() {
+        let ds = dataset(17);
+        let folds = k_folds(&ds, 4).unwrap();
+        assert_eq!(folds.len(), 4);
+        let total_test: usize = folds.iter().map(|f| f.test.len()).sum();
+        assert_eq!(total_test, 17, "every sample is held out exactly once");
+        for fold in &folds {
+            assert_eq!(fold.train.len() + fold.test.len(), 17);
+        }
+    }
+
+    #[test]
+    fn folds_are_disjoint_across_test_splits() {
+        let ds = dataset(12);
+        let folds = k_folds(&ds, 3).unwrap();
+        // identify rows by their unique first feature value
+        let mut seen = std::collections::BTreeSet::new();
+        for fold in &folds {
+            for i in 0..fold.test.len() {
+                let key = fold.test.row(i)[0] as i64;
+                assert!(seen.insert(key), "row {key} held out twice");
+            }
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn interleaved_labels_stay_balanced() {
+        // labels cycle 0,1,2 and k=3 is coprime-ish handling: use k=4
+        let ds = dataset(24);
+        for fold in k_folds(&ds, 4).unwrap() {
+            let counts = fold.test.class_counts();
+            assert_eq!(counts, vec![2, 2, 2], "each fold holds 2 of each class");
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let ds = dataset(5);
+        assert!(k_folds(&ds, 1).is_err());
+        assert!(k_folds(&ds, 6).is_err());
+        assert!(k_folds(&ds, 5).is_ok());
+    }
+}

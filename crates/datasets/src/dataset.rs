@@ -1,0 +1,294 @@
+//! The in-memory dataset container shared by every data source.
+
+use crate::error::DatasetError;
+
+/// A labeled classification dataset with flat row-major `f32` features.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_datasets::Dataset;
+///
+/// # fn main() -> Result<(), hdc_datasets::DatasetError> {
+/// let ds = Dataset::new("toy", vec![0.0, 1.0, 1.0, 0.0], vec![0, 1], 2, 2)?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.row(1), &[1.0, 0.0]);
+/// assert_eq!(ds.label(1), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    features: Vec<f32>,
+    labels: Vec<usize>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from flat row-major features and per-row labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Shape`] if the feature buffer is not
+    /// `labels.len() × n_features`, any label is `>= n_classes`, the dataset
+    /// is empty, or `n_features`/`n_classes` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        features: Vec<f32>,
+        labels: Vec<usize>,
+        n_features: usize,
+        n_classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if n_features == 0 || n_classes == 0 {
+            return Err(DatasetError::Shape(
+                "feature and class counts must be non-zero".into(),
+            ));
+        }
+        if labels.is_empty() {
+            return Err(DatasetError::Shape("dataset must not be empty".into()));
+        }
+        if features.len() != labels.len() * n_features {
+            return Err(DatasetError::Shape(format!(
+                "{} feature values cannot form {} rows of {} features",
+                features.len(),
+                labels.len(),
+                n_features
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&y| y >= n_classes) {
+            return Err(DatasetError::Shape(format!(
+                "label {bad} out of range for {n_classes} classes"
+            )));
+        }
+        Ok(Dataset {
+            name: name.into(),
+            features,
+            labels,
+            n_features,
+            n_classes,
+        })
+    }
+
+    /// The dataset's human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset holds no samples (never true for a constructed
+    /// dataset, kept for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per sample `N`.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes `K`.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.len(), "sample index out of range");
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels in sample order.
+    #[must_use]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The flat row-major feature buffer.
+    #[must_use]
+    pub fn features(&self) -> &[f32] {
+        &self.features
+    }
+
+    /// Mutable access to the flat feature buffer (for normalization).
+    #[must_use]
+    pub fn features_mut(&mut self) -> &mut [f32] {
+        &mut self.features
+    }
+
+    /// Per-class sample counts.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &y in &self.labels {
+            counts[y] += 1;
+        }
+        counts
+    }
+
+    /// Global `(min, max)` over all feature values.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a constructed dataset (it cannot be empty).
+    #[must_use]
+    pub fn value_range(&self) -> (f32, f32) {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in &self.features {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        (min, max)
+    }
+
+    /// Returns a new dataset containing the given sample indices (in order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Shape`] if `indices` is empty or any index is
+    /// out of range.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset, DatasetError> {
+        if indices.is_empty() {
+            return Err(DatasetError::Shape("subset must not be empty".into()));
+        }
+        let mut features = Vec::with_capacity(indices.len() * self.n_features);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DatasetError::Shape(format!(
+                    "subset index {i} out of range for {} samples",
+                    self.len()
+                )));
+            }
+            features.extend_from_slice(self.row(i));
+            labels.push(self.labels[i]);
+        }
+        Dataset::new(
+            self.name.clone(),
+            features,
+            labels,
+            self.n_features,
+            self.n_classes,
+        )
+    }
+}
+
+/// A train/test pair from the same distribution, as every experiment
+/// consumes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainTest {
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split.
+    pub test: Dataset,
+}
+
+impl TrainTest {
+    /// Creates a pair, validating that the splits agree on shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Shape`] if feature or class counts differ.
+    pub fn new(train: Dataset, test: Dataset) -> Result<Self, DatasetError> {
+        if train.n_features() != test.n_features() || train.n_classes() != test.n_classes() {
+            return Err(DatasetError::Shape(format!(
+                "train ({}x{} classes) and test ({}x{} classes) disagree",
+                train.n_features(),
+                train.n_classes(),
+                test.n_features(),
+                test.n_classes()
+            )));
+        }
+        Ok(TrainTest { train, test })
+    }
+
+    /// Dataset name (taken from the training split).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.train.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![0.0, 0.1, 1.0, 0.9, 0.5, 0.4],
+            vec![0, 1, 0],
+            2,
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        assert!(Dataset::new("x", vec![0.0; 4], vec![0, 1], 2, 2).is_ok());
+        assert!(Dataset::new("x", vec![0.0; 5], vec![0, 1], 2, 2).is_err());
+        assert!(Dataset::new("x", vec![0.0; 4], vec![0, 2], 2, 2).is_err());
+        assert!(Dataset::new("x", vec![], vec![], 2, 2).is_err());
+        assert!(Dataset::new("x", vec![0.0; 4], vec![0, 1], 0, 2).is_err());
+    }
+
+    #[test]
+    fn accessors_agree() {
+        let ds = toy();
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.row(2), &[0.5, 0.4]);
+        assert_eq!(ds.label(2), 0);
+        assert_eq!(ds.class_counts(), vec![2, 1]);
+        assert_eq!(ds.value_range(), (0.0, 1.0));
+        assert_eq!(ds.name(), "toy");
+    }
+
+    #[test]
+    fn subset_selects_rows_in_order() {
+        let ds = toy();
+        let sub = ds.subset(&[2, 0]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.row(0), &[0.5, 0.4]);
+        assert_eq!(sub.labels(), &[0, 0]);
+        assert!(ds.subset(&[]).is_err());
+        assert!(ds.subset(&[3]).is_err());
+    }
+
+    #[test]
+    fn train_test_validates_consistency() {
+        let a = toy();
+        let b = Dataset::new("toy", vec![0.0; 3], vec![0, 1, 0], 1, 2).unwrap();
+        assert!(TrainTest::new(a.clone(), b).is_err());
+        let pair = TrainTest::new(a.clone(), a).unwrap();
+        assert_eq!(pair.name(), "toy");
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for dataset construction and loading.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors raised when building, generating, or loading datasets.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// An I/O failure while reading a data file.
+    Io(io::Error),
+    /// A file was syntactically invalid for its format.
+    Parse {
+        /// What was being parsed (file or format).
+        context: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// A configuration value was outside its valid range.
+    InvalidConfig(String),
+    /// Features/labels were inconsistent with the declared shape.
+    Shape(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io(e) => write!(f, "i/o error: {e}"),
+            DatasetError::Parse { context, message } => {
+                write!(f, "parse error in {context}: {message}")
+            }
+            DatasetError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DatasetError::Shape(msg) => write!(f, "shape error: {msg}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DatasetError {
+    fn from(e: io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DatasetError::Parse {
+            context: "foo.idx".into(),
+            message: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("foo.idx"));
+        assert!(DatasetError::Shape("x".into()).to_string().contains("shape"));
+        let io_err: DatasetError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(io_err.to_string().contains("gone"));
+        assert!(Error::source(&io_err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatasetError>();
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Dataset substrate for the LeHDC reproduction.
+//!
+//! The paper evaluates on MNIST, Fashion-MNIST, CIFAR-10, UCIHAR, ISOLET,
+//! and PAMAP. Those corpora are not redistributable inside this repository,
+//! so this crate provides two interchangeable sources:
+//!
+//! 1. **Synthetic benchmark profiles** ([`BenchmarkProfile`]): for each paper
+//!    dataset, a class-conditional *multi-prototype Gaussian* generator with
+//!    the dataset's feature count, class count and a difficulty calibration
+//!    (sub-clusters per class, noise, samples per class) chosen so the
+//!    *relative ordering* of the HDC training strategies matches the paper's
+//!    Table 1. The mechanism that separates the strategies — overlapping,
+//!    multi-modal class-conditional distributions that defeat centroid
+//!    averaging but not discriminative training — is exactly what the
+//!    generator produces.
+//! 2. **Loaders** for real data when available: the IDX format used by
+//!    MNIST/Fashion-MNIST ([`loader::idx`]) and numeric CSV
+//!    ([`loader::csv`]), both yielding the same [`Dataset`] type, so real
+//!    data drops into every experiment unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use hdc_datasets::BenchmarkProfile;
+//!
+//! # fn main() -> Result<(), hdc_datasets::DatasetError> {
+//! let data = BenchmarkProfile::isolet().scaled(0.02).generate(7)?;
+//! assert_eq!(data.train.n_classes(), 26);
+//! assert_eq!(data.train.n_features(), data.test.n_features());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod benchmarks;
+pub mod cv;
+pub mod dataset;
+pub mod error;
+pub mod loader;
+pub mod normalize;
+pub mod synthetic;
+
+pub use benchmarks::BenchmarkProfile;
+pub use dataset::{Dataset, TrainTest};
+pub use error::DatasetError;
+pub use normalize::MinMaxNormalizer;
+pub use synthetic::SyntheticSpec;

@@ -1,0 +1,202 @@
+//! IDX file loader — the binary format of MNIST and Fashion-MNIST.
+//!
+//! An IDX file starts with a 4-byte magic (`0x00 0x00 <dtype> <ndim>`),
+//! followed by `ndim` big-endian `u32` dimension sizes and the raw data.
+//! This loader supports the unsigned-byte dtype (`0x08`) used by the MNIST
+//! family.
+
+use std::fs;
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+
+const DTYPE_U8: u8 = 0x08;
+
+/// A parsed IDX tensor of unsigned bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdxTensor {
+    /// Dimension sizes, outermost first.
+    pub dims: Vec<usize>,
+    /// Raw values in row-major order.
+    pub data: Vec<u8>,
+}
+
+/// Parses an IDX byte buffer.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Parse`] if the magic, dtype, dimensionality, or
+/// payload length is invalid.
+pub fn parse_idx(bytes: &[u8], context: &str) -> Result<IdxTensor, DatasetError> {
+    let parse_err = |message: String| DatasetError::Parse {
+        context: context.to_string(),
+        message,
+    };
+    if bytes.len() < 4 {
+        return Err(parse_err("file shorter than the 4-byte magic".into()));
+    }
+    if bytes[0] != 0 || bytes[1] != 0 {
+        return Err(parse_err(format!(
+            "bad magic prefix {:02x}{:02x}",
+            bytes[0], bytes[1]
+        )));
+    }
+    if bytes[2] != DTYPE_U8 {
+        return Err(parse_err(format!(
+            "unsupported dtype 0x{:02x} (only u8/0x08 is supported)",
+            bytes[2]
+        )));
+    }
+    let ndim = bytes[3] as usize;
+    if ndim == 0 || ndim > 4 {
+        return Err(parse_err(format!("unsupported dimensionality {ndim}")));
+    }
+    let header = 4 + 4 * ndim;
+    if bytes.len() < header {
+        return Err(parse_err("file truncated inside the dimension list".into()));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for d in 0..ndim {
+        let off = 4 + 4 * d;
+        let size = u32::from_be_bytes([
+            bytes[off],
+            bytes[off + 1],
+            bytes[off + 2],
+            bytes[off + 3],
+        ]) as usize;
+        dims.push(size);
+    }
+    let expected: usize = dims.iter().product();
+    let data = &bytes[header..];
+    if data.len() != expected {
+        return Err(parse_err(format!(
+            "payload holds {} bytes but dimensions {:?} require {expected}",
+            data.len(),
+            dims
+        )));
+    }
+    Ok(IdxTensor {
+        dims,
+        data: data.to_vec(),
+    })
+}
+
+/// Reads an IDX file from disk.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] on read failure or [`DatasetError::Parse`]
+/// on format errors.
+pub fn read_idx(path: &Path) -> Result<IdxTensor, DatasetError> {
+    let bytes = fs::read(path)?;
+    parse_idx(&bytes, &path.display().to_string())
+}
+
+/// Loads an MNIST-style (images, labels) IDX pair into a [`Dataset`], with
+/// pixel values scaled into `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns a [`DatasetError`] if either file is unreadable or malformed, if
+/// the sample counts disagree, or if any label is `>= n_classes`.
+pub fn load_mnist_like(
+    name: &str,
+    images_path: &Path,
+    labels_path: &Path,
+    n_classes: usize,
+) -> Result<Dataset, DatasetError> {
+    let images = read_idx(images_path)?;
+    let labels = read_idx(labels_path)?;
+    if images.dims.len() < 2 {
+        return Err(DatasetError::Parse {
+            context: images_path.display().to_string(),
+            message: format!("images need >= 2 dimensions, got {:?}", images.dims),
+        });
+    }
+    if labels.dims.len() != 1 {
+        return Err(DatasetError::Parse {
+            context: labels_path.display().to_string(),
+            message: format!("labels need exactly 1 dimension, got {:?}", labels.dims),
+        });
+    }
+    let n = images.dims[0];
+    if labels.dims[0] != n {
+        return Err(DatasetError::Shape(format!(
+            "{n} images but {} labels",
+            labels.dims[0]
+        )));
+    }
+    let n_features: usize = images.dims[1..].iter().product();
+    let features: Vec<f32> = images.data.iter().map(|&b| f32::from(b) / 255.0).collect();
+    let labels: Vec<usize> = labels.data.iter().map(|&b| b as usize).collect();
+    Dataset::new(name, features, labels, n_features, n_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a valid IDX byte buffer for the given dims and payload.
+    fn idx_bytes(dims: &[u32], payload: &[u8]) -> Vec<u8> {
+        let mut out = vec![0, 0, DTYPE_U8, dims.len() as u8];
+        for &d in dims {
+            out.extend_from_slice(&d.to_be_bytes());
+        }
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn parses_a_well_formed_tensor() {
+        let bytes = idx_bytes(&[2, 2, 2], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let t = parse_idx(&bytes, "test").unwrap();
+        assert_eq!(t.dims, vec![2, 2, 2]);
+        assert_eq!(t.data, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse_idx(&[], "t").is_err());
+        assert!(parse_idx(&[1, 0, DTYPE_U8, 1], "t").is_err()); // bad magic
+        assert!(parse_idx(&[0, 0, 0x0D, 1], "t").is_err()); // float dtype
+        assert!(parse_idx(&[0, 0, DTYPE_U8, 0], "t").is_err()); // 0-dim
+        assert!(parse_idx(&[0, 0, DTYPE_U8, 2, 0, 0, 0, 1], "t").is_err()); // truncated dims
+        let short = idx_bytes(&[3], &[1, 2]); // payload too short
+        assert!(parse_idx(&short, "t").is_err());
+    }
+
+    #[test]
+    fn load_mnist_like_roundtrip() {
+        let dir = std::env::temp_dir().join("lehdc_idx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let img_path = dir.join("images.idx");
+        let lbl_path = dir.join("labels.idx");
+        // 3 images of 2x2 pixels
+        std::fs::write(
+            &img_path,
+            idx_bytes(&[3, 2, 2], &[0, 255, 128, 64, 10, 20, 30, 40, 0, 0, 0, 0]),
+        )
+        .unwrap();
+        std::fs::write(&lbl_path, idx_bytes(&[3], &[0, 1, 2])).unwrap();
+
+        let ds = load_mnist_like("mini", &img_path, &lbl_path, 3).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.n_features(), 4);
+        assert_eq!(ds.labels(), &[0, 1, 2]);
+        assert_eq!(ds.row(0)[1], 1.0);
+        assert!((ds.row(0)[2] - 128.0 / 255.0).abs() < 1e-6);
+
+        // mismatched counts are rejected
+        std::fs::write(&lbl_path, idx_bytes(&[2], &[0, 1])).unwrap();
+        assert!(load_mnist_like("mini", &img_path, &lbl_path, 3).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_idx(Path::new("/nonexistent/lehdc.idx")).unwrap_err();
+        assert!(matches!(err, DatasetError::Io(_)));
+    }
+}

@@ -1,0 +1,8 @@
+//! Loaders for on-disk dataset formats.
+//!
+//! These exist so the synthetic benchmark profiles can be swapped for real
+//! data without touching any experiment code: both loaders produce the same
+//! [`Dataset`](crate::Dataset) type the generators do.
+
+pub mod csv;
+pub mod idx;

@@ -1,0 +1,215 @@
+//! Per-feature min–max normalization.
+
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+
+/// Per-feature min–max normalizer: fitted on a training split, applied to
+/// any split, mapping each feature into `[0, 1]` (test-time values outside
+/// the fitted range are clamped).
+///
+/// HDC level memories quantize a global value range; normalizing every
+/// feature into the same range first keeps wide-range features from
+/// dominating the quantizer.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_datasets::{Dataset, MinMaxNormalizer};
+///
+/// # fn main() -> Result<(), hdc_datasets::DatasetError> {
+/// let mut train = Dataset::new("t", vec![0.0, 100.0, 2.0, 300.0], vec![0, 1], 2, 2)?;
+/// let norm = MinMaxNormalizer::fit(&train)?;
+/// norm.apply(&mut train);
+/// assert_eq!(train.row(0), &[0.0, 0.0]);
+/// assert_eq!(train.row(1), &[1.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxNormalizer {
+    mins: Vec<f32>,
+    ranges: Vec<f32>, // max - min; 0 for constant features (mapped to 0.5)
+}
+
+impl MinMaxNormalizer {
+    /// Fits per-feature minima and maxima on a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if the dataset contains
+    /// non-finite values.
+    pub fn fit(dataset: &Dataset) -> Result<Self, DatasetError> {
+        let n = dataset.n_features();
+        let mut mins = vec![f32::INFINITY; n];
+        let mut maxs = vec![f32::NEG_INFINITY; n];
+        for i in 0..dataset.len() {
+            for (f, &v) in dataset.row(i).iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(DatasetError::InvalidConfig(format!(
+                        "non-finite value {v} in feature {f}"
+                    )));
+                }
+                mins[f] = mins[f].min(v);
+                maxs[f] = maxs[f].max(v);
+            }
+        }
+        let ranges = mins.iter().zip(&maxs).map(|(lo, hi)| hi - lo).collect();
+        Ok(MinMaxNormalizer { mins, ranges })
+    }
+
+    /// Reconstructs a normalizer from persisted per-feature minima and
+    /// ranges (`max − min`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if the slices are empty,
+    /// have different lengths, or contain non-finite values or negative
+    /// ranges.
+    pub fn from_parts(mins: Vec<f32>, ranges: Vec<f32>) -> Result<Self, DatasetError> {
+        if mins.is_empty() || mins.len() != ranges.len() {
+            return Err(DatasetError::InvalidConfig(format!(
+                "normalizer needs matching non-empty mins/ranges, got {}/{}",
+                mins.len(),
+                ranges.len()
+            )));
+        }
+        for (&m, &r) in mins.iter().zip(&ranges) {
+            if !m.is_finite() || !r.is_finite() || r < 0.0 {
+                return Err(DatasetError::InvalidConfig(format!(
+                    "invalid normalizer entry: min {m}, range {r}"
+                )));
+            }
+        }
+        Ok(MinMaxNormalizer { mins, ranges })
+    }
+
+    /// Number of features this normalizer was fitted for.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// The fitted per-feature minima.
+    #[must_use]
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// The fitted per-feature ranges (`max − min`).
+    #[must_use]
+    pub fn ranges(&self) -> &[f32] {
+        &self.ranges
+    }
+
+    /// Applies the fitted transform to one raw sample in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted feature count.
+    pub fn apply_row(&self, row: &mut [f32]) {
+        assert_eq!(
+            row.len(),
+            self.mins.len(),
+            "normalizer fitted for a different feature count"
+        );
+        for (f, v) in row.iter_mut().enumerate() {
+            *v = if self.ranges[f] == 0.0 {
+                0.5
+            } else {
+                ((*v - self.mins[f]) / self.ranges[f]).clamp(0.0, 1.0)
+            };
+        }
+    }
+
+    /// Applies the fitted transform in place, clamping to `[0, 1]`.
+    /// Constant features map to `0.5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset's feature count differs from the fitted one.
+    pub fn apply(&self, dataset: &mut Dataset) {
+        let n = self.mins.len();
+        assert_eq!(
+            dataset.n_features(),
+            n,
+            "normalizer fitted for a different feature count"
+        );
+        for row in dataset.features_mut().chunks_mut(n) {
+            self.apply_row(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(rows: &[&[f32]]) -> Dataset {
+        let n = rows[0].len();
+        let flat: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Dataset::new("t", flat, vec![0; rows.len()], n, 1).unwrap()
+    }
+
+    #[test]
+    fn normalizes_each_feature_independently() {
+        let mut ds = dataset(&[&[0.0, -10.0], &[5.0, 10.0], &[10.0, 0.0]]);
+        let norm = MinMaxNormalizer::fit(&ds).unwrap();
+        norm.apply(&mut ds);
+        assert_eq!(ds.row(0), &[0.0, 0.0]);
+        assert_eq!(ds.row(1), &[0.5, 1.0]);
+        assert_eq!(ds.row(2), &[1.0, 0.5]);
+    }
+
+    #[test]
+    fn constant_features_map_to_half() {
+        let mut ds = dataset(&[&[7.0, 1.0], &[7.0, 2.0]]);
+        let norm = MinMaxNormalizer::fit(&ds).unwrap();
+        norm.apply(&mut ds);
+        assert_eq!(ds.row(0)[0], 0.5);
+        assert_eq!(ds.row(1)[0], 0.5);
+    }
+
+    #[test]
+    fn test_split_values_are_clamped() {
+        let train = dataset(&[&[0.0], &[10.0]]);
+        let norm = MinMaxNormalizer::fit(&train).unwrap();
+        let mut test = dataset(&[&[-5.0], &[15.0]]);
+        norm.apply(&mut test);
+        assert_eq!(test.row(0), &[0.0]);
+        assert_eq!(test.row(1), &[1.0]);
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let ds = dataset(&[&[f32::NAN]]);
+        assert!(MinMaxNormalizer::fit(&ds).is_err());
+    }
+
+    #[test]
+    fn parts_roundtrip_reproduces_the_transform() {
+        let train = dataset(&[&[0.0, 5.0], &[10.0, 7.0]]);
+        let norm = MinMaxNormalizer::fit(&train).unwrap();
+        let rebuilt =
+            MinMaxNormalizer::from_parts(norm.mins().to_vec(), norm.ranges().to_vec()).unwrap();
+        assert_eq!(rebuilt, norm);
+        let mut row = [2.5f32, 6.0];
+        rebuilt.apply_row(&mut row);
+        assert_eq!(row, [0.25, 0.5]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(MinMaxNormalizer::from_parts(vec![], vec![]).is_err());
+        assert!(MinMaxNormalizer::from_parts(vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(MinMaxNormalizer::from_parts(vec![0.0], vec![-1.0]).is_err());
+        assert!(MinMaxNormalizer::from_parts(vec![f32::NAN], vec![1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "different feature count")]
+    fn apply_rejects_wrong_width() {
+        let norm = MinMaxNormalizer::fit(&dataset(&[&[1.0, 2.0]])).unwrap();
+        let mut other = dataset(&[&[1.0]]);
+        norm.apply(&mut other);
+    }
+}

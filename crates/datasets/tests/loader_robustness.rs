@@ -1,0 +1,91 @@
+//! Robustness properties for the data loaders: arbitrary bytes and junk
+//! text must produce errors, never panics, and valid inputs must roundtrip.
+
+use hdc_datasets::loader::csv::{parse_csv, LabelColumn};
+use hdc_datasets::loader::idx::parse_idx;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn idx_parser_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_idx(&bytes, "fuzz");
+    }
+
+    #[test]
+    fn idx_parser_accepts_exactly_well_formed_buffers(
+        dims in proptest::collection::vec(1u32..8, 1..4),
+        pad in 0usize..4,
+    ) {
+        let total: usize = dims.iter().map(|&d| d as usize).product();
+        let mut bytes = vec![0, 0, 0x08, dims.len() as u8];
+        for &d in &dims {
+            bytes.extend_from_slice(&d.to_be_bytes());
+        }
+        bytes.extend(std::iter::repeat_n(7u8, total));
+        // exact payload parses
+        let tensor = parse_idx(&bytes, "t").unwrap();
+        prop_assert_eq!(tensor.data.len(), total);
+        // any extra bytes are rejected
+        if pad > 0 {
+            bytes.extend(std::iter::repeat_n(0u8, pad));
+            prop_assert!(parse_idx(&bytes, "t").is_err());
+        }
+    }
+
+    #[test]
+    fn csv_parser_never_panics_on_arbitrary_text(text in "\\PC{0,300}") {
+        let _ = parse_csv(&text, "fuzz", LabelColumn::First, None);
+        let _ = parse_csv(&text, "fuzz", LabelColumn::Last, Some(3));
+    }
+
+    #[test]
+    fn csv_roundtrip_of_generated_numeric_data(
+        rows in proptest::collection::vec(
+            (0usize..5, proptest::collection::vec(-100.0f32..100.0, 3)),
+            1..20,
+        )
+    ) {
+        let mut text = String::new();
+        for (label, features) in &rows {
+            text.push_str(&format!(
+                "{label},{},{},{}\n",
+                features[0], features[1], features[2]
+            ));
+        }
+        let ds = parse_csv(&text, "t", LabelColumn::First, Some(5)).unwrap();
+        prop_assert_eq!(ds.len(), rows.len());
+        prop_assert_eq!(ds.n_features(), 3);
+        for (i, (label, features)) in rows.iter().enumerate() {
+            prop_assert_eq!(ds.label(i), *label);
+            for (a, b) in ds.row(i).iter().zip(features) {
+                // values survive the decimal print/parse roundtrip
+                prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_generation_is_shape_correct_for_any_spec(
+        n_features in 1usize..20,
+        n_classes in 1usize..6,
+        protos in 1usize..4,
+        noise in 0.0f32..1.0,
+        seed: u64,
+    ) {
+        let spec = hdc_datasets::SyntheticSpec::builder("p", n_features, n_classes)
+            .prototypes_per_class(protos)
+            .noise(noise)
+            .train_samples(n_classes * 3)
+            .test_samples(n_classes)
+            .build()
+            .unwrap();
+        let data = spec.generate(seed).unwrap();
+        prop_assert_eq!(data.train.len(), n_classes * 3);
+        prop_assert_eq!(data.train.n_features(), n_features);
+        let (lo, hi) = data.train.value_range();
+        prop_assert!(lo >= 0.0 && hi <= 1.0);
+        // balanced classes
+        let counts = data.train.class_counts();
+        prop_assert!(counts.iter().all(|&c| c == 3));
+    }
+}

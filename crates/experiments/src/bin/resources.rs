@@ -1,0 +1,129 @@
+//! Regenerates the paper's **Sec. 5.1 resource discussion** as numbers:
+//! training time, model storage, and single-query inference latency per
+//! strategy.
+//!
+//! The paper's claims to check:
+//!
+//! - LeHDC "has the same time consumption and resource occupation as the
+//!   baseline and retraining binary HDC" **at inference** (same artifact);
+//! - "multi-model strategy costs more storage due to the multiple class
+//!   hypervectors" (and proportionally more inference time);
+//! - LeHDC's cost lives entirely in training.
+//!
+//! ```text
+//! cargo run --release -p lehdc-experiments --bin resources
+//! ```
+
+use std::time::Instant;
+
+use hdc::Dim;
+use hdc_datasets::BenchmarkProfile;
+use lehdc::{LehdcConfig, MultiModelConfig, Pipeline, RetrainConfig, Strategy};
+use lehdc_experiments::{Options, TextTable};
+
+fn main() {
+    let opts = Options::from_env();
+    let profile = if opts.full {
+        BenchmarkProfile::ucihar()
+    } else {
+        BenchmarkProfile::ucihar().quick()
+    };
+    println!(
+        "Sec. 5.1 resources — {} profile, D={}\n",
+        profile.name(),
+        opts.dim
+    );
+
+    let data = profile.generate(opts.seeds).expect("profile generation");
+    let pipeline = Pipeline::builder(&data)
+        .dim(Dim::new(opts.dim))
+        .seed(opts.seeds)
+        .build()
+        .expect("pipeline build");
+    let k = pipeline.encoded_train().n_classes();
+    let single_model_bytes = k * opts.dim.div_ceil(8);
+
+    let strategies: Vec<(&str, Strategy, usize)> = vec![
+        ("Baseline", Strategy::Baseline, single_model_bytes),
+        (
+            "Multi-Model (16/class)",
+            Strategy::MultiModel(MultiModelConfig {
+                models_per_class: 16,
+                ..MultiModelConfig::quick()
+            }),
+            16 * single_model_bytes,
+        ),
+        (
+            "Retraining",
+            Strategy::Retraining(RetrainConfig::quick()),
+            single_model_bytes,
+        ),
+        (
+            "LeHDC",
+            Strategy::Lehdc(LehdcConfig::quick().with_epochs(30)),
+            single_model_bytes,
+        ),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "Strategy",
+        "train time (s)",
+        "model bytes",
+        "inference (µs/query)",
+    ]);
+    let test = pipeline.encoded_test();
+    for (name, strategy, bytes) in strategies {
+        let start = Instant::now();
+        let outcome = pipeline.run(strategy).expect("strategy run");
+        let train_secs = start.elapsed().as_secs_f64();
+
+        // time inference through whatever artifact the strategy produced;
+        // multi-model has no single model, so re-run its classify path via
+        // accuracy() over the test set.
+        let queries = test.hvs();
+        let infer_us = match &outcome.model {
+            Some(model) => {
+                let start = Instant::now();
+                let mut sink = 0usize;
+                for q in queries {
+                    sink = sink.wrapping_add(model.classify(q));
+                }
+                std::hint::black_box(sink);
+                start.elapsed().as_secs_f64() * 1e6 / queries.len() as f64
+            }
+            None => {
+                // Multi-model: measure via a fresh accuracy pass (same loop).
+                let start = Instant::now();
+                let cfg = MultiModelConfig {
+                    models_per_class: 16,
+                    iterations: 1,
+                    ..MultiModelConfig::quick()
+                };
+                let (mm, _) =
+                    lehdc::multimodel::train_multimodel(pipeline.encoded_train(), None, &cfg)
+                        .expect("multimodel");
+                let built = start.elapsed(); // exclude build time below
+                let start = Instant::now();
+                let mut sink = 0usize;
+                for q in queries {
+                    sink = sink.wrapping_add(mm.classify(q));
+                }
+                std::hint::black_box(sink);
+                let _ = built;
+                start.elapsed().as_secs_f64() * 1e6 / queries.len() as f64
+            }
+        };
+        table.row(vec![
+            name.to_string(),
+            format!("{train_secs:.3}"),
+            bytes.to_string(),
+            format!("{infer_us:.2}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Claims to check: Baseline / Retraining / LeHDC inference latency and\n\
+         storage are identical (same artifact); Multi-Model pays ~16× both in\n\
+         storage and per-query time; LeHDC's extra cost is all in training."
+    );
+}

@@ -1,0 +1,138 @@
+//! Regenerates **Table 1**: inference accuracy of Baseline / Multi-Model /
+//! Retraining / LeHDC on the six benchmarks, mean ± std over seeds.
+//!
+//! ```text
+//! cargo run --release -p lehdc-experiments --bin table1 -- --quick --seeds 3
+//! ```
+
+use hdc::Dim;
+use hdc_datasets::BenchmarkProfile;
+use lehdc::{LehdcConfig, MultiModelConfig, Pipeline, RetrainConfig, Strategy};
+use lehdc_experiments::{Options, Stats, TextTable};
+
+/// The paper's Table 1 values (%), for side-by-side comparison.
+const PAPER: &[(&str, [f64; 6])] = &[
+    ("Baseline", [80.36, 68.04, 29.55, 82.46, 87.42, 77.66]),
+    ("Multi-Model", [84.43, 74.05, 22.66, 82.31, 83.47, 91.87]),
+    ("Retraining", [91.25, 80.26, 28.42, 92.70, 89.28, 95.64]),
+    ("LeHDC", [94.89, 87.11, 46.10, 94.74, 95.23, 99.55]),
+];
+
+fn strategies_for(profile: &BenchmarkProfile, opts: &Options) -> Vec<Strategy> {
+    let lehdc_cfg = LehdcConfig::for_benchmark(profile.name());
+    if opts.full {
+        vec![
+            Strategy::Baseline,
+            Strategy::MultiModel(MultiModelConfig::default()),
+            Strategy::Retraining(RetrainConfig::default()),
+            Strategy::Lehdc(lehdc_cfg),
+        ]
+    } else {
+        vec![
+            Strategy::Baseline,
+            Strategy::MultiModel(MultiModelConfig::quick()),
+            Strategy::Retraining(RetrainConfig::quick()),
+            Strategy::Lehdc(LehdcConfig {
+                epochs: lehdc_cfg.epochs.min(30),
+                batch_size: lehdc_cfg.batch_size.min(64),
+                eval_every: usize::MAX / 2, // only the final epoch
+                ..lehdc_cfg
+            }),
+        ]
+    }
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let profiles: Vec<BenchmarkProfile> = BenchmarkProfile::all()
+        .into_iter()
+        .map(|p| if opts.full { p } else { p.quick() })
+        .collect();
+
+    println!(
+        "Table 1 reproduction — D={}, {} seed(s), {} scale\n",
+        opts.dim,
+        opts.seeds,
+        if opts.full { "paper" } else { "quick" }
+    );
+
+    // results[strategy][dataset] = per-seed accuracies
+    let n_strategies = 4;
+    let mut results: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); profiles.len()]; n_strategies];
+
+    for (d_idx, profile) in profiles.iter().enumerate() {
+        for seed in 0..opts.seeds {
+            let data = profile.generate(seed).expect("profile generation");
+            let pipeline = Pipeline::builder(&data)
+                .dim(Dim::new(opts.dim))
+                .seed(seed)
+                .build()
+                .expect("pipeline build");
+            for (s_idx, strategy) in strategies_for(profile, &opts).into_iter().enumerate() {
+                let name = strategy.name();
+                let outcome = pipeline.run(strategy).expect("strategy run");
+                results[s_idx][d_idx].push(outcome.test_accuracy);
+                eprintln!(
+                    "  {:<14} {:<14} seed {seed}: {:.2}%",
+                    profile.name(),
+                    name,
+                    100.0 * outcome.test_accuracy
+                );
+            }
+        }
+    }
+
+    let strategy_names = ["Baseline", "Multi-Model", "Retraining", "LeHDC"];
+    let mut table = TextTable::new(vec![
+        "Strategy",
+        "MNIST",
+        "Fashion-MNIST",
+        "CIFAR-10",
+        "UCIHAR",
+        "ISOLET",
+        "PAMAP",
+        "Avg Increment",
+    ]);
+    let baseline_means: Vec<f64> = (0..profiles.len())
+        .map(|d| Stats::of(&results[0][d]).mean)
+        .collect();
+    for (s_idx, name) in strategy_names.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        let mut increments = Vec::new();
+        for d in 0..profiles.len() {
+            let stats = Stats::of(&results[s_idx][d]);
+            increments.push(100.0 * (stats.mean - baseline_means[d]));
+            row.push(stats.percent());
+        }
+        let avg_inc = increments.iter().sum::<f64>() / increments.len() as f64;
+        row.push(if s_idx == 0 {
+            "—".to_string()
+        } else {
+            format!("{avg_inc:+.2}")
+        });
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    let mut paper_table = TextTable::new(vec![
+        "Paper (Table 1)",
+        "MNIST",
+        "Fashion-MNIST",
+        "CIFAR-10",
+        "UCIHAR",
+        "ISOLET",
+        "PAMAP",
+    ]);
+    for (name, vals) in PAPER {
+        let mut row = vec![name.to_string()];
+        row.extend(vals.iter().map(|v| format!("{v:.2}")));
+        paper_table.row(row);
+    }
+    println!("{}", paper_table.render());
+    println!(
+        "Shape check: expect Baseline < Retraining < LeHDC on every dataset,\n\
+         Multi-Model between Baseline and Retraining except on the\n\
+         few-samples/many-classes profiles (CIFAR-10, ISOLET) where it may\n\
+         fall below the Baseline."
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table 2**: the LeHDC hyper-parameters per dataset.
+//!
+//! These are configuration constants, not measurements — this binary exists
+//! so the experiment index has a runnable artifact per paper table and so a
+//! user can see which settings `LehdcConfig::for_benchmark` will pick.
+
+use hdc_datasets::BenchmarkProfile;
+use lehdc::LehdcConfig;
+use lehdc_experiments::TextTable;
+
+fn main() {
+    println!("Table 2 — LeHDC hyper-parameters (from LehdcConfig::for_benchmark)\n");
+    let mut table = TextTable::new(vec!["Dataset", "WD", "LR", "B", "DR", "Epochs"]);
+    for profile in BenchmarkProfile::all() {
+        let cfg = LehdcConfig::for_benchmark(profile.name());
+        table.row(vec![
+            profile.name().to_string(),
+            format!("{}", cfg.weight_decay),
+            format!("{}", cfg.learning_rate),
+            format!("{}", cfg.batch_size),
+            format!("{}", cfg.dropout),
+            format!("{}", cfg.epochs),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper values: MNIST/UCIHAR/ISOLET/PAMAP = (0.05, 0.01, 64, 0.5, 100);\n\
+         Fashion-MNIST = (0.03, 0.1, 256, 0.3, 200); CIFAR-10 = (0.03, 0.001, 512, 0.3, 200)."
+    );
+}

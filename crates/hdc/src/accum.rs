@@ -1,0 +1,251 @@
+//! Per-dimension counters for bundling binary hypervectors.
+
+use rand::{Rng, RngExt};
+
+use crate::bitvec::BinaryHv;
+use crate::dim::Dim;
+use crate::error::HdcError;
+
+/// Bundles binary hypervectors by counting `+1` votes per dimension.
+///
+/// This implements the `sgn(Σ Hᵢ)` of the paper's Eqs. 1 and 2: each added
+/// hypervector contributes `+1` or `-1` per dimension, and
+/// [`threshold`](Accumulator::threshold) takes the majority, breaking exact
+/// ties randomly — the paper assumes `sgn(0)` is assigned `±1` at random.
+///
+/// Internally only the count of `+1` votes is stored (`ones[d]`); the bipolar
+/// sum at dimension `d` is `2·ones[d] − n` for `n` added vectors.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Accumulator, BinaryHv, Dim};
+/// use rand::SeedableRng;
+///
+/// let d = Dim::new(256);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let proto = BinaryHv::random(d, &mut rng);
+///
+/// let mut acc = Accumulator::new(d);
+/// for _ in 0..5 {
+///     acc.add(&proto);
+/// }
+/// // An odd-count bundle of identical vectors thresholds back to itself.
+/// assert_eq!(acc.threshold(&mut rng), proto);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Accumulator {
+    ones: Vec<u32>,
+    n: u32,
+    dim: Dim,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator of dimension `D`.
+    #[must_use]
+    pub fn new(dim: Dim) -> Self {
+        Accumulator {
+            ones: vec![0; dim.get()],
+            n: 0,
+            dim,
+        }
+    }
+
+    /// The dimensionality `D`.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Number of hypervectors added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether no hypervectors have been added yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds one hypervector to the bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ; use [`try_add`](Self::try_add) for a
+    /// fallible variant.
+    pub fn add(&mut self, hv: &BinaryHv) {
+        self.try_add(hv).expect("dimension mismatch in add");
+    }
+
+    /// Fallible [`add`](Self::add).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimMismatch`] if the dimensions differ.
+    pub fn try_add(&mut self, hv: &BinaryHv) -> Result<(), HdcError> {
+        if hv.dim() != self.dim {
+            return Err(HdcError::DimMismatch {
+                left: self.dim.get(),
+                right: hv.dim().get(),
+            });
+        }
+        for (w, word) in hv.as_words().iter().enumerate() {
+            let base = w * 64;
+            let mut bits = *word;
+            // Only set bits contribute; iterate them sparsely.
+            while bits != 0 {
+                let k = bits.trailing_zeros() as usize;
+                self.ones[base + k] += 1;
+                bits &= bits - 1;
+            }
+        }
+        self.n += 1;
+        Ok(())
+    }
+
+    /// The bipolar coordinate sum at dimension `i`: `Σ hvⱼ[i] ∈ [-n, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= D`.
+    #[must_use]
+    pub fn sum(&self, i: usize) -> i64 {
+        2 * i64::from(self.ones[i]) - i64::from(self.n)
+    }
+
+    /// Majority-thresholds the bundle into a binary hypervector, breaking
+    /// `sgn(0)` ties with `rng` as the paper prescribes.
+    ///
+    /// Ties can only occur when an even number of hypervectors was added.
+    #[must_use]
+    pub fn threshold<R: Rng + ?Sized>(&self, rng: &mut R) -> BinaryHv {
+        let half = self.n; // compare 2*ones vs n  ⇔  ones*2 > n
+        BinaryHv::from_fn(self.dim, |i| {
+            let twice = 2 * self.ones[i];
+            match twice.cmp(&half) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => rng.random::<bool>(),
+            }
+        })
+    }
+
+    /// Deterministic threshold: `sgn(0)` resolves to `+1` (the convention of
+    /// the paper's Eq. 8).
+    #[must_use]
+    pub fn threshold_deterministic(&self) -> BinaryHv {
+        BinaryHv::from_fn(self.dim, |i| 2 * self.ones[i] >= self.n)
+    }
+
+    /// Clears the accumulator for reuse without reallocating.
+    pub fn clear(&mut self) {
+        self.ones.fill(0);
+        self.n = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn empty_accumulator_reports_empty() {
+        let acc = Accumulator::new(Dim::new(10));
+        assert!(acc.is_empty());
+        assert_eq!(acc.len(), 0);
+    }
+
+    #[test]
+    fn majority_of_identical_vectors_is_the_vector() {
+        let mut r = rng();
+        let d = Dim::new(512);
+        let hv = BinaryHv::random(d, &mut r);
+        let mut acc = Accumulator::new(d);
+        for _ in 0..7 {
+            acc.add(&hv);
+        }
+        assert_eq!(acc.threshold(&mut r), hv);
+        assert_eq!(acc.threshold_deterministic(), hv);
+    }
+
+    #[test]
+    fn majority_vote_across_three_vectors() {
+        // dims: v1 = ++-, v2 = +--, v3 = +++  → majority = ++-
+        let v1 = BinaryHv::from_bools(&[true, true, false]);
+        let v2 = BinaryHv::from_bools(&[true, false, false]);
+        let v3 = BinaryHv::from_bools(&[true, true, true]);
+        let mut acc = Accumulator::new(Dim::new(3));
+        acc.add(&v1);
+        acc.add(&v2);
+        acc.add(&v3);
+        assert_eq!(acc.sum(0), 3);
+        assert_eq!(acc.sum(1), 1);
+        assert_eq!(acc.sum(2), -1);
+        let out = acc.threshold(&mut rng());
+        assert_eq!(out, BinaryHv::from_bools(&[true, true, false]));
+    }
+
+    #[test]
+    fn tie_breaking_is_random_but_only_on_ties() {
+        let d = Dim::new(2048);
+        let mut r = rng();
+        let a = BinaryHv::random(d, &mut r);
+        let b = a.negated();
+        let mut acc = Accumulator::new(d);
+        acc.add(&a);
+        acc.add(&b);
+        // Every dimension sums to zero: thresholds differ between rng draws
+        // but each output bit is a coin flip.
+        let t1 = acc.threshold(&mut r);
+        let t2 = acc.threshold(&mut r);
+        assert_ne!(t1, t2, "2048 coin flips should not collide");
+        let ones = t1.count_ones();
+        assert!(
+            (ones as f64 - 1024.0).abs() < 150.0,
+            "tie-broken bits should be ~balanced, got {ones}"
+        );
+        // Deterministic variant resolves all ties to +1.
+        assert_eq!(acc.threshold_deterministic(), BinaryHv::ones(d));
+    }
+
+    #[test]
+    fn add_rejects_dim_mismatch() {
+        let mut acc = Accumulator::new(Dim::new(8));
+        let hv = BinaryHv::zeros(Dim::new(9));
+        assert!(acc.try_add(&hv).is_err());
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let d = Dim::new(16);
+        let mut r = rng();
+        let mut acc = Accumulator::new(d);
+        acc.add(&BinaryHv::random(d, &mut r));
+        acc.clear();
+        assert!(acc.is_empty());
+        assert_eq!(acc.sum(0), 0);
+    }
+
+    #[test]
+    fn sum_matches_bipolar_arithmetic() {
+        let d = Dim::new(64);
+        let mut r = rng();
+        let hvs: Vec<BinaryHv> = (0..9).map(|_| BinaryHv::random(d, &mut r)).collect();
+        let mut acc = Accumulator::new(d);
+        for hv in &hvs {
+            acc.add(hv);
+        }
+        for i in 0..64 {
+            let expect: i64 = hvs.iter().map(|h| i64::from(h.bipolar(i))).sum();
+            assert_eq!(acc.sum(i), expect, "dim {i}");
+        }
+    }
+}

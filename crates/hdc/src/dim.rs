@@ -1,0 +1,111 @@
+//! The hypervector dimension newtype.
+
+use std::fmt;
+
+/// The dimensionality `D` of a hypervector space.
+///
+/// HDC relies on `D` being large (the paper uses `D = 10,000`); this newtype
+/// keeps dimensions from being confused with feature counts, level counts, or
+/// class counts in signatures ([C-NEWTYPE]).
+///
+/// # Examples
+///
+/// ```
+/// use hdc::Dim;
+///
+/// let d = Dim::new(2048);
+/// assert_eq!(d.get(), 2048);
+/// assert_eq!(d.words(), 32); // 2048 bits = 32 × u64
+/// ```
+///
+/// [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dim(usize);
+
+impl Dim {
+    /// Creates a new dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`; a zero-dimensional hypervector space is
+    /// meaningless and every downstream algorithm would divide by it.
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "hypervector dimension must be non-zero");
+        Dim(d)
+    }
+
+    /// Returns the dimension as a `usize`.
+    #[must_use]
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// Number of `u64` words needed to store one hypervector of this
+    /// dimension.
+    #[must_use]
+    pub fn words(self) -> usize {
+        self.0.div_ceil(64)
+    }
+
+    /// Mask selecting the valid bits of the final storage word.
+    ///
+    /// All bits are valid (`u64::MAX`) when the dimension is a multiple
+    /// of 64.
+    #[must_use]
+    pub fn last_word_mask(self) -> u64 {
+        let rem = self.0 % 64;
+        if rem == 0 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<Dim> for usize {
+    fn from(d: Dim) -> usize {
+        d.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count_rounds_up() {
+        assert_eq!(Dim::new(1).words(), 1);
+        assert_eq!(Dim::new(64).words(), 1);
+        assert_eq!(Dim::new(65).words(), 2);
+        assert_eq!(Dim::new(10_000).words(), 157);
+    }
+
+    #[test]
+    fn last_word_mask_covers_remainder() {
+        assert_eq!(Dim::new(64).last_word_mask(), u64::MAX);
+        assert_eq!(Dim::new(1).last_word_mask(), 1);
+        assert_eq!(Dim::new(66).last_word_mask(), 0b11);
+        // 10,000 % 64 == 16
+        assert_eq!(Dim::new(10_000).last_word_mask(), (1u64 << 16) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_panics() {
+        let _ = Dim::new(0);
+    }
+
+    #[test]
+    fn display_and_conversion() {
+        let d = Dim::new(512);
+        assert_eq!(d.to_string(), "512");
+        assert_eq!(usize::from(d), 512);
+    }
+}

@@ -1,0 +1,493 @@
+//! Hypervector encoders: record-based (paper Eq. 1) and N-gram.
+
+use std::thread;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::accum::Accumulator;
+use crate::bitvec::BinaryHv;
+use crate::dim::Dim;
+use crate::error::HdcError;
+use crate::item_memory::{LevelMemory, PositionMemory};
+use crate::quantize::Quantizer;
+use crate::rng::splitmix64;
+
+/// A feature-vector-to-hypervector encoder, `En(x): ℝᴺ ↦ {-1, +1}^D`.
+///
+/// LeHDC deliberately leaves the encoder untouched (paper Sec. 2.1: "LeHDC
+/// does not modify the encoding process, and hence can work with any
+/// encoders"), so every training strategy in this workspace is generic over
+/// this trait.
+pub trait Encode: Sync {
+    /// The hypervector dimensionality `D`.
+    fn dim(&self) -> Dim;
+
+    /// The number of input features `N` a sample must have.
+    fn n_features(&self) -> usize;
+
+    /// Encodes one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureCountMismatch`] if
+    /// `features.len() != self.n_features()`.
+    fn encode(&self, features: &[f32]) -> Result<BinaryHv, HdcError>;
+
+    /// Encodes a flat row-major corpus (`samples.len()` must be a multiple of
+    /// `n_features()`), fanning out across `threads` OS threads.
+    ///
+    /// The result is identical to calling [`encode`](Encode::encode) on each
+    /// row sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureCountMismatch`] if the corpus length is not
+    /// a multiple of the feature count.
+    fn encode_all(&self, samples: &[f32], threads: usize) -> Result<Vec<BinaryHv>, HdcError> {
+        let n = self.n_features();
+        if !samples.len().is_multiple_of(n) {
+            return Err(HdcError::FeatureCountMismatch {
+                expected: n,
+                actual: samples.len() % n,
+            });
+        }
+        let n_samples = samples.len() / n;
+        let threads = threads.max(1).min(n_samples.max(1));
+        if threads <= 1 || n_samples < 2 {
+            return samples.chunks(n).map(|row| self.encode(row)).collect();
+        }
+        let chunk_rows = n_samples.div_ceil(threads);
+        let mut out: Vec<Result<Vec<BinaryHv>, HdcError>> = Vec::new();
+        thread::scope(|scope| {
+            let handles: Vec<_> = samples
+                .chunks(chunk_rows * n)
+                .map(|chunk| scope.spawn(move || chunk.chunks(n).map(|r| self.encode(r)).collect()))
+                .collect();
+            out = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+        let mut all = Vec::with_capacity(n_samples);
+        for part in out {
+            all.extend(part?);
+        }
+        Ok(all)
+    }
+}
+
+/// The record-based encoder of the paper's Eq. 1:
+/// `En(x) = sgn( Σᵢ 𝓕ᵢ ∘ 𝓥_{fᵢ} )`.
+///
+/// Each feature position has an orthogonal random hypervector
+/// ([`PositionMemory`]); each quantized feature value selects a correlated
+/// level hypervector ([`LevelMemory`]); the bound pairs are bundled and
+/// majority-thresholded, with `sgn(0)` ties broken pseudo-randomly (seeded by
+/// the encoder seed and the sample's level pattern, so encoding is a pure
+/// function of its inputs).
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dim, Encode, RecordEncoder};
+///
+/// # fn main() -> Result<(), hdc::HdcError> {
+/// let enc = RecordEncoder::builder(Dim::new(1024), 8)
+///     .levels(16)
+///     .value_range(0.0, 1.0)
+///     .seed(5)
+///     .build()?;
+/// let hv = enc.encode(&[0.1, 0.9, 0.5, 0.3, 0.7, 0.2, 0.8, 0.4])?;
+/// assert_eq!(hv.dim(), Dim::new(1024));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordEncoder {
+    positions: PositionMemory,
+    levels: LevelMemory,
+    quantizer: Quantizer,
+    seed: u64,
+}
+
+impl RecordEncoder {
+    /// Starts building a record encoder for `n_features` inputs at dimension
+    /// `dim`.
+    #[must_use]
+    pub fn builder(dim: Dim, n_features: usize) -> RecordEncoderBuilder {
+        RecordEncoderBuilder {
+            dim,
+            n_features,
+            n_levels: 32,
+            min: 0.0,
+            max: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// The position item memory `𝓕`.
+    #[must_use]
+    pub fn positions(&self) -> &PositionMemory {
+        &self.positions
+    }
+
+    /// The level item memory `𝓥`.
+    #[must_use]
+    pub fn levels(&self) -> &LevelMemory {
+        &self.levels
+    }
+
+    /// The value quantizer.
+    #[must_use]
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// The seed the item memories were generated from. Together with
+    /// [`dim`](Encode::dim), [`n_features`](Encode::n_features),
+    /// [`levels`](Self::levels), and the quantizer range, this fully
+    /// determines the encoder — persisting these five values re-creates it
+    /// exactly.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Encode for RecordEncoder {
+    fn dim(&self) -> Dim {
+        self.positions.dim()
+    }
+
+    fn n_features(&self) -> usize {
+        self.positions.n_features()
+    }
+
+    fn encode(&self, features: &[f32]) -> Result<BinaryHv, HdcError> {
+        let n = self.n_features();
+        if features.len() != n {
+            return Err(HdcError::FeatureCountMismatch {
+                expected: n,
+                actual: features.len(),
+            });
+        }
+        let mut acc = Accumulator::new(self.dim());
+        let mut buf = BinaryHv::zeros(self.dim());
+        // Hash the level pattern so sgn(0) tie-breaking is a deterministic
+        // function of (encoder seed, sample content).
+        let mut content_hash = self.seed;
+        for (i, &value) in features.iter().enumerate() {
+            let level = self.quantizer.level(value);
+            content_hash = splitmix64(content_hash ^ (level as u64).wrapping_mul(i as u64 + 1));
+            buf.clone_from(self.positions.hv(i));
+            buf.bind_assign(self.levels.hv(level));
+            acc.add(&buf);
+        }
+        let mut tie_rng = StdRng::seed_from_u64(content_hash);
+        Ok(acc.threshold(&mut tie_rng))
+    }
+}
+
+/// Builder for [`RecordEncoder`] ([C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Debug, Clone)]
+pub struct RecordEncoderBuilder {
+    dim: Dim,
+    n_features: usize,
+    n_levels: usize,
+    min: f32,
+    max: f32,
+    seed: u64,
+}
+
+impl RecordEncoderBuilder {
+    /// Sets the number of quantization levels `Q` (default 32).
+    #[must_use]
+    pub fn levels(mut self, n_levels: usize) -> Self {
+        self.n_levels = n_levels;
+        self
+    }
+
+    /// Sets the expected feature value range (default `[0, 1]`); values
+    /// outside it are clamped.
+    #[must_use]
+    pub fn value_range(mut self, min: f32, max: f32) -> Self {
+        self.min = min;
+        self.max = max;
+        self
+    }
+
+    /// Sets the RNG seed for the item memories (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the encoder, generating both item memories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if the quantizer range or level
+    /// count is invalid, or the dimension is too small for the requested
+    /// level count.
+    pub fn build(self) -> Result<RecordEncoder, HdcError> {
+        if self.n_features == 0 {
+            return Err(HdcError::InvalidConfig(
+                "encoder needs at least one feature".into(),
+            ));
+        }
+        let quantizer = Quantizer::new(self.min, self.max, self.n_levels)?;
+        let positions = PositionMemory::new(self.dim, self.n_features, self.seed);
+        let levels = LevelMemory::new(self.dim, self.n_levels, self.seed)?;
+        Ok(RecordEncoder {
+            positions,
+            levels,
+            quantizer,
+            seed: self.seed,
+        })
+    }
+}
+
+/// An N-gram encoder: binds rotated level hypervectors of `n` consecutive
+/// features and bundles the windows (paper Sec. 2.1 mentions this as the
+/// main alternative to record-based encoding).
+///
+/// `Gᵢ = ρ^{n-1}(V_{f_i}) ∘ ρ^{n-2}(V_{f_{i+1}}) ∘ … ∘ V_{f_{i+n-1}}` and
+/// `En(x) = sgn(Σᵢ Gᵢ)`.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dim, Encode, NgramEncoder};
+///
+/// # fn main() -> Result<(), hdc::HdcError> {
+/// let enc = NgramEncoder::new(Dim::new(1024), 8, 3, 16, (0.0, 1.0), 5)?;
+/// let hv = enc.encode(&[0.1, 0.9, 0.5, 0.3, 0.7, 0.2, 0.8, 0.4])?;
+/// assert_eq!(hv.dim(), Dim::new(1024));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NgramEncoder {
+    levels: LevelMemory,
+    quantizer: Quantizer,
+    n_features: usize,
+    n: usize,
+    seed: u64,
+}
+
+impl NgramEncoder {
+    /// Creates an N-gram encoder.
+    ///
+    /// `n` is the window length; `n_levels` and `value_range` configure the
+    /// level memory and quantizer as for [`RecordEncoder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if `n == 0`, if
+    /// `n > n_features`, or if the level memory / quantizer configuration is
+    /// invalid.
+    pub fn new(
+        dim: Dim,
+        n_features: usize,
+        n: usize,
+        n_levels: usize,
+        value_range: (f32, f32),
+        seed: u64,
+    ) -> Result<Self, HdcError> {
+        if n == 0 || n > n_features {
+            return Err(HdcError::InvalidConfig(format!(
+                "n-gram window {n} must be in 1..={n_features}"
+            )));
+        }
+        let quantizer = Quantizer::new(value_range.0, value_range.1, n_levels)?;
+        let levels = LevelMemory::new(dim, n_levels, seed)?;
+        Ok(NgramEncoder {
+            levels,
+            quantizer,
+            n_features,
+            n,
+            seed,
+        })
+    }
+
+    /// The window length `n`.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.n
+    }
+}
+
+impl Encode for NgramEncoder {
+    fn dim(&self) -> Dim {
+        self.levels.dim()
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn encode(&self, features: &[f32]) -> Result<BinaryHv, HdcError> {
+        if features.len() != self.n_features {
+            return Err(HdcError::FeatureCountMismatch {
+                expected: self.n_features,
+                actual: features.len(),
+            });
+        }
+        let levels: Vec<usize> = features.iter().map(|&v| self.quantizer.level(v)).collect();
+        let mut content_hash = self.seed;
+        for (i, &l) in levels.iter().enumerate() {
+            content_hash = splitmix64(content_hash ^ (l as u64).wrapping_mul(i as u64 + 1));
+        }
+        let mut acc = Accumulator::new(self.dim());
+        for window in levels.windows(self.n) {
+            let mut gram = self.levels.hv(window[0]).rotated(self.n - 1);
+            for (j, &l) in window.iter().enumerate().skip(1) {
+                gram.bind_assign(&self.levels.hv(l).rotated(self.n - 1 - j));
+            }
+            acc.add(&gram);
+        }
+        let mut tie_rng = StdRng::seed_from_u64(content_hash);
+        Ok(acc.threshold(&mut tie_rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, phase: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| 0.5 + 0.5 * ((i as f32 * 0.7 + phase).sin()))
+            .collect()
+    }
+
+    fn encoder(dim: usize, n: usize) -> RecordEncoder {
+        RecordEncoder::builder(Dim::new(dim), n)
+            .levels(16)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let enc = encoder(1024, 10);
+        let x = sample(10, 0.0);
+        assert_eq!(enc.encode(&x).unwrap(), enc.encode(&x).unwrap());
+    }
+
+    #[test]
+    fn encode_rejects_wrong_feature_count() {
+        let enc = encoder(256, 10);
+        let err = enc.encode(&[0.0; 9]).unwrap_err();
+        assert_eq!(
+            err,
+            HdcError::FeatureCountMismatch {
+                expected: 10,
+                actual: 9
+            }
+        );
+    }
+
+    #[test]
+    fn similar_inputs_encode_to_similar_hypervectors() {
+        let enc = encoder(4096, 32);
+        let a = sample(32, 0.0);
+        let mut b = a.clone();
+        b[0] += 0.02;
+        let c = sample(32, 2.0);
+        let (ha, hb, hc) = (
+            enc.encode(&a).unwrap(),
+            enc.encode(&b).unwrap(),
+            enc.encode(&c).unwrap(),
+        );
+        let near = ha.normalized_hamming(&hb);
+        let far = ha.normalized_hamming(&hc);
+        assert!(near < far, "near {near} should be < far {far}");
+        assert!(near < 0.15, "tiny perturbation moved encoding by {near}");
+    }
+
+    #[test]
+    fn unrelated_inputs_are_quasi_orthogonal() {
+        let enc = encoder(8192, 16);
+        let mut rng = crate::rng::rng_for(1, 1);
+        let a: Vec<f32> = (0..16).map(|_| rand::RngExt::random::<f32>(&mut rng)).collect();
+        let b: Vec<f32> = (0..16).map(|_| rand::RngExt::random::<f32>(&mut rng)).collect();
+        let h = enc
+            .encode(&a)
+            .unwrap()
+            .normalized_hamming(&enc.encode(&b).unwrap());
+        // The correlated level memory leaves residual similarity between
+        // unrelated inputs, but they must sit far from both extremes.
+        assert!(
+            (0.15..=0.85).contains(&h),
+            "unrelated encodings should be well separated, got {h}"
+        );
+    }
+
+    #[test]
+    fn encode_all_matches_sequential_and_is_parallel_safe() {
+        let enc = encoder(512, 6);
+        let rows: Vec<Vec<f32>> = (0..13).map(|i| sample(6, i as f32)).collect();
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let seq: Vec<BinaryHv> = rows.iter().map(|r| enc.encode(r).unwrap()).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = enc.encode_all(&flat, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn encode_all_rejects_ragged_corpus() {
+        let enc = encoder(128, 4);
+        assert!(enc.encode_all(&[0.0; 7], 2).is_err());
+        assert_eq!(enc.encode_all(&[], 2).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(RecordEncoder::builder(Dim::new(64), 0).build().is_err());
+        assert!(RecordEncoder::builder(Dim::new(64), 4)
+            .levels(1)
+            .build()
+            .is_err());
+        assert!(RecordEncoder::builder(Dim::new(64), 4)
+            .value_range(1.0, 0.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn ngram_encoder_basics() {
+        let enc = NgramEncoder::new(Dim::new(1024), 12, 3, 8, (0.0, 1.0), 7).unwrap();
+        assert_eq!(enc.window(), 3);
+        let x = sample(12, 0.3);
+        let h1 = enc.encode(&x).unwrap();
+        assert_eq!(h1, enc.encode(&x).unwrap(), "deterministic");
+        assert!(enc.encode(&[0.0; 5]).is_err());
+        // sequence order matters to an n-gram encoder
+        let mut rev = x.clone();
+        rev.reverse();
+        let h2 = enc.encode(&rev).unwrap();
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn ngram_rejects_bad_window() {
+        assert!(NgramEncoder::new(Dim::new(256), 4, 0, 8, (0.0, 1.0), 0).is_err());
+        assert!(NgramEncoder::new(Dim::new(256), 4, 5, 8, (0.0, 1.0), 0).is_err());
+    }
+
+    #[test]
+    fn different_seeds_give_different_codebooks() {
+        let a = encoder(512, 8);
+        let b = RecordEncoder::builder(Dim::new(512), 8)
+            .levels(16)
+            .seed(43)
+            .build()
+            .unwrap();
+        let x = sample(8, 0.0);
+        assert_ne!(a.encode(&x).unwrap(), b.encode(&x).unwrap());
+    }
+}

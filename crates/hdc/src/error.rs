@@ -1,0 +1,68 @@
+//! Error type for the HDC substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by hypervector and encoder operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// Two hypervectors (or a hypervector and an accumulator) had different
+    /// dimensions.
+    DimMismatch {
+        /// Dimension of the left-hand operand.
+        left: usize,
+        /// Dimension of the right-hand operand.
+        right: usize,
+    },
+    /// A sample had a different number of features than the encoder expects.
+    FeatureCountMismatch {
+        /// Number of features the encoder was built for.
+        expected: usize,
+        /// Number of features in the offending sample.
+        actual: usize,
+    },
+    /// A configuration value was outside its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::DimMismatch { left, right } => {
+                write!(f, "hypervector dimension mismatch: {left} vs {right}")
+            }
+            HdcError::FeatureCountMismatch { expected, actual } => {
+                write!(f, "expected {expected} features, got {actual}")
+            }
+            HdcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for HdcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HdcError::DimMismatch { left: 8, right: 16 };
+        assert!(e.to_string().contains('8'));
+        assert!(e.to_string().contains("16"));
+        let e = HdcError::FeatureCountMismatch {
+            expected: 3,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("features"));
+        let e = HdcError::InvalidConfig("levels must be >= 2".into());
+        assert!(e.to_string().contains("levels"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+    }
+}

@@ -1,0 +1,265 @@
+//! Item memories: the random hypervector codebooks of record-based encoding.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::bitvec::BinaryHv;
+use crate::dim::Dim;
+use crate::error::HdcError;
+use crate::rng::rng_for;
+
+/// Orthogonal per-feature hypervectors (the paper's `𝓕`).
+///
+/// One uniformly random hypervector is drawn per feature position; by the
+/// concentration of measure in high dimensions, any two are quasi-orthogonal
+/// (`Hamm ≈ 0.5`), which is exactly the property the paper requires to keep
+/// features distinguishable after bundling.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dim, PositionMemory};
+///
+/// let pm = PositionMemory::new(Dim::new(4096), 32, 42);
+/// let h = pm.hv(0).normalized_hamming(pm.hv(31));
+/// assert!((h - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PositionMemory {
+    hvs: Vec<BinaryHv>,
+    dim: Dim,
+}
+
+impl PositionMemory {
+    /// Generates `n_features` random position hypervectors from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_features == 0`.
+    #[must_use]
+    pub fn new(dim: Dim, n_features: usize, seed: u64) -> Self {
+        assert!(n_features > 0, "at least one feature position is required");
+        let mut rng = rng_for(seed, 0x70_6F73);
+        let hvs = (0..n_features)
+            .map(|_| BinaryHv::random(dim, &mut rng))
+            .collect();
+        PositionMemory { hvs, dim }
+    }
+
+    /// The hypervector for feature position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_features`.
+    #[must_use]
+    pub fn hv(&self, i: usize) -> &BinaryHv {
+        &self.hvs[i]
+    }
+
+    /// Number of feature positions.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.hvs.len()
+    }
+
+    /// The dimensionality `D`.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Iterates over the position hypervectors in feature order.
+    pub fn iter(&self) -> std::slice::Iter<'_, BinaryHv> {
+        self.hvs.iter()
+    }
+}
+
+/// Correlated per-value hypervectors (the paper's `𝓥`).
+///
+/// Level 0 is random; each subsequent level flips a fresh, disjoint block of
+/// `⌊D/2⌋ / (Q−1)` coordinates chosen from a random permutation of all
+/// dimensions. Flipped blocks never overlap, so
+/// `Hamm(V_i, V_j) = |i − j| · block / D` **exactly** — the linear
+/// correlation `Hamm(V_{f_i}, V_{f_j}) ∝ |f_i − f_j|` the paper requires,
+/// saturating at ≈ 0.5 between the extreme levels.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdc::HdcError> {
+/// use hdc::{Dim, LevelMemory};
+///
+/// let lm = LevelMemory::new(Dim::new(4096), 16, 42)?;
+/// let near = lm.hv(0).normalized_hamming(lm.hv(1));
+/// let far = lm.hv(0).normalized_hamming(lm.hv(15));
+/// assert!(near < far);
+/// assert!((far - 0.5).abs() < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LevelMemory {
+    hvs: Vec<BinaryHv>,
+    dim: Dim,
+    block: usize,
+}
+
+impl LevelMemory {
+    /// Generates `n_levels` correlated level hypervectors from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if `n_levels < 2` or if the
+    /// dimension is too small to give each level transition at least one
+    /// flipped coordinate (`D/2 < n_levels − 1`).
+    pub fn new(dim: Dim, n_levels: usize, seed: u64) -> Result<Self, HdcError> {
+        if n_levels < 2 {
+            return Err(HdcError::InvalidConfig(format!(
+                "level memory needs at least 2 levels, got {n_levels}"
+            )));
+        }
+        let block = (dim.get() / 2) / (n_levels - 1);
+        if block == 0 {
+            return Err(HdcError::InvalidConfig(format!(
+                "dimension {dim} too small for {n_levels} levels"
+            )));
+        }
+        let mut rng = rng_for(seed, 0x6C_766C);
+        let mut order: Vec<usize> = (0..dim.get()).collect();
+        order.shuffle(&mut rng);
+
+        let mut hvs = Vec::with_capacity(n_levels);
+        let mut current = BinaryHv::random(dim, &mut rng);
+        hvs.push(current.clone());
+        for level in 1..n_levels {
+            let start = (level - 1) * block;
+            for &pos in &order[start..start + block] {
+                current.flip(pos);
+            }
+            hvs.push(current.clone());
+        }
+        Ok(LevelMemory { hvs, dim, block })
+    }
+
+    /// The hypervector for level `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n_levels`.
+    #[must_use]
+    pub fn hv(&self, q: usize) -> &BinaryHv {
+        &self.hvs[q]
+    }
+
+    /// Number of levels `Q`.
+    #[must_use]
+    pub fn n_levels(&self) -> usize {
+        self.hvs.len()
+    }
+
+    /// The dimensionality `D`.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Number of coordinates flipped between adjacent levels.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+}
+
+/// Generates `n` independent random hypervectors — a convenience for
+/// strategies that need ad-hoc codebooks (e.g. multi-model initialization).
+#[must_use]
+pub fn random_codebook<R: Rng + ?Sized>(dim: Dim, n: usize, rng: &mut R) -> Vec<BinaryHv> {
+    (0..n).map(|_| BinaryHv::random(dim, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_memory_is_reproducible_and_orthogonal() {
+        let d = Dim::new(8192);
+        let a = PositionMemory::new(d, 10, 7);
+        let b = PositionMemory::new(d, 10, 7);
+        for i in 0..10 {
+            assert_eq!(a.hv(i), b.hv(i), "same seed must reproduce");
+        }
+        let c = PositionMemory::new(d, 10, 8);
+        assert_ne!(a.hv(0), c.hv(0), "different seeds must differ");
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let h = a.hv(i).normalized_hamming(a.hv(j));
+                assert!((h - 0.5).abs() < 0.04, "pair ({i},{j}) hamming {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_memory_distance_is_exactly_linear() {
+        let d = Dim::new(4096);
+        let q = 9;
+        let lm = LevelMemory::new(d, q, 3).unwrap();
+        let block = lm.block_size();
+        assert_eq!(block, (4096 / 2) / 8);
+        for i in 0..q {
+            for j in 0..q {
+                let expect = (i as i64 - j as i64).unsigned_abs() as usize * block;
+                assert_eq!(
+                    lm.hv(i).hamming(lm.hv(j)),
+                    expect,
+                    "levels ({i},{j}) must be exactly |i-j|*block apart"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_levels_are_near_orthogonal() {
+        let d = Dim::new(10_000);
+        let lm = LevelMemory::new(d, 32, 11).unwrap();
+        let h = lm.hv(0).normalized_hamming(lm.hv(31));
+        assert!((h - 0.5).abs() < 0.02, "extreme levels hamming {h}");
+    }
+
+    #[test]
+    fn level_memory_rejects_degenerate_configs() {
+        assert!(LevelMemory::new(Dim::new(64), 1, 0).is_err());
+        // D/2 = 3 flips available but 7 transitions needed.
+        assert!(LevelMemory::new(Dim::new(6), 8, 0).is_err());
+    }
+
+    #[test]
+    fn level_memory_is_reproducible() {
+        let a = LevelMemory::new(Dim::new(256), 4, 99).unwrap();
+        let b = LevelMemory::new(Dim::new(256), 4, 99).unwrap();
+        for q in 0..4 {
+            assert_eq!(a.hv(q), b.hv(q));
+        }
+    }
+
+    #[test]
+    fn position_iter_visits_all() {
+        let pm = PositionMemory::new(Dim::new(64), 5, 1);
+        assert_eq!(pm.iter().count(), 5);
+        assert_eq!(pm.n_features(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one feature")]
+    fn empty_position_memory_panics() {
+        let _ = PositionMemory::new(Dim::new(64), 0, 1);
+    }
+
+    #[test]
+    fn random_codebook_has_requested_size() {
+        let mut rng = rng_for(1, 2);
+        let cb = random_codebook(Dim::new(128), 6, &mut rng);
+        assert_eq!(cb.len(), 6);
+        assert_ne!(cb[0], cb[1]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Arbitrary dimension permutations.
+//!
+//! Beyond the cyclic rotation built into [`BinaryHv::rotated`], HDC systems
+//! use general random permutations `ρ` to encode order and role-filler
+//! structure: a permutation is a Hamming isometry that is (with
+//! overwhelming probability) quasi-orthogonal to the identity, so `ρ(H)`
+//! carries the same information as `H` while being distinguishable from it.
+
+use rand::seq::SliceRandom;
+
+use crate::bitvec::BinaryHv;
+use crate::dim::Dim;
+use crate::error::HdcError;
+use crate::rng::rng_for;
+
+/// A permutation of hypervector dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{BinaryHv, Dim};
+/// use hdc::permutation::Permutation;
+/// use rand::SeedableRng;
+///
+/// let dim = Dim::new(1024);
+/// let perm = Permutation::random(dim, 7);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let h = BinaryHv::random(dim, &mut rng);
+///
+/// // A permutation is invertible and moves the vector far from itself.
+/// let p = perm.apply(&h);
+/// assert_eq!(perm.inverse().apply(&p), h);
+/// assert!((h.normalized_hamming(&p) - 0.5).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    // forward[i] = destination of dimension i
+    forward: Vec<usize>,
+    dim: Dim,
+}
+
+impl Permutation {
+    /// The identity permutation.
+    #[must_use]
+    pub fn identity(dim: Dim) -> Self {
+        Permutation {
+            forward: (0..dim.get()).collect(),
+            dim,
+        }
+    }
+
+    /// A uniformly random permutation drawn from `seed` (Fisher–Yates).
+    #[must_use]
+    pub fn random(dim: Dim, seed: u64) -> Self {
+        let mut forward: Vec<usize> = (0..dim.get()).collect();
+        let mut rng = rng_for(seed, 0x9E_12F3);
+        forward.shuffle(&mut rng);
+        Permutation { forward, dim }
+    }
+
+    /// The cyclic rotation by `k` as a permutation (equivalent to
+    /// [`BinaryHv::rotated`]).
+    #[must_use]
+    pub fn rotation(dim: Dim, k: usize) -> Self {
+        let d = dim.get();
+        Permutation {
+            forward: (0..d).map(|i| (i + k) % d).collect(),
+            dim,
+        }
+    }
+
+    /// Builds a permutation from an explicit destination map
+    /// (`forward[i]` = where dimension `i` goes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if `forward` is not a
+    /// permutation of `0..D`.
+    pub fn from_forward(dim: Dim, forward: Vec<usize>) -> Result<Self, HdcError> {
+        if forward.len() != dim.get() {
+            return Err(HdcError::InvalidConfig(format!(
+                "permutation of length {} cannot act on dimension {dim}",
+                forward.len()
+            )));
+        }
+        let mut seen = vec![false; dim.get()];
+        for &dest in &forward {
+            if dest >= dim.get() || seen[dest] {
+                return Err(HdcError::InvalidConfig(
+                    "forward map is not a bijection on 0..D".into(),
+                ));
+            }
+            seen[dest] = true;
+        }
+        Ok(Permutation { forward, dim })
+    }
+
+    /// The dimensionality this permutation acts on.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Applies the permutation: output dimension `forward[i]` takes input
+    /// dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hypervector dimension differs from the permutation's.
+    #[must_use]
+    pub fn apply(&self, hv: &BinaryHv) -> BinaryHv {
+        assert_eq!(
+            hv.dim(),
+            self.dim,
+            "permutation dimension mismatch: {} vs {}",
+            self.dim,
+            hv.dim()
+        );
+        let mut out = BinaryHv::zeros(self.dim);
+        for (i, &dest) in self.forward.iter().enumerate() {
+            if hv.get(i) {
+                out.set(dest, true);
+            }
+        }
+        out
+    }
+
+    /// The inverse permutation.
+    #[must_use]
+    pub fn inverse(&self) -> Permutation {
+        let mut forward = vec![0usize; self.forward.len()];
+        for (i, &dest) in self.forward.iter().enumerate() {
+            forward[dest] = i;
+        }
+        Permutation {
+            forward,
+            dim: self.dim,
+        }
+    }
+
+    /// Composition: `(self ∘ other)(H) = self(other(H))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.dim, other.dim, "permutation dimension mismatch");
+        let forward = (0..self.dim.get())
+            .map(|i| self.forward[other.forward[i]])
+            .collect();
+        Permutation {
+            forward,
+            dim: self.dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hv(d: usize, seed: u64) -> BinaryHv {
+        let mut rng = rng_for(seed, 0);
+        BinaryHv::random(Dim::new(d), &mut rng)
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let h = hv(130, 1);
+        assert_eq!(Permutation::identity(Dim::new(130)).apply(&h), h);
+    }
+
+    #[test]
+    fn rotation_permutation_matches_rotated() {
+        let h = hv(99, 2);
+        let p = Permutation::rotation(Dim::new(99), 13);
+        assert_eq!(p.apply(&h), h.rotated(13));
+    }
+
+    #[test]
+    fn inverse_undoes_apply() {
+        let h = hv(257, 3);
+        let p = Permutation::random(Dim::new(257), 5);
+        assert_eq!(p.inverse().apply(&p.apply(&h)), h);
+        assert_eq!(p.inverse().inverse(), p);
+    }
+
+    #[test]
+    fn permutation_is_a_hamming_isometry() {
+        let a = hv(512, 4);
+        let b = hv(512, 5);
+        let p = Permutation::random(Dim::new(512), 6);
+        assert_eq!(p.apply(&a).hamming(&p.apply(&b)), a.hamming(&b));
+        assert_eq!(p.apply(&a).count_ones(), a.count_ones());
+    }
+
+    #[test]
+    fn random_permutation_decorrelates() {
+        let a = hv(4096, 7);
+        let p = Permutation::random(Dim::new(4096), 8);
+        let h = a.normalized_hamming(&p.apply(&a));
+        assert!((h - 0.5).abs() < 0.05, "permuted self-distance {h}");
+    }
+
+    #[test]
+    fn composition_associates_with_application() {
+        let a = hv(128, 9);
+        let p = Permutation::random(Dim::new(128), 10);
+        let q = Permutation::random(Dim::new(128), 11);
+        assert_eq!(p.compose(&q).apply(&a), p.apply(&q.apply(&a)));
+    }
+
+    #[test]
+    fn from_forward_validates() {
+        let d = Dim::new(4);
+        assert!(Permutation::from_forward(d, vec![0, 1, 2, 3]).is_ok());
+        assert!(Permutation::from_forward(d, vec![0, 1, 2]).is_err()); // short
+        assert!(Permutation::from_forward(d, vec![0, 1, 2, 2]).is_err()); // dup
+        assert!(Permutation::from_forward(d, vec![0, 1, 2, 4]).is_err()); // range
+    }
+
+    #[test]
+    fn seeded_permutations_are_reproducible() {
+        let d = Dim::new(64);
+        assert_eq!(Permutation::random(d, 1), Permutation::random(d, 1));
+        assert_ne!(Permutation::random(d, 1), Permutation::random(d, 2));
+    }
+}

@@ -1,0 +1,156 @@
+//! Feature-value quantization to discrete levels.
+
+use crate::error::HdcError;
+
+/// Maps continuous feature values in `[min, max]` to one of `Q` discrete
+/// levels, for indexing into a [`LevelMemory`](crate::LevelMemory).
+///
+/// Values outside the range are clamped, so a quantizer fitted on training
+/// data handles mildly out-of-range test values gracefully.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdc::HdcError> {
+/// let q = hdc::Quantizer::new(0.0, 1.0, 4)?;
+/// assert_eq!(q.level(0.0), 0);
+/// assert_eq!(q.level(1.0), 3);
+/// assert_eq!(q.level(-5.0), 0); // clamped
+/// assert_eq!(q.level(0.30), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantizer {
+    min: f32,
+    max: f32,
+    n_levels: usize,
+}
+
+impl Quantizer {
+    /// Creates a quantizer over `[min, max]` with `n_levels` levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if `n_levels < 2`, if
+    /// `min >= max`, or if either bound is non-finite.
+    pub fn new(min: f32, max: f32, n_levels: usize) -> Result<Self, HdcError> {
+        if n_levels < 2 {
+            return Err(HdcError::InvalidConfig(format!(
+                "quantizer needs at least 2 levels, got {n_levels}"
+            )));
+        }
+        if !min.is_finite() || !max.is_finite() {
+            return Err(HdcError::InvalidConfig(
+                "quantizer bounds must be finite".into(),
+            ));
+        }
+        if min >= max {
+            return Err(HdcError::InvalidConfig(format!(
+                "quantizer range is empty: min {min} >= max {max}"
+            )));
+        }
+        Ok(Quantizer { min, max, n_levels })
+    }
+
+    /// Fits the range to observed data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if `values` is empty, contains
+    /// non-finite entries, or is constant (empty range).
+    pub fn fit(values: &[f32], n_levels: usize) -> Result<Self, HdcError> {
+        if values.is_empty() {
+            return Err(HdcError::InvalidConfig(
+                "cannot fit quantizer to empty data".into(),
+            ));
+        }
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in values {
+            if !v.is_finite() {
+                return Err(HdcError::InvalidConfig(
+                    "cannot fit quantizer to non-finite data".into(),
+                ));
+            }
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Quantizer::new(min, max, n_levels)
+    }
+
+    /// The number of levels `Q`.
+    #[must_use]
+    pub fn n_levels(&self) -> usize {
+        self.n_levels
+    }
+
+    /// The fitted `(min, max)` range.
+    #[must_use]
+    pub fn range(&self) -> (f32, f32) {
+        (self.min, self.max)
+    }
+
+    /// Quantizes a value to its level index in `0..Q`, clamping
+    /// out-of-range inputs.
+    #[must_use]
+    pub fn level(&self, value: f32) -> usize {
+        let t = (value - self.min) / (self.max - self.min);
+        let t = t.clamp(0.0, 1.0);
+        // Level i covers [i/Q, (i+1)/Q); t == 1.0 maps to the top level.
+        let idx = (t * self.n_levels as f32) as usize;
+        idx.min(self.n_levels - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Quantizer::new(0.0, 1.0, 1).is_err());
+        assert!(Quantizer::new(1.0, 1.0, 4).is_err());
+        assert!(Quantizer::new(2.0, 1.0, 4).is_err());
+        assert!(Quantizer::new(f32::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn levels_partition_the_range_monotonically() {
+        let q = Quantizer::new(-1.0, 1.0, 8).unwrap();
+        let mut last = 0;
+        for i in 0..=100 {
+            let v = -1.0 + 2.0 * i as f32 / 100.0;
+            let l = q.level(v);
+            assert!(l >= last, "levels must be monotone in the value");
+            assert!(l < 8);
+            last = l;
+        }
+        assert_eq!(q.level(-1.0), 0);
+        assert_eq!(q.level(1.0), 7);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let q = Quantizer::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(q.level(-100.0), 0);
+        assert_eq!(q.level(100.0), 4);
+        assert_eq!(q.level(f32::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn fit_covers_observed_data() {
+        let data = [3.0, -2.0, 7.5, 0.0];
+        let q = Quantizer::fit(&data, 16).unwrap();
+        assert_eq!(q.range(), (-2.0, 7.5));
+        assert_eq!(q.level(-2.0), 0);
+        assert_eq!(q.level(7.5), 15);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_data() {
+        assert!(Quantizer::fit(&[], 4).is_err());
+        assert!(Quantizer::fit(&[5.0, 5.0], 4).is_err());
+        assert!(Quantizer::fit(&[1.0, f32::NAN], 4).is_err());
+    }
+}

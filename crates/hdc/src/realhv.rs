@@ -1,0 +1,324 @@
+//! Real-valued hypervectors.
+
+use crate::bitvec::BinaryHv;
+use crate::dim::Dim;
+use crate::error::HdcError;
+
+/// A real-valued hypervector in `ℝ^D`.
+///
+/// Non-binary HDC models use these directly as class hypervectors with cosine
+/// similarity (paper Sec. 3.1 remark); the retraining strategies (paper
+/// Sec. 2.2) keep a non-binary shadow copy of every class hypervector and
+/// update it with `c ± α·En(x)` before re-binarizing.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{BinaryHv, Dim, RealHv};
+/// use rand::SeedableRng;
+///
+/// let d = Dim::new(128);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let h = BinaryHv::random(d, &mut rng);
+///
+/// // A non-binary class hypervector accumulates scaled samples …
+/// let mut c = RealHv::zeros(d);
+/// c.add_scaled(&h, 0.5);
+/// // … and binarizes back with sgn (ties → +1, Eq. 8).
+/// assert_eq!(c.sign(), h);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealHv {
+    values: Vec<f32>,
+    dim: Dim,
+}
+
+impl RealHv {
+    /// Creates the zero hypervector.
+    #[must_use]
+    pub fn zeros(dim: Dim) -> Self {
+        RealHv {
+            values: vec![0.0; dim.get()],
+            dim,
+        }
+    }
+
+    /// Creates a real hypervector from the bipolar values of a binary one.
+    #[must_use]
+    pub fn from_binary(hv: &BinaryHv) -> Self {
+        RealHv {
+            values: hv.to_bipolar_f32(),
+            dim: hv.dim(),
+        }
+    }
+
+    /// Wraps an existing value vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn from_values(values: Vec<f32>) -> Self {
+        let dim = Dim::new(values.len());
+        RealHv { values, dim }
+    }
+
+    /// The dimensionality `D`.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Borrows the coordinate values.
+    #[must_use]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutably borrows the coordinate values.
+    #[must_use]
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// `self += α · hv` where `hv` contributes `±1` per dimension — the
+    /// retraining update of the paper's Eq. 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_scaled(&mut self, hv: &BinaryHv, alpha: f32) {
+        assert_eq!(
+            self.dim,
+            hv.dim(),
+            "dimension mismatch in add_scaled: {} vs {}",
+            self.dim,
+            hv.dim()
+        );
+        for (i, v) in self.values.iter_mut().enumerate() {
+            *v += if (hv.as_words()[i / 64] >> (i % 64)) & 1 == 1 {
+                alpha
+            } else {
+                -alpha
+            };
+        }
+    }
+
+    /// `self += α · other` for two real hypervectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_scaled_real(&mut self, other: &RealHv, alpha: f32) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in add_scaled_real");
+        for (v, o) in self.values.iter_mut().zip(&other.values) {
+            *v += alpha * o;
+        }
+    }
+
+    /// Multiplies every coordinate by `factor`.
+    pub fn scale(&mut self, factor: f32) {
+        for v in &mut self.values {
+            *v *= factor;
+        }
+    }
+
+    /// Dot product with a binary hypervector's bipolar values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn dot_binary(&self, hv: &BinaryHv) -> f64 {
+        assert_eq!(self.dim, hv.dim(), "dimension mismatch in dot_binary");
+        let mut acc = 0.0f64;
+        for (i, &v) in self.values.iter().enumerate() {
+            if (hv.as_words()[i / 64] >> (i % 64)) & 1 == 1 {
+                acc += f64::from(v);
+            } else {
+                acc -= f64::from(v);
+            }
+        }
+        acc
+    }
+
+    /// Dot product with another real hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn dot(&self, other: &RealHv) -> f64 {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in dot");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| f64::from(*a) * f64::from(*b))
+            .sum()
+    }
+
+    /// Euclidean (`l2`) norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.values
+            .iter()
+            .map(|v| f64::from(*v) * f64::from(*v))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Cosine similarity with another real hypervector.
+    ///
+    /// Returns `0.0` when either vector has zero norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn cosine(&self, other: &RealHv) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.dot(other) / denom
+    }
+
+    /// Cosine similarity with a binary hypervector (whose norm is `√D`).
+    ///
+    /// Returns `0.0` when this vector has zero norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn cosine_binary(&self, hv: &BinaryHv) -> f64 {
+        let denom = self.norm() * (self.dim.get() as f64).sqrt();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.dot_binary(hv) / denom
+    }
+
+    /// Binarizes with the paper's Eq. 8 convention: `-1` iff the coordinate
+    /// is negative, `+1` otherwise (so `sgn(0) = +1`).
+    ///
+    /// # Errors
+    ///
+    /// This method is infallible; it returns `BinaryHv` directly.
+    #[must_use]
+    pub fn sign(&self) -> BinaryHv {
+        BinaryHv::from_fn(self.dim, |i| self.values[i] >= 0.0)
+    }
+
+    /// Checked elementwise addition of another real hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimMismatch`] if the dimensions differ.
+    pub fn try_add(&mut self, other: &RealHv) -> Result<(), HdcError> {
+        if self.dim != other.dim {
+            return Err(HdcError::DimMismatch {
+                left: self.dim.get(),
+                right: other.dim.get(),
+            });
+        }
+        self.add_scaled_real(other, 1.0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn from_binary_roundtrips_through_sign() {
+        let d = Dim::new(300);
+        let mut r = rng();
+        let h = BinaryHv::random(d, &mut r);
+        assert_eq!(RealHv::from_binary(&h).sign(), h);
+    }
+
+    #[test]
+    fn sign_of_zero_is_plus_one() {
+        // Eq. 8: sgn(0) = +1.
+        let z = RealHv::zeros(Dim::new(10));
+        assert_eq!(z.sign(), BinaryHv::ones(Dim::new(10)));
+    }
+
+    #[test]
+    fn add_scaled_accumulates_bipolar_votes() {
+        let d = Dim::new(64);
+        let mut r = rng();
+        let h = BinaryHv::random(d, &mut r);
+        let mut c = RealHv::zeros(d);
+        c.add_scaled(&h, 0.25);
+        c.add_scaled(&h, 0.25);
+        for i in 0..64 {
+            let expect = 0.5 * h.bipolar(i) as f32;
+            assert!((c.values()[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dot_binary_matches_dense_dot() {
+        let d = Dim::new(129);
+        let mut r = rng();
+        let h = BinaryHv::random(d, &mut r);
+        let c = RealHv::from_values((0..129).map(|i| (i as f32) * 0.01 - 0.5).collect());
+        let dense: f64 = c
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| f64::from(v) * f64::from(h.bipolar(i)))
+            .sum();
+        assert!((c.dot_binary(&h) - dense).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_of_self_is_one() {
+        let c = RealHv::from_values(vec![1.0, -2.0, 3.0]);
+        assert!((c.cosine(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        let z = RealHv::zeros(Dim::new(5));
+        let c = RealHv::from_values(vec![1.0; 5]);
+        assert_eq!(z.cosine(&c), 0.0);
+        assert_eq!(z.cosine_binary(&BinaryHv::ones(Dim::new(5))), 0.0);
+    }
+
+    #[test]
+    fn cosine_binary_agrees_with_binary_cosine_for_bipolar_vectors() {
+        let d = Dim::new(512);
+        let mut r = rng();
+        let a = BinaryHv::random(d, &mut r);
+        let b = BinaryHv::random(d, &mut r);
+        let ra = RealHv::from_binary(&a);
+        assert!((ra.cosine_binary(&b) - a.cosine(&b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn try_add_checks_dims() {
+        let mut a = RealHv::zeros(Dim::new(4));
+        let b = RealHv::zeros(Dim::new(5));
+        assert!(a.try_add(&b).is_err());
+        let c = RealHv::from_values(vec![1.0, 2.0, 3.0, 4.0]);
+        a.try_add(&c).unwrap();
+        assert_eq!(a.values(), c.values());
+    }
+
+    #[test]
+    fn scale_multiplies_coordinates() {
+        let mut a = RealHv::from_values(vec![1.0, -2.0]);
+        a.scale(0.5);
+        assert_eq!(a.values(), &[0.5, -1.0]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Conversions between similarity measures.
+//!
+//! Paper Sec. 3.1 establishes the linear equivalence between the normalized
+//! Hamming distance and the cosine similarity of bipolar hypervectors:
+//! `cosine = 1 − 2·Hamm`. These helpers make that identity explicit so that
+//! classifiers can be written against either measure; the per-vector
+//! operations live on [`BinaryHv`](crate::BinaryHv) and
+//! [`RealHv`](crate::RealHv).
+
+/// Converts a normalized Hamming distance in `[0, 1]` to the equivalent
+/// cosine similarity in `[-1, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hdc::cosine_from_hamming(0.0), 1.0);   // identical vectors
+/// assert_eq!(hdc::cosine_from_hamming(0.5), 0.0);   // orthogonal
+/// assert_eq!(hdc::cosine_from_hamming(1.0), -1.0);  // negated
+/// ```
+#[must_use]
+pub fn cosine_from_hamming(normalized_hamming: f64) -> f64 {
+    1.0 - 2.0 * normalized_hamming
+}
+
+/// Converts a cosine similarity in `[-1, 1]` to the equivalent normalized
+/// Hamming distance in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hdc::hamming_from_cosine(1.0), 0.0);
+/// assert_eq!(hdc::hamming_from_cosine(-1.0), 1.0);
+/// ```
+#[must_use]
+pub fn hamming_from_cosine(cosine: f64) -> f64 {
+    (1.0 - cosine) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinaryHv, Dim};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conversions_are_inverses() {
+        for i in 0..=10 {
+            let h = i as f64 / 10.0;
+            assert!((hamming_from_cosine(cosine_from_hamming(h)) - h).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_holds_on_real_vectors() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Dim::new(777);
+        let a = BinaryHv::random(d, &mut rng);
+        let b = BinaryHv::random(d, &mut rng);
+        let from_ham = cosine_from_hamming(a.normalized_hamming(&b));
+        assert!((from_ham - a.cosine(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmin_hamming_is_argmax_cosine() {
+        // The basis of the paper's Eq. 6: the two orderings agree.
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = Dim::new(512);
+        let q = BinaryHv::random(d, &mut rng);
+        let classes: Vec<BinaryHv> = (0..8).map(|_| BinaryHv::random(d, &mut rng)).collect();
+        let by_ham = classes
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                q.normalized_hamming(a)
+                    .partial_cmp(&q.normalized_hamming(b))
+                    .unwrap()
+            })
+            .map(|(i, _)| i);
+        let by_cos = classes
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| q.cosine(a).partial_cmp(&q.cosine(b)).unwrap())
+            .map(|(i, _)| i);
+        assert_eq!(by_ham, by_cos);
+    }
+}

@@ -1,0 +1,64 @@
+//! Bring-your-own data: load a numeric CSV, normalize it, and train LeHDC
+//! on it. The example writes a small CSV to a temp file first so it runs
+//! self-contained; point `path` at your own file in real use.
+//!
+//! CSV format: one sample per line, label in the first column
+//! (`LabelColumn::Last` is also supported), features after it.
+//!
+//! ```text
+//! cargo run --release --example custom_dataset
+//! ```
+
+use std::error::Error;
+use std::fmt::Write as _;
+
+use lehdc_suite::datasets::loader::csv::{load_csv, LabelColumn};
+use lehdc_suite::datasets::TrainTest;
+use lehdc_suite::hdc::Dim;
+use lehdc_suite::lehdc::{Pipeline, Strategy};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Fabricate a small two-ring dataset as CSV text.
+    let mut csv = String::from("label,radius_x,radius_y,offset\n");
+    for i in 0..240 {
+        let angle = i as f32 * 0.7;
+        let (label, radius) = if i % 2 == 0 { (0, 1.0f32) } else { (1, 2.0f32) };
+        let noise = ((i * 37) % 17) as f32 / 170.0;
+        writeln!(
+            csv,
+            "{label},{:.4},{:.4},{:.4}",
+            radius * angle.cos() + noise,
+            radius * angle.sin() + noise,
+            radius + noise
+        )?;
+    }
+    let path = std::env::temp_dir().join("lehdc_custom_dataset.csv");
+    std::fs::write(&path, csv)?;
+
+    // Load and split 75/25.
+    let dataset = load_csv(&path, LabelColumn::First, None)?;
+    println!(
+        "loaded {}: {} samples × {} features, {} classes",
+        path.display(),
+        dataset.len(),
+        dataset.n_features(),
+        dataset.n_classes()
+    );
+    let split = (dataset.len() * 3) / 4;
+    let train_idx: Vec<usize> = (0..split).collect();
+    let test_idx: Vec<usize> = (split..dataset.len()).collect();
+    let data = TrainTest::new(dataset.subset(&train_idx)?, dataset.subset(&test_idx)?)?;
+
+    // Train (the pipeline min–max normalizes the raw feature ranges).
+    let pipeline = Pipeline::builder(&data).dim(Dim::new(1024)).seed(5).build()?;
+    let baseline = pipeline.run(Strategy::Baseline)?;
+    let lehdc = pipeline.run(Strategy::lehdc_quick())?;
+    println!(
+        "baseline test accuracy: {:.1}%",
+        100.0 * baseline.test_accuracy
+    );
+    println!("LeHDC    test accuracy: {:.1}%", 100.0 * lehdc.test_accuracy);
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

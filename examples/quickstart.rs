@@ -1,0 +1,62 @@
+//! Quickstart: train a LeHDC classifier on a synthetic benchmark, compare
+//! it to the baseline, and save the deployable model artifact.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::error::Error;
+
+use lehdc_suite::datasets::BenchmarkProfile;
+use lehdc_suite::hdc::Dim;
+use lehdc_suite::lehdc::{io, Pipeline, Strategy};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Data: a laptop-scale dataset in the shape of UCIHAR (561→128
+    //    features, 6 classes). Swap in `load_mnist_like` / `load_csv` from
+    //    `hdc_datasets::loader` to use real data.
+    let data = BenchmarkProfile::ucihar().quick().generate(42)?;
+    println!(
+        "dataset: {} — {} train / {} test samples, {} features, {} classes",
+        data.name(),
+        data.train.len(),
+        data.test.len(),
+        data.train.n_features(),
+        data.train.n_classes()
+    );
+
+    // 2. Pipeline: normalize, build item memories, encode both splits once.
+    let pipeline = Pipeline::builder(&data).dim(Dim::new(2048)).seed(7).build()?;
+
+    // 3. Train: the paper's baseline (Eq. 2) and LeHDC (Sec. 4).
+    let baseline = pipeline.run(Strategy::Baseline)?;
+    let lehdc = pipeline.run(Strategy::lehdc_quick())?;
+    println!(
+        "baseline  HDC: train {:.1}%  test {:.1}%",
+        100.0 * baseline.train_accuracy,
+        100.0 * baseline.test_accuracy
+    );
+    println!(
+        "LeHDC        : train {:.1}%  test {:.1}%  (+{:.1} over baseline)",
+        100.0 * lehdc.train_accuracy,
+        100.0 * lehdc.test_accuracy,
+        100.0 * (lehdc.test_accuracy - baseline.test_accuracy)
+    );
+
+    // 4. Deploy: the trained model is K packed hypervectors — save it and
+    //    reload it exactly.
+    let model = lehdc.model.expect("LeHDC produces a binary model");
+    let path = std::env::temp_dir().join("lehdc_quickstart.model");
+    io::save_model(&model, &path)?;
+    let restored = io::load_model(&path)?;
+    assert_eq!(restored, model);
+    println!(
+        "saved model: {} bytes ({} classes × {} bits + header) at {}",
+        std::fs::metadata(&path)?.len(),
+        model.n_classes(),
+        model.dim(),
+        path.display()
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

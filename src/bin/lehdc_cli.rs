@@ -1,0 +1,264 @@
+//! `lehdc-cli`: train, evaluate, and deploy LeHDC classifiers on CSV data.
+//!
+//! ```text
+//! lehdc_cli train   --data train.csv --out model.lehdc [--strategy lehdc]
+//!                   [--dim 2048] [--levels 32] [--epochs 30] [--seed 0]
+//!                   [--label-col first|last] [--holdout 0.25]
+//! lehdc_cli eval    --model model.lehdc --data test.csv [--label-col first|last]
+//! lehdc_cli predict --model model.lehdc --data features.csv
+//! lehdc_cli info    --model model.lehdc
+//! ```
+//!
+//! `train` fits a model on a labeled CSV (holding out a fraction for a test
+//! report) and writes a self-contained bundle (model + encoder seed).
+//! `predict` reads label-free CSV rows (features only) and prints one
+//! predicted class per line.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lehdc_suite::datasets::loader::csv::{load_csv, LabelColumn};
+use lehdc_suite::datasets::TrainTest;
+use lehdc_suite::hdc::{Dim, Encode};
+use lehdc_suite::lehdc::io::{load_bundle, save_bundle, ModelBundle};
+use lehdc_suite::lehdc::{
+    AdaptiveConfig, LehdcConfig, MultiModelConfig, Pipeline, RetrainConfig, Strategy,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: lehdc_cli <train|eval|predict|info> [options]
+  train   --data <csv> --out <file> [--strategy lehdc|baseline|retraining|enhanced|adaptive]
+          [--dim D] [--levels Q] [--epochs N] [--seed S] [--label-col first|last] [--holdout F]
+  eval    --model <file> --data <csv> [--label-col first|last]
+  predict --model <file> --data <csv-of-features>
+  info    --model <file>";
+
+/// Parses `--key value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found {key:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn required(flags: &HashMap<String, String>, name: &str) -> Result<String, String> {
+    flags
+        .get(name)
+        .cloned()
+        .ok_or_else(|| format!("--{name} is required"))
+}
+
+fn parse_num<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad --{name} value {v:?}")),
+    }
+}
+
+fn label_column(flags: &HashMap<String, String>) -> Result<LabelColumn, String> {
+    match flags.get("label-col").map(String::as_str) {
+        None | Some("first") => Ok(LabelColumn::First),
+        Some("last") => Ok(LabelColumn::Last),
+        Some(other) => Err(format!("--label-col must be first or last, got {other:?}")),
+    }
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let data_path = PathBuf::from(required(&flags, "data")?);
+    let out_path = PathBuf::from(required(&flags, "out")?);
+    let dim = parse_num(&flags, "dim", 2048usize)?;
+    let levels = parse_num(&flags, "levels", 32usize)?;
+    let epochs = parse_num(&flags, "epochs", 30usize)?;
+    let seed = parse_num(&flags, "seed", 0u64)?;
+    let holdout = parse_num(&flags, "holdout", 0.25f64)?;
+    if !(0.0..1.0).contains(&holdout) {
+        return Err(format!("--holdout must be in [0, 1), got {holdout}"));
+    }
+
+    let dataset = load_csv(&data_path, label_column(&flags)?, None).map_err(|e| e.to_string())?;
+    println!(
+        "loaded {}: {} samples × {} features, {} classes",
+        data_path.display(),
+        dataset.len(),
+        dataset.n_features(),
+        dataset.n_classes()
+    );
+
+    // Deterministic interleaved holdout split so class balance survives.
+    let n = dataset.len();
+    let n_test = ((n as f64 * holdout) as usize).min(n.saturating_sub(1));
+    let stride = if n_test == 0 { n + 1 } else { n.div_ceil(n_test) };
+    let (mut train_idx, mut test_idx) = (Vec::new(), Vec::new());
+    for i in 0..n {
+        if n_test > 0 && i % stride == stride - 1 {
+            test_idx.push(i);
+        } else {
+            train_idx.push(i);
+        }
+    }
+    if test_idx.is_empty() {
+        test_idx.push(n - 1);
+    }
+    let data = TrainTest::new(
+        dataset.subset(&train_idx).map_err(|e| e.to_string())?,
+        dataset.subset(&test_idx).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let strategy = match flags.get("strategy").map(String::as_str) {
+        None | Some("lehdc") => Strategy::Lehdc(LehdcConfig::quick().with_epochs(epochs)),
+        Some("baseline") => Strategy::Baseline,
+        Some("retraining") => Strategy::Retraining(RetrainConfig {
+            iterations: epochs,
+            ..RetrainConfig::default()
+        }),
+        Some("enhanced") => Strategy::Enhanced(RetrainConfig {
+            iterations: epochs,
+            ..RetrainConfig::default()
+        }),
+        Some("adaptive") => Strategy::Adaptive(AdaptiveConfig {
+            iterations: epochs,
+            ..AdaptiveConfig::default()
+        }),
+        Some("multimodel") => Strategy::MultiModel(MultiModelConfig {
+            iterations: epochs.min(30),
+            ..MultiModelConfig::quick()
+        }),
+        Some(other) => return Err(format!("unknown --strategy {other:?}")),
+    };
+    if matches!(strategy, Strategy::MultiModel(_)) {
+        return Err("multimodel produces no single-model artifact to save; \
+                    use it via the library API"
+            .into());
+    }
+
+    let pipeline = Pipeline::builder(&data)
+        .dim(Dim::new(dim))
+        .levels(levels)
+        .seed(seed)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let name = strategy.name();
+    let outcome = pipeline.run(strategy).map_err(|e| e.to_string())?;
+    println!(
+        "{name}: train accuracy {:.2}%, held-out accuracy {:.2}%",
+        100.0 * outcome.train_accuracy,
+        100.0 * outcome.test_accuracy
+    );
+
+    let model = outcome
+        .model
+        .ok_or("strategy produced no single-model artifact")?;
+    let bundle = ModelBundle {
+        model,
+        encoder: pipeline.encoder().clone(),
+        normalizer: pipeline.normalizer().cloned(),
+    };
+    save_bundle(&bundle, &out_path).map_err(|e| e.to_string())?;
+    println!("saved bundle to {}", out_path.display());
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let bundle = load_bundle(&PathBuf::from(required(&flags, "model")?))
+        .map_err(|e| e.to_string())?;
+    let dataset = load_csv(
+        &PathBuf::from(required(&flags, "data")?),
+        label_column(&flags)?,
+        Some(bundle.model.n_classes()),
+    )
+    .map_err(|e| e.to_string())?;
+    if dataset.n_features() != bundle.encoder.n_features() {
+        return Err(format!(
+            "data has {} features but the model was trained on {}",
+            dataset.n_features(),
+            bundle.encoder.n_features()
+        ));
+    }
+    let mut correct = 0usize;
+    let mut confusion = binnet::ConfusionMatrix::new(bundle.model.n_classes());
+    for i in 0..dataset.len() {
+        let predicted = bundle.classify(dataset.row(i)).map_err(|e| e.to_string())?;
+        confusion.record(dataset.label(i), predicted);
+        if predicted == dataset.label(i) {
+            correct += 1;
+        }
+    }
+    println!(
+        "accuracy: {:.2}% ({correct}/{} samples)",
+        100.0 * correct as f64 / dataset.len() as f64,
+        dataset.len()
+    );
+    println!("{confusion}");
+    Ok(())
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let bundle = load_bundle(&PathBuf::from(required(&flags, "model")?))
+        .map_err(|e| e.to_string())?;
+    let text = std::fs::read_to_string(PathBuf::from(required(&flags, "data")?))
+        .map_err(|e| e.to_string())?;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let features: Result<Vec<f32>, _> =
+            line.split(',').map(|f| f.trim().parse::<f32>()).collect();
+        let features = features.map_err(|_| {
+            format!("line {}: features must all be numeric", lineno + 1)
+        })?;
+        let predicted = bundle.classify(&features).map_err(|e| e.to_string())?;
+        println!("{predicted}");
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let path = PathBuf::from(required(&flags, "model")?);
+    let bundle = load_bundle(&path).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("bundle:   {}", path.display());
+    println!("size:     {bytes} bytes");
+    println!("classes:  {}", bundle.model.n_classes());
+    println!("dim:      {}", bundle.model.dim());
+    println!("features: {}", bundle.encoder.n_features());
+    println!("levels:   {}", bundle.encoder.levels().n_levels());
+    println!("range:    {:?}", bundle.encoder.quantizer().range());
+    println!("seed:     {}", bundle.encoder.seed());
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! # LeHDC suite
+//!
+//! A Rust reproduction of **LeHDC: Learning-Based Hyperdimensional Computing
+//! Classifier** (Duan, Liu, Ren, Xu — DAC 2022).
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! - [`hdc`] — hypervector algebra, item memories, encoders.
+//! - [`binnet`] — the from-scratch binary-neural-network training substrate.
+//! - [`datasets`] (crate `hdc-datasets`) — the six benchmark profiles and
+//!   data loaders.
+//! - [`lehdc`] — the LeHDC trainer and every baseline training strategy.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lehdc_suite::datasets::BenchmarkProfile;
+//! use lehdc_suite::lehdc::{Pipeline, Strategy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small synthetic dataset in the shape of ISOLET.
+//! let data = BenchmarkProfile::isolet().scaled(0.05).generate(42)?;
+//! let pipeline = Pipeline::builder(&data).dim(hdc::Dim::new(1024)).seed(7).build()?;
+//! let outcome = pipeline.run(Strategy::lehdc_quick())?;
+//! println!("test accuracy: {:.1}%", 100.0 * outcome.test_accuracy);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for richer scenarios and `crates/experiments` for the
+//! binaries that regenerate every table and figure of the paper.
+
+pub use binnet;
+pub use hdc;
+pub use hdc_datasets as datasets;
+pub use lehdc;

@@ -1,0 +1,162 @@
+//! End-to-end tests of the `lehdc_cli` binary: train on a CSV, inspect,
+//! evaluate, and predict through real process invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lehdc_cli"))
+}
+
+/// Writes a small, cleanly separable 3-class CSV and returns its path.
+fn write_csv(name: &str, with_labels: bool, rows: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join("lehdc_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut text = String::new();
+    for i in 0..rows {
+        let label = i % 3;
+        let base = label as f32 * 0.8;
+        let jitter = ((i * 7919) % 100) as f32 / 1000.0;
+        let features = format!(
+            "{:.4},{:.4},{:.4},{:.4}",
+            base + jitter,
+            base + 0.1 - jitter,
+            2.0 - base + jitter,
+            base * 0.5 + jitter
+        );
+        if with_labels {
+            text.push_str(&format!("{label},{features}\n"));
+        } else {
+            text.push_str(&format!("{features}\n"));
+        }
+    }
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn model_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join("lehdc_cli_tests").join(name)
+}
+
+#[test]
+fn train_eval_predict_roundtrip() {
+    let train_csv = write_csv("train.csv", true, 240);
+    let model = model_path("roundtrip.lehdc");
+
+    let out = cli()
+        .args(["train", "--data"])
+        .arg(&train_csv)
+        .args(["--out"])
+        .arg(&model)
+        .args(["--dim", "512", "--epochs", "10"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "train failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("LeHDC"), "train output: {stdout}");
+
+    // info reports the persisted configuration
+    let out = cli().args(["info", "--model"]).arg(&model).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("classes:  3"), "info output: {stdout}");
+    assert!(stdout.contains("dim:      512"), "info output: {stdout}");
+
+    // eval on the training file reports high accuracy
+    let out = cli()
+        .args(["eval", "--model"])
+        .arg(&model)
+        .args(["--data"])
+        .arg(&train_csv)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let acc_line = stdout.lines().find(|l| l.starts_with("accuracy")).unwrap();
+    let pct: f64 = acc_line
+        .split(['m', '%'])
+        .next()
+        .unwrap()
+        .trim_start_matches("accuracy:")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(pct > 90.0, "eval accuracy too low: {acc_line}");
+
+    // predict emits one class per feature row
+    let feats_csv = write_csv("features.csv", false, 6);
+    let out = cli()
+        .args(["predict", "--model"])
+        .arg(&model)
+        .args(["--data"])
+        .arg(&feats_csv)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let predictions: Vec<usize> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.trim().parse().unwrap())
+        .collect();
+    assert_eq!(predictions.len(), 6);
+    assert_eq!(predictions, vec![0, 1, 2, 0, 1, 2]);
+}
+
+#[test]
+fn unknown_commands_and_missing_flags_fail_cleanly() {
+    let out = cli().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = cli().arg("train").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data is required"));
+
+    let out = cli().output().unwrap();
+    assert!(!out.status.success(), "no args prints usage and exits 2");
+}
+
+#[test]
+fn eval_rejects_feature_count_mismatch() {
+    let train_csv = write_csv("train_mismatch.csv", true, 120);
+    let model = model_path("mismatch.lehdc");
+    let out = cli()
+        .args(["train", "--data"])
+        .arg(&train_csv)
+        .args(["--out"])
+        .arg(&model)
+        .args(["--dim", "256", "--epochs", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // a CSV with a different feature count must be rejected with a message
+    let dir = std::env::temp_dir().join("lehdc_cli_tests");
+    let bad = dir.join("bad.csv");
+    std::fs::write(&bad, "0,1.0,2.0\n").unwrap();
+    let out = cli()
+        .args(["eval", "--model"])
+        .arg(&model)
+        .args(["--data"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("features"));
+}
+
+#[test]
+fn baseline_strategy_trains_too() {
+    let train_csv = write_csv("train_base.csv", true, 90);
+    let model = model_path("baseline.lehdc");
+    let out = cli()
+        .args(["train", "--data"])
+        .arg(&train_csv)
+        .args(["--out"])
+        .arg(&model)
+        .args(["--dim", "256", "--strategy", "baseline"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "baseline train failed: {out:?}");
+    assert!(model.exists());
+}
