@@ -1,12 +1,12 @@
 //! Encoding throughput: record-based (Eq. 1) and N-gram encoders, single
 //! sample and parallel corpus.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use testkit::bench::{Bench, BenchmarkId, Throughput};
 use hdc::{Dim, Encode, NgramEncoder};
 use lehdc_bench::encoder_and_sample;
 use std::hint::black_box;
 
-fn bench_record_encode(c: &mut Criterion) {
+fn bench_record_encode(c: &mut Bench) {
     let mut group = c.benchmark_group("record_encode");
     for &(d, n) in &[(1024usize, 32usize), (4096, 32), (4096, 128), (10_000, 128)] {
         let (encoder, sample) = encoder_and_sample(d, n);
@@ -22,7 +22,7 @@ fn bench_record_encode(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_ngram_encode(c: &mut Criterion) {
+fn bench_ngram_encode(c: &mut Bench) {
     let mut group = c.benchmark_group("ngram_encode");
     for &n in &[3usize, 5] {
         let encoder = NgramEncoder::new(Dim::new(2048), 64, n, 16, (0.0, 1.0), 3).unwrap();
@@ -34,7 +34,7 @@ fn bench_ngram_encode(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_corpus_encode(c: &mut Criterion) {
+fn bench_corpus_encode(c: &mut Bench) {
     let mut group = c.benchmark_group("corpus_encode_64_samples");
     group.sample_size(20);
     let (encoder, sample) = encoder_and_sample(2048, 64);
@@ -51,5 +51,4 @@ fn bench_corpus_encode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_record_encode, bench_ngram_encode, bench_corpus_encode);
-criterion_main!(benches);
+testkit::bench_main!(bench_record_encode, bench_ngram_encode, bench_corpus_encode);

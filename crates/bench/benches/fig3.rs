@@ -2,13 +2,13 @@
 //! iteration budget — the enhanced strategy's per-iteration overhead is the
 //! full similarity vector it computes per sample.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::{Bench};
 use lehdc::enhanced::train_enhanced;
 use lehdc::retrain::{train_retraining, RetrainConfig};
 use lehdc_bench::bench_encoded;
 use std::hint::black_box;
 
-fn bench_fig3_arms(c: &mut Criterion) {
+fn bench_fig3_arms(c: &mut Bench) {
     let encoded = bench_encoded(2048);
     let cfg = RetrainConfig {
         iterations: 5,
@@ -25,5 +25,4 @@ fn bench_fig3_arms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig3_arms);
-criterion_main!(benches);
+testkit::bench_main!(bench_fig3_arms);

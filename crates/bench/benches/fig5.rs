@@ -2,13 +2,13 @@
 //! regularization arm — dropout's mask generation and the sparse-aware
 //! matmul are the only cost differences.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::{Bench};
 use lehdc::lehdc_trainer::train_lehdc;
 use lehdc::LehdcConfig;
 use lehdc_bench::bench_encoded;
 use std::hint::black_box;
 
-fn bench_fig5_arms(c: &mut Criterion) {
+fn bench_fig5_arms(c: &mut Bench) {
     let encoded = bench_encoded(2048);
     let base = LehdcConfig {
         epochs: 2,
@@ -31,5 +31,4 @@ fn bench_fig5_arms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig5_arms);
-criterion_main!(benches);
+testkit::bench_main!(bench_fig5_arms);

@@ -2,13 +2,13 @@
 //! scale with the hypervector dimension `D` — the cost axis of the paper's
 //! dimension sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::bench::{Bench, BenchmarkId};
 use hdc::Dim;
 use lehdc::{Pipeline, Strategy};
 use lehdc_bench::bench_profile;
 use std::hint::black_box;
 
-fn bench_fig6_dims(c: &mut Criterion) {
+fn bench_fig6_dims(c: &mut Bench) {
     let data = bench_profile().generate(7).expect("generate");
     let mut group = c.benchmark_group("fig6_encode_and_baseline");
     group.sample_size(10);
@@ -28,5 +28,4 @@ fn bench_fig6_dims(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig6_dims);
-criterion_main!(benches);
+testkit::bench_main!(bench_fig6_dims);

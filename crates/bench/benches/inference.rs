@@ -5,7 +5,7 @@
 //! artifact* (K packed hypervectors), so their classification latency is
 //! identical; the multi-model strategy pays `n×` that cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::bench::{Bench, BenchmarkId};
 use lehdc::baseline::train_baseline;
 use lehdc::lehdc_trainer::train_lehdc;
 use lehdc::multimodel::{train_multimodel, MultiModelConfig};
@@ -13,7 +13,7 @@ use lehdc::LehdcConfig;
 use lehdc_bench::bench_encoded;
 use std::hint::black_box;
 
-fn bench_classify_baseline_vs_lehdc(c: &mut Criterion) {
+fn bench_classify_baseline_vs_lehdc(c: &mut Bench) {
     let mut group = c.benchmark_group("classify_one");
     for &d in &[1024usize, 4096, 10_000] {
         let encoded = bench_encoded(d);
@@ -33,7 +33,7 @@ fn bench_classify_baseline_vs_lehdc(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_classify_multimodel(c: &mut Criterion) {
+fn bench_classify_multimodel(c: &mut Bench) {
     let mut group = c.benchmark_group("classify_one_multimodel");
     let encoded = bench_encoded(2048);
     let query = encoded.hvs()[0].clone();
@@ -52,5 +52,4 @@ fn bench_classify_multimodel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_classify_baseline_vs_lehdc, bench_classify_multimodel);
-criterion_main!(benches);
+testkit::bench_main!(bench_classify_baseline_vs_lehdc, bench_classify_multimodel);

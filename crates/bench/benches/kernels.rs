@@ -4,14 +4,14 @@
 //! These are the primitive costs behind every number in the paper — in
 //! particular the claim that inference is a handful of XOR+popcount passes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use testkit::bench::{Bench, BenchmarkId, Throughput};
 use hdc::{Accumulator, Dim};
 use lehdc_bench::random_pair;
 use std::hint::black_box;
 
 const DIMS: &[usize] = &[1024, 4096, 10_000];
 
-fn bench_bind(c: &mut Criterion) {
+fn bench_bind(c: &mut Bench) {
     let mut group = c.benchmark_group("bind");
     for &d in DIMS {
         let (a, b) = random_pair(d);
@@ -23,7 +23,7 @@ fn bench_bind(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_hamming(c: &mut Criterion) {
+fn bench_hamming(c: &mut Bench) {
     let mut group = c.benchmark_group("hamming");
     for &d in DIMS {
         let (a, b) = random_pair(d);
@@ -35,7 +35,7 @@ fn bench_hamming(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_bundle(c: &mut Criterion) {
+fn bench_bundle(c: &mut Bench) {
     let mut group = c.benchmark_group("bundle_add");
     for &d in DIMS {
         let (a, _) = random_pair(d);
@@ -48,7 +48,7 @@ fn bench_bundle(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_threshold(c: &mut Criterion) {
+fn bench_threshold(c: &mut Bench) {
     let mut group = c.benchmark_group("bundle_threshold");
     for &d in DIMS {
         let (a, b) = random_pair(d);
@@ -67,7 +67,7 @@ fn bench_threshold(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_rotate(c: &mut Criterion) {
+fn bench_rotate(c: &mut Bench) {
     let mut group = c.benchmark_group("rotate");
     for &d in &[1024usize, 4096] {
         let (a, _) = random_pair(d);
@@ -78,12 +78,4 @@ fn bench_rotate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_bind,
-    bench_hamming,
-    bench_bundle,
-    bench_threshold,
-    bench_rotate
-);
-criterion_main!(benches);
+testkit::bench_main!(bench_bind, bench_hamming, bench_bundle, bench_threshold, bench_rotate);

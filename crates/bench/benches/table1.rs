@@ -2,7 +2,7 @@
 //! (dataset × strategy → test accuracy) at bench scale, for each of the
 //! four strategies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::{Bench};
 use lehdc::{LehdcConfig, MultiModelConfig, Pipeline, RetrainConfig, Strategy};
 use lehdc_bench::bench_pipeline;
 use std::hint::black_box;
@@ -33,7 +33,7 @@ fn strategy_set() -> Vec<(&'static str, Strategy)> {
     ]
 }
 
-fn bench_table1_cell(c: &mut Criterion) {
+fn bench_table1_cell(c: &mut Bench) {
     let pipeline: Pipeline = bench_pipeline(2048);
     let mut group = c.benchmark_group("table1_cell");
     group.sample_size(10);
@@ -45,5 +45,4 @@ fn bench_table1_cell(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table1_cell);
-criterion_main!(benches);
+testkit::bench_main!(bench_table1_cell);

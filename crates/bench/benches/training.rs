@@ -2,7 +2,7 @@
 //! bench corpus — the cost that differs between strategies while inference
 //! stays identical.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::{Bench};
 use lehdc::adaptive::{train_adaptive, AdaptiveConfig};
 use lehdc::baseline::train_baseline;
 use lehdc::enhanced::train_enhanced;
@@ -12,7 +12,7 @@ use lehdc::LehdcConfig;
 use lehdc_bench::bench_encoded;
 use std::hint::black_box;
 
-fn bench_training_passes(c: &mut Criterion) {
+fn bench_training_passes(c: &mut Bench) {
     let encoded = bench_encoded(2048);
     let mut group = c.benchmark_group("one_training_pass");
     group.sample_size(20);
@@ -52,5 +52,4 @@ fn bench_training_passes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training_passes);
-criterion_main!(benches);
+testkit::bench_main!(bench_training_passes);

@@ -1,8 +1,7 @@
 //! Deterministic shuffled mini-batch sampling.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use testkit::Xoshiro256pp;
+use testkit::SliceRandom;
 
 use crate::error::BinnetError;
 
@@ -56,7 +55,7 @@ impl BatchSampler {
     /// `0..n_samples` appears exactly once; the final batch may be short.
     pub fn epoch(&self, epoch: usize) -> impl Iterator<Item = Vec<usize>> {
         let mut order: Vec<usize> = (0..self.n_samples).collect();
-        let mut rng = StdRng::seed_from_u64(
+        let mut rng = Xoshiro256pp::seed_from_u64(
             self.seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(epoch as u64),

@@ -1,7 +1,6 @@
 //! Inverted dropout on layer inputs.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use testkit::{Rng, Xoshiro256pp};
 
 use crate::error::BinnetError;
 use crate::matrix::Matrix;
@@ -32,7 +31,7 @@ use crate::matrix::Matrix;
 #[derive(Debug)]
 pub struct Dropout {
     rate: f32,
-    rng: StdRng,
+    rng: Xoshiro256pp,
 }
 
 impl Dropout {
@@ -49,7 +48,7 @@ impl Dropout {
         }
         Ok(Dropout {
             rate,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
         })
     }
 

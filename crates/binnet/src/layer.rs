@@ -1,6 +1,6 @@
 //! The binary linear layer with straight-through gradients.
 
-use rand::{Rng, RngExt};
+use testkit::Rng;
 
 use crate::matrix::Matrix;
 use crate::optim::Optimizer;
@@ -52,9 +52,8 @@ impl BinaryLinear {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(d_in: usize, k_out: usize, seed: u64) -> Self {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        Self::with_init(d_in, k_out, |_, _| rng.random_range(-0.1..0.1))
+                let mut rng = testkit::Xoshiro256pp::seed_from_u64(seed);
+        Self::with_init(d_in, k_out, |_, _| rng.random_range(-0.1f32..0.1))
     }
 
     /// Creates a layer with latent weights given by `init(row, col)`.
@@ -273,9 +272,8 @@ impl DenseLinear {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(d_in: usize, k_out: usize, seed: u64) -> Self {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        Self::with_init(d_in, k_out, |_, _| rng.random_range(-0.1..0.1))
+                let mut rng = testkit::Xoshiro256pp::seed_from_u64(seed);
+        Self::with_init(d_in, k_out, |_, _| rng.random_range(-0.1f32..0.1))
     }
 
     /// Creates a layer with weights given by `init(row, col)`.
@@ -381,8 +379,7 @@ mod tests {
     use super::*;
     use crate::loss::softmax_cross_entropy;
     use crate::optim::{Adam, Sgd};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use testkit::Xoshiro256pp;
 
     #[test]
     fn binary_weights_are_signs_of_latent() {
@@ -438,7 +435,7 @@ mod tests {
     #[test]
     fn training_separates_a_toy_problem() {
         let d = 32;
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let proto0: Vec<f32> = (0..d)
             .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
             .collect();

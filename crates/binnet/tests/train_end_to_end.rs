@@ -6,8 +6,7 @@ use binnet::{
     accuracy_from_logits, softmax_cross_entropy, Adam, BatchSampler, BinaryLinear, Dropout,
     Matrix, Optimizer, PlateauDecay,
 };
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use testkit::{Rng, Xoshiro256pp};
 
 const D: usize = 256;
 const K: usize = 4;
@@ -17,7 +16,7 @@ const K: usize = 4;
 /// from `proto_seed` so train and test sets can share them while the noise
 /// differs (`noise_seed`).
 fn make_dataset(n_per_class: usize, proto_seed: u64, noise_seed: u64) -> (Matrix, Vec<usize>) {
-    let mut proto_rng = StdRng::seed_from_u64(proto_seed);
+    let mut proto_rng = Xoshiro256pp::seed_from_u64(proto_seed);
     let protos: Vec<Vec<f32>> = (0..2 * K)
         .map(|_| {
             (0..D)
@@ -25,7 +24,7 @@ fn make_dataset(n_per_class: usize, proto_seed: u64, noise_seed: u64) -> (Matrix
                 .collect()
         })
         .collect();
-    let mut rng = StdRng::seed_from_u64(noise_seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(noise_seed);
     let mut rows = Vec::new();
     let mut labels = Vec::new();
     for class in 0..K {

@@ -85,6 +85,7 @@ pub fn accumulate_class_sums(train: &EncodedDataset) -> Result<Vec<RealHv>, Lehd
 mod tests {
     use super::*;
     use hdc::rng::rng_for;
+    use testkit::Rng;
     use hdc::{BinaryHv, Dim};
 
     /// Builds an encoded corpus of noisy copies of per-class prototypes.
@@ -104,7 +105,7 @@ mod tests {
             for _ in 0..per_class {
                 let mut hv = proto.clone();
                 for _ in 0..flip {
-                    hv.flip(rand::RngExt::random_range(&mut rng, 0..d));
+                    hv.flip(rng.random_range(0..d));
                 }
                 hvs.push(hv);
                 labels.push(c);

@@ -274,7 +274,7 @@ pub fn train_lehdc(
     let all_indices: Vec<usize> = (0..train.len()).collect();
     let (fit_indices, val_indices): (Vec<usize>, Vec<usize>) = match &config.early_stopping {
         Some(es) => {
-            use rand::seq::SliceRandom;
+            use testkit::SliceRandom;
             let mut order = all_indices.clone();
             let mut rng = hdc::rng::rng_for(config.seed, 0xE5_011);
             order.shuffle(&mut rng);

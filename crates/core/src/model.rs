@@ -16,11 +16,10 @@ use crate::error::LehdcError;
 /// ```
 /// use hdc::{BinaryHv, Dim};
 /// use lehdc::HdcModel;
-/// use rand::SeedableRng;
-///
+/// ///
 /// # fn main() -> Result<(), lehdc::LehdcError> {
 /// let d = Dim::new(512);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = testkit::Xoshiro256pp::seed_from_u64(1);
 /// let c0 = BinaryHv::random(d, &mut rng);
 /// let c1 = BinaryHv::random(d, &mut rng);
 /// let model = HdcModel::new(vec![c0.clone(), c1])?;
@@ -125,9 +124,8 @@ impl HdcModel {
     ///
     /// ```
     /// # use hdc::{BinaryHv, Dim};
-    /// # use rand::SeedableRng;
     /// # fn main() -> Result<(), lehdc::LehdcError> {
-    /// # let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    /// # let mut rng = testkit::Xoshiro256pp::seed_from_u64(3);
     /// # let c0 = BinaryHv::random(Dim::new(512), &mut rng);
     /// # let c1 = BinaryHv::random(Dim::new(512), &mut rng);
     /// let model = lehdc::HdcModel::new(vec![c0.clone(), c1])?;
@@ -207,11 +205,10 @@ impl HdcModel {
 /// ```
 /// use hdc::{BinaryHv, Dim, RealHv};
 /// use lehdc::NonBinaryModel;
-/// use rand::SeedableRng;
-///
+/// ///
 /// # fn main() -> Result<(), lehdc::LehdcError> {
 /// let d = Dim::new(256);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut rng = testkit::Xoshiro256pp::seed_from_u64(2);
 /// let proto = BinaryHv::random(d, &mut rng);
 /// let other = BinaryHv::random(d, &mut rng);
 /// let model = NonBinaryModel::new(vec![
@@ -316,6 +313,7 @@ impl NonBinaryModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use testkit::Rng;
     use hdc::rng::rng_for;
 
     fn random_model(k: usize, d: usize) -> (HdcModel, Vec<BinaryHv>) {
@@ -352,7 +350,7 @@ mod tests {
             let mut noisy = hv.clone();
             for _ in 0..400 {
                 // flip ~20% of bits
-                noisy.flip(rand::RngExt::random_range(&mut rng, 0..2048));
+                noisy.flip(rng.random_range(0..2048usize));
             }
             assert_eq!(model.classify(&noisy), k);
         }

@@ -16,7 +16,7 @@
 use hdc::item_memory::random_codebook;
 use hdc::rng::rng_for;
 use hdc::{Accumulator, BinaryHv};
-use rand::RngExt;
+use testkit::Rng;
 
 use crate::encoded::EncodedDataset;
 use crate::error::LehdcError;

@@ -1,6 +1,7 @@
 //! Shared test fixtures for the strategy unit tests.
 
 use hdc::rng::rng_for;
+use testkit::Rng;
 use hdc::{BinaryHv, Dim};
 use hdc_datasets::BenchmarkProfile;
 
@@ -62,7 +63,7 @@ pub(crate) fn multimodal_corpus(
             for _ in 0..per_cluster {
                 let mut hv = protos[2 * c + sub].clone();
                 for _ in 0..flip {
-                    hv.flip(rand::RngExt::random_range(&mut rng, 0..d));
+                    hv.flip(rng.random_range(0..d));
                 }
                 hvs.push(hv);
                 labels.push(c);

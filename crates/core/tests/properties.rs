@@ -3,13 +3,12 @@
 use hdc::{BinaryHv, Dim};
 use lehdc::io::{read_model, write_model};
 use lehdc::{EncodedDataset, HdcModel};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use testkit::prelude::*;
+use testkit::Xoshiro256pp;
 
 fn arb_model() -> impl Strategy<Value = HdcModel> {
     (1usize..6, 1usize..200, any::<u64>()).prop_map(|(k, d, seed)| {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         HdcModel::new(
             (0..k)
                 .map(|_| BinaryHv::random(Dim::new(d), &mut rng))
@@ -49,8 +48,8 @@ proptest! {
     }
 
     #[test]
-    fn classify_returns_a_valid_class(model in arb_model(), seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+    fn classify_returns_a_valid_class(model in arb_model(), seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let query = BinaryHv::random(model.dim(), &mut rng);
         let class = model.classify(&query);
         prop_assert!(class < model.n_classes());
@@ -72,9 +71,9 @@ proptest! {
     }
 
     #[test]
-    fn encoded_dataset_batch_is_faithful(seed: u64, n in 1usize..8) {
+    fn encoded_dataset_batch_is_faithful(seed in any::<u64>(), n in 1usize..8) {
         let d = Dim::new(96);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let hvs: Vec<BinaryHv> = (0..n).map(|_| BinaryHv::random(d, &mut rng)).collect();
         let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
         let encoded = EncodedDataset::from_parts(hvs.clone(), labels.clone(), 2).unwrap();

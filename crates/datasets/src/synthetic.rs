@@ -1,7 +1,6 @@
 //! Class-conditional multi-prototype Gaussian data generator.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use testkit::{Normal, Rng, Xoshiro256pp};
 
 use crate::dataset::{Dataset, TrainTest};
 use crate::error::DatasetError;
@@ -149,7 +148,7 @@ impl SyntheticSpec {
     /// Propagates [`DatasetError::Shape`] from dataset assembly (cannot occur
     /// for a validated spec).
     pub fn generate(&self, seed: u64) -> Result<TrainTest, DatasetError> {
-        let mut proto_rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let mut proto_rng = Xoshiro256pp::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
         // Shared background prototypes, one per sub-cluster slot.
         let base: Vec<Vec<f32>> = (0..self.prototypes_per_class)
             .map(|_| {
@@ -186,12 +185,12 @@ impl SyntheticSpec {
         let train = self.sample_split(
             &prototypes,
             self.n_train,
-            StdRng::seed_from_u64(seed.wrapping_add(1)),
+            Xoshiro256pp::seed_from_u64(seed.wrapping_add(1)),
         )?;
         let test = self.sample_split(
             &prototypes,
             self.n_test,
-            StdRng::seed_from_u64(seed.wrapping_add(2)),
+            Xoshiro256pp::seed_from_u64(seed.wrapping_add(2)),
         )?;
         TrainTest::new(train, test)
     }
@@ -200,11 +199,11 @@ impl SyntheticSpec {
         &self,
         prototypes: &[Vec<f32>],
         n_samples: usize,
-        mut rng: StdRng,
+        mut rng: Xoshiro256pp,
     ) -> Result<Dataset, DatasetError> {
         let mut features = Vec::with_capacity(n_samples * self.n_features);
         let mut labels = Vec::with_capacity(n_samples);
-        let mut gauss = GaussianSource::new();
+        let mut gauss = Normal::standard();
         for i in 0..n_samples {
             // Round-robin over classes keeps the splits balanced.
             let class = i % self.n_classes;
@@ -212,7 +211,7 @@ impl SyntheticSpec {
                 class * self.prototypes_per_class + rng.random_range(0..self.prototypes_per_class);
             let proto = &prototypes[proto_idx];
             for &center in proto {
-                let v = center + self.noise * gauss.sample(&mut rng);
+                let v = center + self.noise * gauss.sample_f32(&mut rng);
                 features.push(v.clamp(0.0, 1.0));
             }
             labels.push(class);
@@ -334,31 +333,6 @@ impl SyntheticSpecBuilder {
             n_train: self.n_train,
             n_test: self.n_test,
         })
-    }
-}
-
-/// Box–Muller standard-normal sampler (keeps the spare value).
-#[derive(Debug, Default)]
-struct GaussianSource {
-    spare: Option<f32>,
-}
-
-impl GaussianSource {
-    fn new() -> Self {
-        GaussianSource { spare: None }
-    }
-
-    fn sample(&mut self, rng: &mut StdRng) -> f32 {
-        if let Some(z) = self.spare.take() {
-            return z;
-        }
-        // u1 in (0, 1] to keep ln() finite.
-        let u1: f32 = 1.0 - rng.random::<f32>();
-        let u2: f32 = rng.random();
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = 2.0 * std::f32::consts::PI * u2;
-        self.spare = Some(r * theta.sin());
-        r * theta.cos()
     }
 }
 
@@ -512,10 +486,10 @@ mod tests {
 
     #[test]
     fn gaussian_source_has_sane_moments() {
-        let mut g = GaussianSource::new();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = Normal::standard();
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let n = 20_000;
-        let samples: Vec<f32> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let samples: Vec<f32> = (0..n).map(|_| g.sample_f32(&mut rng)).collect();
         let mean: f32 = samples.iter().sum::<f32>() / n as f32;
         let var: f32 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
         assert!(mean.abs() < 0.03, "mean {mean}");

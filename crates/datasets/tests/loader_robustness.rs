@@ -3,17 +3,17 @@
 
 use hdc_datasets::loader::csv::{parse_csv, LabelColumn};
 use hdc_datasets::loader::idx::parse_idx;
-use proptest::prelude::*;
+use testkit::prelude::*;
 
 proptest! {
     #[test]
-    fn idx_parser_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    fn idx_parser_never_panics_on_arbitrary_bytes(bytes in collection::vec(any::<u8>(), 0..256)) {
         let _ = parse_idx(&bytes, "fuzz");
     }
 
     #[test]
     fn idx_parser_accepts_exactly_well_formed_buffers(
-        dims in proptest::collection::vec(1u32..8, 1..4),
+        dims in collection::vec(1u32..8, 1..4),
         pad in 0usize..4,
     ) {
         let total: usize = dims.iter().map(|&d| d as usize).product();
@@ -33,15 +33,15 @@ proptest! {
     }
 
     #[test]
-    fn csv_parser_never_panics_on_arbitrary_text(text in "\\PC{0,300}") {
+    fn csv_parser_never_panics_on_arbitrary_text(text in collection::string(0..300)) {
         let _ = parse_csv(&text, "fuzz", LabelColumn::First, None);
         let _ = parse_csv(&text, "fuzz", LabelColumn::Last, Some(3));
     }
 
     #[test]
     fn csv_roundtrip_of_generated_numeric_data(
-        rows in proptest::collection::vec(
-            (0usize..5, proptest::collection::vec(-100.0f32..100.0, 3)),
+        rows in collection::vec(
+            (0usize..5, collection::vec(-100.0f32..100.0, 3)),
             1..20,
         )
     ) {
@@ -70,7 +70,7 @@ proptest! {
         n_classes in 1usize..6,
         protos in 1usize..4,
         noise in 0.0f32..1.0,
-        seed: u64,
+        seed in any::<u64>(),
     ) {
         let spec = hdc_datasets::SyntheticSpec::builder("p", n_features, n_classes)
             .prototypes_per_class(protos)

@@ -1,6 +1,6 @@
 //! Per-dimension counters for bundling binary hypervectors.
 
-use rand::{Rng, RngExt};
+use testkit::Rng;
 
 use crate::bitvec::BinaryHv;
 use crate::dim::Dim;
@@ -20,10 +20,9 @@ use crate::error::HdcError;
 ///
 /// ```
 /// use hdc::{Accumulator, BinaryHv, Dim};
-/// use rand::SeedableRng;
-///
+/// ///
 /// let d = Dim::new(256);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = testkit::Xoshiro256pp::seed_from_u64(3);
 /// let proto = BinaryHv::random(d, &mut rng);
 ///
 /// let mut acc = Accumulator::new(d);
@@ -149,11 +148,10 @@ impl Accumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use testkit::Xoshiro256pp;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(11)
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(11)
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use rand::{Rng, RngExt};
+use testkit::Rng;
 
 use crate::dim::Dim;
 use crate::error::HdcError;
@@ -21,9 +21,8 @@ use crate::error::HdcError;
 ///
 /// ```
 /// use hdc::{BinaryHv, Dim};
-/// use rand::SeedableRng;
-///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// ///
+/// let mut rng = testkit::Xoshiro256pp::seed_from_u64(1);
 /// let a = BinaryHv::random(Dim::new(4096), &mut rng);
 /// let b = BinaryHv::random(Dim::new(4096), &mut rng);
 ///
@@ -400,11 +399,10 @@ impl fmt::Debug for BinaryHv {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use testkit::Xoshiro256pp;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(0xDEAD_BEEF)
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(0xDEAD_BEEF)
     }
 
     #[test]

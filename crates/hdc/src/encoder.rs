@@ -2,8 +2,7 @@
 
 use std::thread;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use testkit::Xoshiro256pp;
 
 use crate::accum::Accumulator;
 use crate::bitvec::BinaryHv;
@@ -181,7 +180,7 @@ impl Encode for RecordEncoder {
             buf.bind_assign(self.levels.hv(level));
             acc.add(&buf);
         }
-        let mut tie_rng = StdRng::seed_from_u64(content_hash);
+        let mut tie_rng = Xoshiro256pp::seed_from_u64(content_hash);
         Ok(acc.threshold(&mut tie_rng))
     }
 }
@@ -347,7 +346,7 @@ impl Encode for NgramEncoder {
             }
             acc.add(&gram);
         }
-        let mut tie_rng = StdRng::seed_from_u64(content_hash);
+        let mut tie_rng = Xoshiro256pp::seed_from_u64(content_hash);
         Ok(acc.threshold(&mut tie_rng))
     }
 }
@@ -355,6 +354,7 @@ impl Encode for NgramEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use testkit::Rng;
 
     fn sample(n: usize, phase: f32) -> Vec<f32> {
         (0..n)
@@ -412,8 +412,8 @@ mod tests {
     fn unrelated_inputs_are_quasi_orthogonal() {
         let enc = encoder(8192, 16);
         let mut rng = crate::rng::rng_for(1, 1);
-        let a: Vec<f32> = (0..16).map(|_| rand::RngExt::random::<f32>(&mut rng)).collect();
-        let b: Vec<f32> = (0..16).map(|_| rand::RngExt::random::<f32>(&mut rng)).collect();
+        let a: Vec<f32> = (0..16).map(|_| rng.random::<f32>()).collect();
+        let b: Vec<f32> = (0..16).map(|_| rng.random::<f32>()).collect();
         let h = enc
             .encode(&a)
             .unwrap()

@@ -1,7 +1,7 @@
 //! Item memories: the random hypervector codebooks of record-based encoding.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use testkit::SliceRandom;
+use testkit::Rng;
 
 use crate::bitvec::BinaryHv;
 use crate::dim::Dim;

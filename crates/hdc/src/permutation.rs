@@ -6,7 +6,7 @@
 //! overwhelming probability) quasi-orthogonal to the identity, so `ρ(H)`
 //! carries the same information as `H` while being distinguishable from it.
 
-use rand::seq::SliceRandom;
+use testkit::SliceRandom;
 
 use crate::bitvec::BinaryHv;
 use crate::dim::Dim;
@@ -20,11 +20,10 @@ use crate::rng::rng_for;
 /// ```
 /// use hdc::{BinaryHv, Dim};
 /// use hdc::permutation::Permutation;
-/// use rand::SeedableRng;
-///
+/// ///
 /// let dim = Dim::new(1024);
 /// let perm = Permutation::random(dim, 7);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = testkit::Xoshiro256pp::seed_from_u64(1);
 /// let h = BinaryHv::random(dim, &mut rng);
 ///
 /// // A permutation is invertible and moves the vector far from itself.

@@ -15,10 +15,9 @@ use crate::error::HdcError;
 ///
 /// ```
 /// use hdc::{BinaryHv, Dim, RealHv};
-/// use rand::SeedableRng;
-///
+/// ///
 /// let d = Dim::new(128);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let mut rng = testkit::Xoshiro256pp::seed_from_u64(9);
 /// let h = BinaryHv::random(d, &mut rng);
 ///
 /// // A non-binary class hypervector accumulates scaled samples …
@@ -230,11 +229,10 @@ impl RealHv {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use testkit::Xoshiro256pp;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(21)
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(21)
     }
 
     #[test]

@@ -1,49 +1,48 @@
 //! Property-based tests for the hypervector algebra invariants.
 
 use hdc::{Accumulator, BinaryHv, Dim, Encode, Quantizer, RealHv, RecordEncoder};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use testkit::prelude::*;
+use testkit::Xoshiro256pp;
 
 fn arb_dim() -> impl Strategy<Value = usize> {
     prop_oneof![1usize..=8, 60usize..=70, 120usize..=260]
 }
 
 fn hv(dim: usize, seed: u64) -> BinaryHv {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     BinaryHv::random(Dim::new(dim), &mut rng)
 }
 
 proptest! {
     #[test]
-    fn bind_is_commutative(d in arb_dim(), s1: u64, s2: u64) {
+    fn bind_is_commutative(d in arb_dim(), s1 in any::<u64>(), s2 in any::<u64>()) {
         let a = hv(d, s1);
         let b = hv(d, s2);
         prop_assert_eq!(a.bind(&b), b.bind(&a));
     }
 
     #[test]
-    fn bind_is_associative(d in arb_dim(), s1: u64, s2: u64, s3: u64) {
+    fn bind_is_associative(d in arb_dim(), s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
         let (a, b, c) = (hv(d, s1), hv(d, s2), hv(d, s3));
         prop_assert_eq!(a.bind(&b).bind(&c), a.bind(&b.bind(&c)));
     }
 
     #[test]
-    fn bind_is_self_inverse(d in arb_dim(), s1: u64, s2: u64) {
+    fn bind_is_self_inverse(d in arb_dim(), s1 in any::<u64>(), s2 in any::<u64>()) {
         let a = hv(d, s1);
         let b = hv(d, s2);
         prop_assert_eq!(a.bind(&b).bind(&b), a);
     }
 
     #[test]
-    fn binding_preserves_hamming_distance(d in arb_dim(), s1: u64, s2: u64, s3: u64) {
+    fn binding_preserves_hamming_distance(d in arb_dim(), s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
         // bind by a common key is an isometry of Hamming space
         let (a, b, key) = (hv(d, s1), hv(d, s2), hv(d, s3));
         prop_assert_eq!(a.bind(&key).hamming(&b.bind(&key)), a.hamming(&b));
     }
 
     #[test]
-    fn hamming_is_a_metric(d in arb_dim(), s1: u64, s2: u64, s3: u64) {
+    fn hamming_is_a_metric(d in arb_dim(), s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
         let (a, b, c) = (hv(d, s1), hv(d, s2), hv(d, s3));
         prop_assert_eq!(a.hamming(&a), 0);
         prop_assert_eq!(a.hamming(&b), b.hamming(&a));
@@ -51,45 +50,45 @@ proptest! {
     }
 
     #[test]
-    fn dot_matches_hamming_identity(d in arb_dim(), s1: u64, s2: u64) {
+    fn dot_matches_hamming_identity(d in arb_dim(), s1 in any::<u64>(), s2 in any::<u64>()) {
         let a = hv(d, s1);
         let b = hv(d, s2);
         prop_assert_eq!(a.dot(&b), d as i64 - 2 * a.hamming(&b) as i64);
     }
 
     #[test]
-    fn negation_flips_dot_sign(d in arb_dim(), s1: u64, s2: u64) {
+    fn negation_flips_dot_sign(d in arb_dim(), s1 in any::<u64>(), s2 in any::<u64>()) {
         let a = hv(d, s1);
         let b = hv(d, s2);
         prop_assert_eq!(a.dot(&b.negated()), -a.dot(&b));
     }
 
     #[test]
-    fn rotation_is_a_hamming_isometry(d in arb_dim(), s1: u64, s2: u64, k in 0usize..300) {
+    fn rotation_is_a_hamming_isometry(d in arb_dim(), s1 in any::<u64>(), s2 in any::<u64>(), k in 0usize..300) {
         let a = hv(d, s1);
         let b = hv(d, s2);
         prop_assert_eq!(a.rotated(k).hamming(&b.rotated(k)), a.hamming(&b));
     }
 
     #[test]
-    fn accumulator_threshold_of_odd_copies_is_identity(d in arb_dim(), s: u64, copies in 1usize..6) {
+    fn accumulator_threshold_of_odd_copies_is_identity(d in arb_dim(), s in any::<u64>(), copies in 1usize..6) {
         let a = hv(d, s);
         let mut acc = Accumulator::new(Dim::new(d));
         for _ in 0..(2 * copies - 1) {
             acc.add(&a);
         }
-        let mut rng = StdRng::seed_from_u64(s);
+        let mut rng = Xoshiro256pp::seed_from_u64(s);
         prop_assert_eq!(acc.threshold(&mut rng), a);
     }
 
     #[test]
-    fn real_sign_roundtrip(d in arb_dim(), s: u64) {
+    fn real_sign_roundtrip(d in arb_dim(), s in any::<u64>()) {
         let a = hv(d, s);
         prop_assert_eq!(RealHv::from_binary(&a).sign(), a);
     }
 
     #[test]
-    fn real_dot_binary_is_symmetric_in_scaling(d in arb_dim(), s: u64, alpha in 0.01f32..4.0) {
+    fn real_dot_binary_is_symmetric_in_scaling(d in arb_dim(), s in any::<u64>(), alpha in 0.01f32..4.0) {
         let a = hv(d, s);
         let mut c = RealHv::zeros(Dim::new(d));
         c.add_scaled(&a, alpha);
@@ -98,7 +97,7 @@ proptest! {
     }
 
     #[test]
-    fn quantizer_is_monotone(n_levels in 2usize..64, raw in proptest::collection::vec(-100.0f32..100.0, 2..40)) {
+    fn quantizer_is_monotone(n_levels in 2usize..64, raw in collection::vec(-100.0f32..100.0, 2..40)) {
         let q = Quantizer::new(-100.0, 100.0, n_levels).unwrap();
         let mut vals = raw;
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -112,7 +111,7 @@ proptest! {
     }
 
     #[test]
-    fn record_encoding_is_a_pure_function(seed: u64, x in proptest::collection::vec(0.0f32..1.0, 6)) {
+    fn record_encoding_is_a_pure_function(seed in any::<u64>(), x in collection::vec(0.0f32..1.0, 6)) {
         let enc = RecordEncoder::builder(Dim::new(256), 6).levels(8).seed(seed).build().unwrap();
         prop_assert_eq!(enc.encode(&x).unwrap(), enc.encode(&x).unwrap());
     }

@@ -1,0 +1,452 @@
+//! A lightweight benchmarking harness: warmup, calibrated timed iterations,
+//! and median/σ reporting.
+//!
+//! Bench targets declare `harness = false` in `Cargo.toml` and use the
+//! [`bench_main!`](crate::bench_main) macro to produce a `main`:
+//!
+//! ```ignore
+//! use testkit::bench::{Bench, Throughput};
+//!
+//! fn bench_sum(c: &mut Bench) {
+//!     let mut group = c.benchmark_group("sum");
+//!     group.throughput(Throughput::Elements(1024));
+//!     group.bench_function("1024", |b| b.iter(|| (0..1024u64).sum::<u64>()));
+//!     group.finish();
+//! }
+//!
+//! testkit::bench_main!(bench_sum);
+//! ```
+//!
+//! Each benchmark runs a wall-clock warmup, calibrates how many iterations
+//! fit one sample, then records `sample_size` samples and reports the median
+//! time per iteration, the standard deviation across samples, and (when a
+//! throughput is set) elements or bytes per second at the median.
+//!
+//! Command line / environment:
+//!
+//! - a bare argument filters benchmarks by substring (as `cargo bench foo`);
+//! - `--quick`, `--test`, or `TESTKIT_BENCH_QUICK=1` run one iteration per
+//!   benchmark — a smoke mode for CI and `cargo bench -- --test`.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group, shown as `group/id`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter: `name/param`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter, e.g. a dimension.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        BenchmarkId(s.into())
+    }
+}
+
+/// One benchmark's aggregated measurements, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Full benchmark name (`group/id`).
+    pub name: String,
+    /// Median time per iteration.
+    pub median_ns: f64,
+    /// Mean time per iteration.
+    pub mean_ns: f64,
+    /// Standard deviation across samples.
+    pub sigma_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+    /// Derived rate, if a throughput was configured.
+    pub throughput: Option<Throughput>,
+}
+
+/// The top-level benchmark driver (the harness analogue of a criterion
+/// `Criterion`). Created once per bench binary by [`bench_main!`](crate::bench_main).
+#[derive(Debug)]
+pub struct Bench {
+    filter: Option<String>,
+    quick: bool,
+    results: Vec<Summary>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            filter: None,
+            quick: std::env::var("TESTKIT_BENCH_QUICK").is_ok_and(|v| v != "0"),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Bench {
+    /// A driver configured from the process arguments (see module docs).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut bench = Bench::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                // `cargo bench -- --test` and libtest-style probe flags run
+                // everything once, quickly.
+                "--test" | "--quick" => bench.quick = true,
+                a if a.starts_with("--") => {}
+                a => bench.filter = Some(a.to_string()),
+            }
+        }
+        bench
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup<'_> {
+        BenchGroup {
+            bench: self,
+            name: name.into(),
+            sample_size: 15,
+            warmup: Duration::from_millis(200),
+            measurement: Duration::from_millis(750),
+            throughput: None,
+        }
+    }
+
+    /// All summaries recorded so far.
+    #[must_use]
+    pub fn results(&self) -> &[Summary] {
+        &self.results
+    }
+
+    /// Prints the closing line. Called by [`bench_main!`](crate::bench_main).
+    pub fn finish(&self) {
+        println!("\n{} benchmarks run", self.results.len());
+    }
+
+    fn run_one(
+        &mut self,
+        name: String,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        warmup: Duration,
+        measurement: Duration,
+        f: impl FnOnce(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            quick: self.quick,
+            sample_size: sample_size.max(2),
+            warmup,
+            measurement,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        assert!(
+            !bencher.samples.is_empty(),
+            "benchmark `{name}` never called Bencher::iter"
+        );
+        let summary = bencher.summarize(name, throughput);
+        print_summary(&summary);
+        self.results.push(summary);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement settings.
+pub struct BenchGroup<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+    warmup: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchGroup<'_> {
+    /// Sets the number of timed samples (default 15, minimum 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock warmup budget (default 200 ms).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Sets the total measurement budget split across samples (default 750 ms).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into().0);
+        self.bench.run_one(
+            full,
+            self.throughput,
+            self.sample_size,
+            self.warmup,
+            self.measurement,
+            f,
+        );
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for criterion-style call sites; dropping works too).
+    pub fn finish(self) {}
+}
+
+/// Runs the measured closure; handed to the benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    warmup: Duration,
+    measurement: Duration,
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures a closure: warmup, calibration, then timed samples.
+    ///
+    /// The closure's return value is passed through [`black_box`] so the
+    /// computation cannot be optimized away.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(f());
+            self.samples = vec![start.elapsed().as_secs_f64() * 1e9; 2];
+            self.iters_per_sample = 1;
+            return;
+        }
+        // Warmup: run for the budgeted wall-clock time, measuring cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-12)).ceil() as u64).max(1);
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed / iters as f64 * 1e9);
+        }
+    }
+
+    fn summarize(mut self, name: String, throughput: Option<Throughput>) -> Summary {
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let n = self.samples.len();
+        let median = if n % 2 == 1 {
+            self.samples[n / 2]
+        } else {
+            (self.samples[n / 2 - 1] + self.samples[n / 2]) / 2.0
+        };
+        let mean = self.samples.iter().sum::<f64>() / n as f64;
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n as f64;
+        Summary {
+            name,
+            median_ns: median,
+            mean_ns: mean,
+            sigma_ns: var.sqrt(),
+            min_ns: self.samples[0],
+            max_ns: self.samples[n - 1],
+            samples: n,
+            iters_per_sample: self.iters_per_sample,
+            throughput,
+        }
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_rate(units: u64, ns: f64, suffix: &str) -> String {
+    let per_sec = units as f64 * 1e9 / ns;
+    if per_sec >= 1e9 {
+        format!("{:.2} G{suffix}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{suffix}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{suffix}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {suffix}/s")
+    }
+}
+
+fn print_summary(s: &Summary) {
+    let rate = match s.throughput {
+        Some(Throughput::Elements(n)) => format!("  {}", format_rate(n, s.median_ns, "elem")),
+        Some(Throughput::Bytes(n)) => format!("  {}", format_rate(n, s.median_ns, "B")),
+        None => String::new(),
+    };
+    println!(
+        "{:<40} median {:>10}  (±{}, n={}×{}){rate}",
+        s.name,
+        format_time(s.median_ns),
+        format_time(s.sigma_ns),
+        s.samples,
+        s.iters_per_sample,
+    );
+}
+
+/// Generates `main` for a `harness = false` bench target from a list of
+/// `fn(&mut Bench)` group functions.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut bench = $crate::bench::Bench::from_args();
+            $($group(&mut bench);)+
+            bench.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench() -> Bench {
+        Bench {
+            quick: true,
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn quick_mode_records_one_sampled_result() {
+        let mut bench = quick_bench();
+        let mut group = bench.benchmark_group("g");
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.finish();
+        assert_eq!(bench.results().len(), 1);
+        let s = &bench.results()[0];
+        assert_eq!(s.name, "g/sum");
+        assert_eq!(s.iters_per_sample, 1);
+        assert!(s.median_ns >= 0.0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut bench = quick_bench();
+        bench.filter = Some("keep".into());
+        let mut group = bench.benchmark_group("g");
+        group.bench_function("keep_me", |b| b.iter(|| 1 + 1));
+        group.bench_function("drop_me", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(bench.results().len(), 1);
+        assert_eq!(bench.results()[0].name, "g/keep_me");
+    }
+
+    #[test]
+    fn measured_mode_collects_requested_samples() {
+        let mut bench = Bench {
+            quick: false,
+            filter: None,
+            results: Vec::new(),
+        };
+        let mut group = bench.benchmark_group("g");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        group.bench_with_input(BenchmarkId::from_parameter(32), &32u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        let s = &bench.results()[0];
+        assert_eq!(s.name, "g/32");
+        assert_eq!(s.samples, 5);
+        assert!(s.iters_per_sample >= 1);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("enc", 4096).0, "enc/4096");
+        assert_eq!(BenchmarkId::from_parameter("d10k").0, "d10k");
+        assert_eq!(BenchmarkId::from("plain").0, "plain");
+    }
+
+    #[test]
+    fn time_and_rate_formatting() {
+        assert_eq!(format_time(12.3), "12.3 ns");
+        assert_eq!(format_time(12_300.0), "12.30 µs");
+        assert_eq!(format_time(12_300_000.0), "12.30 ms");
+        assert_eq!(format_time(2_500_000_000.0), "2.500 s");
+        assert_eq!(format_rate(1000, 1000.0, "elem"), "1.00 Gelem/s");
+    }
+}

@@ -1,0 +1,194 @@
+//! Derived distributions: Fisher–Yates shuffling and Box–Muller Gaussians.
+
+use crate::rng::Rng;
+
+/// Random operations on slices (Fisher–Yates shuffle, uniform choice).
+///
+/// # Examples
+///
+/// ```
+/// use testkit::{SliceRandom, Xoshiro256pp};
+///
+/// let mut v: Vec<usize> = (0..10).collect();
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
+/// v.shuffle(&mut rng);
+/// let mut sorted = v.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+/// ```
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place with the Fisher–Yates algorithm.
+    ///
+    /// Every permutation is equally likely (up to the generator's uniformity)
+    /// and the result is a pure function of the slice and the rng state.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+/// A Box–Muller Gaussian sampler with the given mean and standard deviation.
+///
+/// Each Box–Muller transform produces two independent normals; the spare is
+/// cached, so consecutive draws cost one transform per pair. The sampler is
+/// therefore stateful — clone it to fork a stream.
+///
+/// # Examples
+///
+/// ```
+/// use testkit::{Normal, Xoshiro256pp};
+///
+/// let mut rng = Xoshiro256pp::seed_from_u64(2);
+/// let mut normal = Normal::new(10.0, 2.0);
+/// let x = normal.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// A Gaussian with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sd` is negative or either parameter is non-finite.
+    #[must_use]
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(
+            mean.is_finite() && sd.is_finite() && sd >= 0.0,
+            "invalid normal parameters: mean {mean}, sd {sd}"
+        );
+        Normal {
+            mean,
+            sd,
+            spare: None,
+        }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let z = if let Some(z) = self.spare.take() {
+            z
+        } else {
+            // u1 in (0, 1] keeps ln() finite.
+            let u1: f64 = 1.0 - rng.random::<f64>();
+            let u2: f64 = rng.random();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.spare = Some(r * theta.sin());
+            r * theta.cos()
+        };
+        self.mean + self.sd * z
+    }
+
+    /// Draws one sample as `f32`.
+    pub fn sample_f32<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f32 {
+        self.sample(rng) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_reproducible() {
+        let mut a: Vec<usize> = (0..100).collect();
+        let mut b = a.clone();
+        a.shuffle(&mut Xoshiro256pp::seed_from_u64(5));
+        b.shuffle(&mut Xoshiro256pp::seed_from_u64(5));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        let mut c: Vec<usize> = (0..100).collect();
+        c.shuffle(&mut Xoshiro256pp::seed_from_u64(6));
+        assert_ne!(a, c, "different seeds shuffle differently");
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_slices() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let mut empty: [u8; 0] = [];
+        empty.shuffle(&mut rng);
+        let mut one = [42];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let items = [0usize, 1, 2, 3];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*items.choose(&mut rng).unwrap()] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let mut normal = Normal::standard();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / f64::from(n);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn normal_applies_mean_and_sd() {
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
+        let mut normal = Normal::new(5.0, 0.5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / f64::from(n);
+        assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid normal parameters")]
+    fn normal_rejects_negative_sd() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Golden-vector tests pinning the exact output streams of both generators.
+//!
+//! Every seeded experiment in the workspace flows through these two
+//! generators; a silent change to either would invisibly alter every result
+//! while all behavioral tests keep passing. These vectors make such drift a
+//! hard failure instead.
+//!
+//! The seed-0 SplitMix64 sequence matches the published reference vector of
+//! the Java/C implementation (`0xE220A8397B1DCDAF …`), so the pinned values
+//! anchor the canonical algorithms, not just this crate's own history.
+
+use testkit::{derive_seed, splitmix64, Rng, SplitMix64, Xoshiro256pp};
+
+fn first8(mut rng: impl Rng) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    rng.fill_u64(&mut out);
+    out
+}
+
+#[test]
+fn splitmix64_golden_seed_0() {
+    // Reference vector of the canonical SplitMix64 (seed 0).
+    assert_eq!(
+        first8(SplitMix64::seed_from_u64(0)),
+        [
+            0xE220_A839_7B1D_CDAF,
+            0x6E78_9E6A_A1B9_65F4,
+            0x06C4_5D18_8009_454F,
+            0xF88B_B8A8_724C_81EC,
+            0x1B39_896A_51A8_749B,
+            0x53CB_9F0C_747E_A2EA,
+            0x2C82_9ABE_1F45_32E1,
+            0xC584_133A_C916_AB3C,
+        ]
+    );
+}
+
+#[test]
+fn splitmix64_golden_seed_42() {
+    assert_eq!(
+        first8(SplitMix64::seed_from_u64(42)),
+        [
+            0xBDD7_3226_2FEB_6E95,
+            0x28EF_E333_B266_F103,
+            0x4752_6757_130F_9F52,
+            0x581C_E1FF_0E4A_E394,
+            0x09BC_585A_2448_23F2,
+            0xDE44_31FA_3C80_DB06,
+            0x37E9_671C_4537_6D5D,
+            0xCCF6_35EE_9E9E_2FA4,
+        ]
+    );
+}
+
+#[test]
+fn splitmix64_golden_high_seed() {
+    assert_eq!(
+        first8(SplitMix64::seed_from_u64(0xDEAD_BEEF_CAFE_F00D)),
+        [
+            0x901D_4F65_2FB4_72CB,
+            0xA7CE_2464_40F7_4527,
+            0x19B4_0BBB_B938_0D34,
+            0xE7A8_6DC5_BE61_8392,
+            0x7366_CE94_5D00_E82C,
+            0x0FF6_905E_190D_8244,
+            0xC13C_6626_ABD0_306B,
+            0xF6C9_5B6E_D426_7A56,
+        ]
+    );
+}
+
+#[test]
+fn xoshiro256pp_golden_seed_0() {
+    assert_eq!(
+        first8(Xoshiro256pp::seed_from_u64(0)),
+        [
+            0x5317_5D61_490B_23DF,
+            0x61DA_6F3D_C380_D507,
+            0x5C0F_DF91_EC9A_7BFC,
+            0x02EE_BF8C_3BBE_5E1A,
+            0x7ECA_04EB_AF4A_5EEA,
+            0x0543_C377_57F0_8D9A,
+            0xDB74_90C7_5AB5_026E,
+            0xD873_43E6_464B_C959,
+        ]
+    );
+}
+
+#[test]
+fn xoshiro256pp_golden_seed_42() {
+    assert_eq!(
+        first8(Xoshiro256pp::seed_from_u64(42)),
+        [
+            0xD076_4D4F_4476_689F,
+            0x519E_4174_576F_3791,
+            0xFBE0_7CFB_0C24_ED8C,
+            0xB37D_9F60_0CD8_35B8,
+            0xCB23_1C38_7484_6A73,
+            0x968D_9F00_4E50_DE7D,
+            0x2017_18FF_221A_3556,
+            0x9AE9_4E07_0ED8_CB46,
+        ]
+    );
+}
+
+#[test]
+fn xoshiro256pp_golden_high_seed() {
+    assert_eq!(
+        first8(Xoshiro256pp::seed_from_u64(0xDEAD_BEEF_CAFE_F00D)),
+        [
+            0x2594_5A60_5E70_55A9,
+            0x3948_323E_F977_5D55,
+            0xCB4E_90AD_7CF1_678A,
+            0xEC5C_7DAE_F7B0_39EB,
+            0xA709_4114_5C99_5825,
+            0xDEF4_C8DB_AA75_56E9,
+            0x87FF_2E95_D823_8DFD,
+            0x29A7_8437_DBC8_60B1,
+        ]
+    );
+}
+
+#[test]
+fn splitmix64_function_golden() {
+    // The free function is one generator step from the given state.
+    assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    assert_eq!(splitmix64(42), 0xBDD7_3226_2FEB_6E95);
+}
+
+#[test]
+fn derive_seed_golden() {
+    // derive_seed is the workspace-wide stream-splitting scheme; pin a few
+    // values so experiment seeds stay stable across refactors too.
+    assert_eq!(derive_seed(0, 0), 0x46B7_3E79_F0C3_7C00);
+    assert_eq!(derive_seed(42, 0), 0x7C24_7ADE_FCC8_B7D8);
+    assert_eq!(derive_seed(42, 1), 0x3869_92B4_AC1A_2DBC);
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Hermetic verification: the workspace must build, test, and bench-compile
+# fully offline, and no external registry dependency may ever reappear in a
+# manifest. Run from anywhere; operates on the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== offline release build (all targets, including benches) =="
+cargo build --release --offline --workspace --all-targets
+
+echo "== offline test suite =="
+cargo test -q --offline --workspace
+
+echo "== manifest hermeticity check =="
+# Every [dependencies] / [dev-dependencies] / [build-dependencies] entry in
+# every manifest must be a path/workspace dependency. A registry dependency
+# looks like `foo = "1.2"` or `foo = { version = "1.2", ... }`.
+fail=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Extract only dependency sections, then flag version-style requirements.
+    bad=$(awk '
+        /^\[/ { in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/) }
+        in_deps && /^[A-Za-z0-9_-]+[[:space:]]*=/ {
+            if ($0 ~ /version[[:space:]]*=/ || $0 ~ /=[[:space:]]*"[^"]*"[[:space:]]*$/)
+                print
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "ERROR: registry dependency in $manifest:" >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "The workspace must stay hermetic: in-tree (path) dependencies only." >&2
+    exit 1
+fi
+
+echo "== lockfile hermeticity check =="
+if grep -q '^source = ' Cargo.lock; then
+    echo "ERROR: Cargo.lock references a non-path source:" >&2
+    grep -n '^source = ' Cargo.lock >&2
+    exit 1
+fi
+
+echo "All checks passed: offline build + tests green, no registry dependencies."
