@@ -75,6 +75,131 @@ impl Dropout {
             }
         }
     }
+
+    /// Samples a fresh per-batch bit mask over `dim` input coordinates, or
+    /// `None` when the rate is 0 (no mask needed).
+    ///
+    /// This is the packed-kernel counterpart of [`Dropout::apply`]: instead
+    /// of zeroing `f32` entries per element, one `D`-bit mask is drawn per
+    /// batch and shared by every row, so the packed forward pass can apply
+    /// dropout with an `AND` inside the XNOR/popcount kernel. The survivor
+    /// scale `1/(1−rate)` is carried on the mask and applied **once to the
+    /// integer logits**, not to the inputs — that ordering is what keeps the
+    /// packed path bit-identical to the dense `f32` reference (see
+    /// [`crate::packed`]).
+    pub fn sample_mask(&mut self, dim: usize) -> Option<DropMask> {
+        if self.rate == 0.0 {
+            return None;
+        }
+        let mut words = vec![0u64; dim.div_ceil(64)];
+        let mut kept = 0usize;
+        for i in 0..dim {
+            if self.rng.random::<f32>() >= self.rate {
+                words[i / 64] |= 1 << (i % 64);
+                kept += 1;
+            }
+        }
+        Some(DropMask {
+            words,
+            dim,
+            kept,
+            scale: 1.0 / (1.0 - self.rate),
+        })
+    }
+}
+
+/// A per-batch dropout bit mask: bit `1` ≡ coordinate kept, bit `0` ≡
+/// dropped, tail bits of the last word zero (the [`BinaryHv`] convention).
+///
+/// Produced by [`Dropout::sample_mask`]; consumed by the packed kernels in
+/// [`crate::packed`] and, for the dense `f32` reference path, by
+/// [`DropMask::apply_to_matrix`].
+///
+/// [`BinaryHv`]: hdc::BinaryHv
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropMask {
+    words: Vec<u64>,
+    dim: usize,
+    kept: usize,
+    scale: f32,
+}
+
+impl DropMask {
+    /// A mask that keeps every one of `dim` coordinates (scale 1) — the
+    /// identity element, useful for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn full(dim: usize) -> Self {
+        assert!(dim > 0, "mask dimension must be non-zero");
+        let mut words = vec![u64::MAX; dim.div_ceil(64)];
+        if dim % 64 != 0 {
+            *words.last_mut().expect("dim > 0 implies at least one word") =
+                (1u64 << (dim % 64)) - 1;
+        }
+        DropMask {
+            words,
+            dim,
+            kept: dim,
+            scale: 1.0,
+        }
+    }
+
+    /// Borrows the packed mask words.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of coordinates the mask covers.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of kept (set) coordinates.
+    #[must_use]
+    pub fn kept(&self) -> usize {
+        self.kept
+    }
+
+    /// Inverted-dropout survivor scale `1/(1−rate)`, to be applied once to
+    /// the logits produced under this mask.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Whether coordinate `i` is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim`.
+    #[must_use]
+    pub fn is_kept(&self, i: usize) -> bool {
+        assert!(i < self.dim, "mask index out of range");
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Zeroes the dropped columns of `x` in place **without scaling** — the
+    /// dense `f32` reference for the masked packed kernels. Scaling is the
+    /// caller's job, applied once to the resulting logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != dim`.
+    pub fn apply_to_matrix(&self, x: &mut Matrix) {
+        assert_eq!(x.cols(), self.dim, "mask width must match matrix columns");
+        for r in 0..x.rows() {
+            for (c, v) in x.row_mut(r).iter_mut().enumerate() {
+                if (self.words[c / 64] >> (c % 64)) & 1 == 0 {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +252,57 @@ mod tests {
         d1.apply(&mut a);
         d2.apply(&mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_mask_none_at_rate_zero() {
+        let mut d = Dropout::new(0.0, 3).unwrap();
+        assert!(d.sample_mask(100).is_none());
+    }
+
+    #[test]
+    fn sample_mask_counts_and_scale_are_consistent() {
+        let mut d = Dropout::new(0.25, 13).unwrap();
+        let mask = d.sample_mask(1000).unwrap();
+        assert_eq!(mask.dim(), 1000);
+        let set: usize = (0..1000).filter(|&i| mask.is_kept(i)).count();
+        assert_eq!(set, mask.kept());
+        assert!((500..950).contains(&set), "kept {set} of 1000 at rate 0.25");
+        assert!((mask.scale() - 1.0 / 0.75).abs() < 1e-7);
+        // tail bits beyond dim stay zero
+        let last = *mask.words().last().unwrap();
+        assert_eq!(last >> (1000 % 64), 0);
+    }
+
+    #[test]
+    fn sample_mask_is_seed_reproducible() {
+        let mut d1 = Dropout::new(0.5, 21).unwrap();
+        let mut d2 = Dropout::new(0.5, 21).unwrap();
+        let first = d1.sample_mask(300);
+        assert_eq!(first, d2.sample_mask(300));
+        assert_ne!(first, d1.sample_mask(300), "consecutive masks should differ");
+    }
+
+    #[test]
+    fn full_mask_keeps_everything() {
+        let mask = DropMask::full(130);
+        assert_eq!(mask.kept(), 130);
+        assert_eq!(mask.scale(), 1.0);
+        assert!((0..130).all(|i| mask.is_kept(i)));
+        assert_eq!(*mask.words().last().unwrap() >> 2, 0);
+    }
+
+    #[test]
+    fn apply_to_matrix_zeroes_dropped_columns_without_scaling() {
+        let mut d = Dropout::new(0.5, 31).unwrap();
+        let mask = d.sample_mask(64).unwrap();
+        let mut x = Matrix::from_flat(2, 64, vec![1.0; 128]).unwrap();
+        mask.apply_to_matrix(&mut x);
+        for r in 0..2 {
+            for c in 0..64 {
+                let expect = if mask.is_kept(c) { 1.0 } else { 0.0 };
+                assert_eq!(x.get(r, c), expect);
+            }
+        }
     }
 }

@@ -1,9 +1,12 @@
 //! The binary linear layer with straight-through gradients.
 
 use testkit::Rng;
+use threadpool::ThreadPool;
 
+use crate::dropout::DropMask;
 use crate::matrix::Matrix;
 use crate::optim::Optimizer;
+use crate::packed::{packed_matmul, packed_matmul_masked, packed_transpose_matmul, PackedMatrix};
 
 /// A fully connected layer with **binary effective weights** and **latent
 /// real weights** — the single-layer BNN of the paper's Fig. 4.
@@ -37,8 +40,10 @@ use crate::optim::Optimizer;
 /// ```
 #[derive(Debug, Clone)]
 pub struct BinaryLinear {
-    latent: Matrix,   // D×K real-valued C_nb
-    binary: Matrix,   // D×K entries in {-1, +1}, kept in sync with latent
+    latent: Matrix,       // D×K real-valued C_nb
+    binary: Matrix,       // D×K entries in {-1, +1}, kept in sync with latent
+    packed: PackedMatrix, // K×D bit-packed columns of `binary`, kept in sync
+    pool: ThreadPool,
     d_in: usize,
     k_out: usize,
 }
@@ -78,12 +83,33 @@ impl BinaryLinear {
         }
         let mut layer = BinaryLinear {
             binary: Matrix::zeros(d_in, k_out),
+            packed: PackedMatrix::zeros(k_out, d_in),
+            pool: ThreadPool::default(),
             latent,
             d_in,
             k_out,
         };
         layer.rebinarize();
         layer
+    }
+
+    /// Sets the thread pool used by the layer's matrix products and returns
+    /// `self` (builder style). All products are bit-identical at any width.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Sets the thread pool used by the layer's matrix products.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = ThreadPool::new(threads);
+    }
+
+    /// The number of worker threads the layer fans out over.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// Input width `D`.
@@ -111,19 +137,58 @@ impl BinaryLinear {
         &self.binary
     }
 
+    /// Borrows the bit-packed effective weights: `K` packed rows of `D`
+    /// bits, row `k` holding column `k` of [`BinaryLinear::binary`].
+    #[must_use]
+    pub fn packed_weights(&self) -> &PackedMatrix {
+        &self.packed
+    }
+
     /// Forward pass `o = x · C` with the current **binary** weights.
+    ///
+    /// If `x` is strictly bipolar (every entry exactly `±1.0`) the product
+    /// runs on the bit-packed XNOR/popcount kernel — bit-identical to the
+    /// dense product, ~64× denser. Any other input (e.g. `f32` dropout
+    /// output) falls back to the dense `f32` product.
     ///
     /// # Panics
     ///
     /// Panics if `x.cols() != d_in`.
     #[must_use]
     pub fn forward(&self, x: &Matrix) -> Matrix {
+        if let Some(px) = x.pack_bipolar() {
+            return self.forward_packed(&px);
+        }
         x.matmul(&self.binary)
             .expect("input width must equal layer d_in")
     }
 
+    /// Forward pass on an already-packed bipolar batch: exact integer logits
+    /// `D − 2·popcount(x_b XOR c_k)` as `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in`.
+    #[must_use]
+    pub fn forward_packed(&self, x: &PackedMatrix) -> Matrix {
+        packed_matmul(x, &self.packed, &self.pool).expect("input width must equal layer d_in")
+    }
+
+    /// Forward pass on a packed batch under a dropout bit mask: exact
+    /// **unscaled** integer logits `kept − 2·popcount((x_b XOR c_k) AND m)`.
+    /// The caller applies `mask.scale()` once to the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in` or the mask width differs.
+    #[must_use]
+    pub fn forward_packed_masked(&self, x: &PackedMatrix, mask: &DropMask) -> Matrix {
+        packed_matmul_masked(x, &self.packed, mask, &self.pool)
+            .expect("input width must equal layer d_in")
+    }
+
     /// Straight-through backward pass: returns the latent-weight gradient
-    /// `Xᵀ · dlogits` (`D×K`).
+    /// `Xᵀ · dlogits` (`D×K`), fanned out over the layer's thread pool.
     ///
     /// # Panics
     ///
@@ -137,7 +202,34 @@ impl BinaryLinear {
             self.k_out,
             "gradient width must equal layer k_out"
         );
-        x.transpose_matmul(dlogits)
+        x.transpose_matmul_pooled(dlogits, &self.pool)
+            .expect("batch sizes of x and dlogits must match")
+    }
+
+    /// Straight-through backward pass from a packed bipolar batch:
+    /// `Xᵀ · dlogits` with signs read from the packed bits, dropped
+    /// dimensions (per `mask`) yielding exactly-zero gradient rows.
+    /// Bit-identical to [`BinaryLinear::backward`] on the expanded (and
+    /// mask-zeroed) batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes of `x` (`B×D` packed), `mask`, and `dlogits`
+    /// (`B×K`) are inconsistent with the layer.
+    #[must_use]
+    pub fn backward_packed(
+        &self,
+        x: &PackedMatrix,
+        mask: Option<&DropMask>,
+        dlogits: &Matrix,
+    ) -> Matrix {
+        assert_eq!(x.cols(), self.d_in, "input width must equal layer d_in");
+        assert_eq!(
+            dlogits.cols(),
+            self.k_out,
+            "gradient width must equal layer k_out"
+        );
+        packed_transpose_matmul(x, dlogits, mask, &self.pool)
             .expect("batch sizes of x and dlogits must match")
     }
 
@@ -226,6 +318,7 @@ impl BinaryLinear {
         {
             *b = if l >= 0.0 { 1.0 } else { -1.0 };
         }
+        self.packed = PackedMatrix::from_sign_columns(&self.latent);
     }
 }
 
@@ -453,6 +546,59 @@ mod tests {
         let logits = layer.forward(&x);
         assert!(logits.get(0, 0) > logits.get(0, 1));
         assert!(logits.get(1, 1) > logits.get(1, 0));
+    }
+
+    #[test]
+    fn packed_forward_matches_dense_product() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let layer = BinaryLinear::new(100, 3, 4).with_threads(2);
+        let x = random_sign_matrix(5, 100, &mut rng);
+        let dense = x.matmul(layer.binary()).unwrap();
+        assert_eq!(layer.forward(&x), dense);
+        let px = x.pack_bipolar().unwrap();
+        assert_eq!(layer.forward_packed(&px), dense);
+        assert_eq!(layer.threads(), 2);
+    }
+
+    #[test]
+    fn forward_falls_back_to_dense_for_non_bipolar_input() {
+        // scaled dropout survivors (2.0) and zeros are not packable
+        let layer = BinaryLinear::new(4, 2, 0);
+        let x = Matrix::from_rows(&[vec![2.0, 0.0, -2.0, 2.0]]).unwrap();
+        assert_eq!(layer.forward(&x), x.matmul(layer.binary()).unwrap());
+    }
+
+    #[test]
+    fn backward_packed_matches_dense_backward() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let layer = BinaryLinear::new(80, 2, 1).with_threads(3);
+        let x = random_sign_matrix(4, 80, &mut rng);
+        let mut dlogits = Matrix::zeros(4, 2);
+        dlogits.map_inplace(|_| rng.random_range(-0.5f32..0.5));
+        let dense = layer.backward(&x, &dlogits);
+        let px = x.pack_bipolar().unwrap();
+        assert_eq!(layer.backward_packed(&px, None, &dlogits), dense);
+
+        let mut drop = crate::dropout::Dropout::new(0.4, 9).unwrap();
+        let mask = drop.sample_mask(80).unwrap();
+        let mut x_ref = x.clone();
+        mask.apply_to_matrix(&mut x_ref);
+        assert_eq!(
+            layer.backward_packed(&px, Some(&mask), &dlogits),
+            layer.backward(&x_ref, &dlogits)
+        );
+    }
+
+    #[test]
+    fn packed_weights_track_rebinarize() {
+        let mut layer = BinaryLinear::with_init(3, 2, |_, _| 0.05);
+        assert!(layer.packed_weights().get(0, 0)); // sgn(0.05) = +1
+        let grad = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0], vec![1.0, 0.0]]).unwrap();
+        let mut opt = Sgd::new(0.1);
+        layer.apply_gradient(&grad, &mut opt);
+        // column 0 flipped negative → packed row 0 all zeros
+        assert!(!layer.packed_weights().get(0, 0));
+        assert!(layer.packed_weights().get(1, 0)); // column 1 untouched
     }
 
     #[test]

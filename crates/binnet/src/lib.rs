@@ -9,10 +9,14 @@
 //!
 //! - [`Matrix`]: a plain row-major `f32` matrix with the three products the
 //!   trainer needs (`X·W`, `Xᵀ·G`, and scaling helpers).
+//! - [`PackedMatrix`] and the [`packed`] products: bit-packed XNOR/popcount
+//!   kernels that compute the same forward and gradient products
+//!   **bit-identically** at ~64× the storage density, with optional
+//!   thread-pool fan-out and dropout as a bit mask ([`DropMask`]).
 //! - [`BinaryLinear`]: a fully connected layer whose *latent* weights are
 //!   real and whose *effective* weights are their sign (`sgn(0) = +1`),
 //!   trained with the straight-through estimator — exactly the scheme of the
-//!   paper's Eq. 8.
+//!   paper's Eq. 8. Bipolar inputs take the packed kernel automatically.
 //! - [`softmax_cross_entropy`]: the fused loss/gradient of the paper's
 //!   Eq. 9.
 //! - [`Adam`] / [`Sgd`] optimizers with L2 weight decay (Eq. 10).
@@ -57,14 +61,16 @@ pub mod loss;
 pub mod matrix;
 pub mod metrics;
 pub mod optim;
+pub mod packed;
 pub mod scheduler;
 
 pub use batch::BatchSampler;
-pub use dropout::Dropout;
+pub use dropout::{DropMask, Dropout};
 pub use error::BinnetError;
 pub use layer::{BinaryLinear, DenseLinear};
 pub use loss::{accuracy_from_logits, softmax, softmax_cross_entropy};
 pub use matrix::Matrix;
 pub use metrics::{accuracy, ConfusionMatrix};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use packed::{packed_matmul, packed_matmul_masked, packed_transpose_matmul, PackedMatrix};
 pub use scheduler::{PlateauDecay, StepDecay};

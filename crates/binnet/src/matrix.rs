@@ -179,9 +179,6 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue; // dropout zeros make this branch worthwhile
-                }
                 let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -199,6 +196,26 @@ impl Matrix {
     ///
     /// Returns [`BinnetError::ShapeMismatch`] if the row counts differ.
     pub fn transpose_matmul(&self, rhs: &Matrix) -> Result<Matrix, BinnetError> {
+        self.transpose_matmul_pooled(rhs, &threadpool::ThreadPool::new(1))
+    }
+
+    /// [`Matrix::transpose_matmul`] with the output rows fanned out over a
+    /// thread pool.
+    ///
+    /// Threads chunk over the `n` *output* rows while each output element
+    /// still accumulates over the shared row index `i` in ascending order,
+    /// so the result is **bit-identical** to the sequential product at any
+    /// pool width (f32 addition is order-sensitive; the order never
+    /// changes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinnetError::ShapeMismatch`] if the row counts differ.
+    pub fn transpose_matmul_pooled(
+        &self,
+        rhs: &Matrix,
+        pool: &threadpool::ThreadPool,
+    ) -> Result<Matrix, BinnetError> {
         if self.rows != rhs.rows {
             return Err(BinnetError::ShapeMismatch {
                 op: "transpose_matmul",
@@ -206,21 +223,30 @@ impl Matrix {
                 right: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let b_row = rhs.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let p = rhs.cols;
+        let mut out = Matrix::zeros(self.cols, p);
+        pool.for_each_chunk_mut(&mut out.data, self.cols, p, |out_rows, chunk| {
+            for (local, k) in out_rows.enumerate() {
+                let out_row = &mut chunk[local * p..(local + 1) * p];
+                for i in 0..self.rows {
+                    let a = self.data[i * self.cols + k];
+                    let b_row = &rhs.data[i * p..(i + 1) * p];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Ok(out)
+    }
+
+    /// Packs this matrix into a [`PackedMatrix`] if every entry is exactly
+    /// `±1.0`, or `None` otherwise (see [`PackedMatrix::from_bipolar`]).
+    ///
+    /// [`PackedMatrix`]: crate::packed::PackedMatrix
+    #[must_use]
+    pub fn pack_bipolar(&self) -> Option<crate::packed::PackedMatrix> {
+        crate::packed::PackedMatrix::from_bipolar(self)
     }
 
     /// Returns the transpose as a new matrix.
@@ -307,6 +333,27 @@ mod tests {
         let slow = x.transposed().matmul(&g).unwrap();
         assert_eq!(fast, slow);
         assert_eq!((fast.rows(), fast.cols()), (3, 2));
+    }
+
+    #[test]
+    fn pooled_transpose_matmul_is_bit_identical_across_widths() {
+        // awkward magnitudes so any accumulation-order change would show
+        let x = Matrix::from_flat(
+            3,
+            5,
+            (0..15)
+                .map(|i| (i as f32 * 0.37 - 2.0) * 1e3 + 0.125)
+                .collect(),
+        )
+        .unwrap();
+        let g = Matrix::from_flat(3, 4, (0..12).map(|i| 1.0 / (i as f32 + 3.0)).collect()).unwrap();
+        let seq = x.transpose_matmul(&g).unwrap();
+        for threads in [2, 3, 8] {
+            let pooled = x
+                .transpose_matmul_pooled(&g, &threadpool::ThreadPool::new(threads))
+                .unwrap();
+            assert_eq!(pooled, seq, "threads={threads}");
+        }
     }
 
     #[test]

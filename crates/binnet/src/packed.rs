@@ -1,0 +1,608 @@
+//! Bit-packed matrices and exact XNOR/popcount matrix products.
+//!
+//! The LeHDC forward pass multiplies a bipolar batch `X ∈ {−1,+1}^{B×D}`
+//! with bipolar weights `C ∈ {−1,+1}^{D×K}`. Stored as `f32` that costs
+//! 32 bits per ±1 and a fused multiply-add per term; packed into `u64`
+//! words it costs 1 bit per entry and one `XOR` + `popcount` per 64 terms:
+//!
+//! ```text
+//! (X·C)[b][k] = D − 2·popcount(x_b XOR c_k)
+//! ```
+//!
+//! where `x_b` is row `b` of `X` and `c_k` is **column** `k` of `C`, both
+//! packed with the [`BinaryHv`] convention (bit `1` ≡ `+1`). A [`PackedMatrix`]
+//! therefore stores the operand whose *rows* enter the dot products: batches
+//! pack row-by-row, weights pack column-by-column
+//! (see [`PackedMatrix::from_sign_columns`]).
+//!
+//! # Exactness
+//!
+//! Every product here is **bit-identical** to the dense `f32` reference in
+//! [`Matrix::matmul`]/[`Matrix::transpose_matmul`], not merely close:
+//!
+//! - Forward products are sums of ±1·±1 terms, so each result is an integer
+//!   of magnitude ≤ `D`. Integers of magnitude < 2²⁴ are exactly
+//!   representable in `f32`, and the `f32` reference accumulates those same
+//!   integers without ever rounding (each partial sum is also an integer
+//!   ≤ `D`), independent of accumulation order. Dropout masks only shrink
+//!   the magnitude.
+//! - Gradient products `Xᵀ·G` are sums of `±g` terms. Multiplying a float by
+//!   ±1.0 is exact, and `o −= g` is IEEE-identical to `o += (−1.0)·g`, so the
+//!   packed path reproduces the reference **as long as the per-element
+//!   accumulation order matches**: both run over the batch index in
+//!   ascending order ([`packed_transpose_matmul`] chunks threads over
+//!   *output* rows, never over the summed batch dimension).
+//!
+//! The parity tests in `tests/packed_parity.rs` enforce exact `==` on the
+//! resulting matrices across shapes, masks, and thread counts.
+//!
+//! [`BinaryHv`]: hdc::BinaryHv
+
+use hdc::kernels::{dots_into, masked_dot_words};
+use threadpool::ThreadPool;
+
+use crate::dropout::DropMask;
+use crate::error::BinnetError;
+use crate::matrix::Matrix;
+
+/// A bit-packed binary matrix: `rows` rows of `cols` bits each, every row
+/// padded to whole `u64` words with zero tail bits (the [`BinaryHv`]
+/// convention: bit `1` ≡ bipolar `+1`, bit `0` ≡ `−1`).
+///
+/// # Examples
+///
+/// ```
+/// use binnet::{Matrix, PackedMatrix, packed_matmul};
+/// use threadpool::ThreadPool;
+///
+/// # fn main() -> Result<(), binnet::BinnetError> {
+/// let x = Matrix::from_rows(&[vec![1.0, -1.0, 1.0]])?;
+/// let w = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]])?; // D×K
+/// let px = x.pack_bipolar().expect("x is bipolar");
+/// let pw = PackedMatrix::from_sign_columns(&w);
+/// let y = packed_matmul(&px, &pw, &ThreadPool::new(1))?;
+/// assert_eq!(y.get(0, 0), 1.0); // 1 − 1 + 1
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [`BinaryHv`]: hdc::BinaryHv
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl PackedMatrix {
+    /// Creates a `rows × cols` packed matrix of zero bits (all `−1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        let words_per_row = cols.div_ceil(64);
+        PackedMatrix {
+            rows,
+            cols,
+            words_per_row,
+            words: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Creates a packed matrix from a bit predicate `f(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut out = PackedMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if f(r, c) {
+                    out.words[r * out.words_per_row + c / 64] |= 1 << (c % 64);
+                }
+            }
+        }
+        out
+    }
+
+    /// Packs a strictly bipolar `f32` matrix row-by-row (`+1.0` → bit `1`,
+    /// `−1.0` → bit `0`), or `None` if any entry is not exactly `±1.0`.
+    ///
+    /// The strictness is what makes [`crate::BinaryLinear::forward`] safe:
+    /// inputs that are not purely bipolar (e.g. scaled dropout survivors)
+    /// fall back to the dense `f32` product instead of being silently
+    /// mis-binarized.
+    #[must_use]
+    pub fn from_bipolar(m: &Matrix) -> Option<Self> {
+        let mut out = PackedMatrix::zeros(m.rows(), m.cols());
+        let wpr = out.words_per_row;
+        for r in 0..m.rows() {
+            let words = &mut out.words[r * wpr..(r + 1) * wpr];
+            for (c, &v) in m.row(r).iter().enumerate() {
+                if v == 1.0 {
+                    words[c / 64] |= 1 << (c % 64);
+                } else if v != -1.0 {
+                    return None;
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Packs the **columns** of a `D×K` matrix into `K` rows of `D` bits by
+    /// sign (`v ≥ 0.0` → bit `1`, matching the layer's `sgn(0) = +1`).
+    ///
+    /// This is how binary weights enter the packed forward product: column
+    /// `k` of the weight matrix becomes packed row `k`, so
+    /// `logits[b][k] = dot(x_b, c_k)` is a row-against-row kernel call.
+    #[must_use]
+    pub fn from_sign_columns(m: &Matrix) -> Self {
+        let mut out = PackedMatrix::zeros(m.cols(), m.rows());
+        let wpr = out.words_per_row;
+        for r in 0..m.rows() {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                if v >= 0.0 {
+                    out.words[c * wpr + r / 64] |= 1 << (r % 64);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a packed matrix by copying pre-packed word rows (e.g. the
+    /// words of [`BinaryHv`]s). Tail bits beyond `cols` are cleared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinnetError::InvalidConfig`] if `cols` is zero, the
+    /// iterator is empty, or any row has the wrong word count.
+    ///
+    /// [`BinaryHv`]: hdc::BinaryHv
+    pub fn from_word_rows<'a, I>(cols: usize, rows: I) -> Result<Self, BinnetError>
+    where
+        I: IntoIterator<Item = &'a [u64]>,
+    {
+        if cols == 0 {
+            return Err(BinnetError::InvalidConfig(
+                "packed matrix needs at least one column".into(),
+            ));
+        }
+        let words_per_row = cols.div_ceil(64);
+        let tail_mask = if cols % 64 == 0 {
+            u64::MAX
+        } else {
+            (1u64 << (cols % 64)) - 1
+        };
+        let mut words = Vec::new();
+        let mut n = 0;
+        for row in rows {
+            if row.len() != words_per_row {
+                return Err(BinnetError::InvalidConfig(format!(
+                    "packed row {n} has {} words, expected {words_per_row}",
+                    row.len()
+                )));
+            }
+            words.extend_from_slice(row);
+            let last = words.len() - 1;
+            words[last] &= tail_mask;
+            n += 1;
+        }
+        if n == 0 {
+            return Err(BinnetError::InvalidConfig(
+                "packed matrix needs at least one row".into(),
+            ));
+        }
+        Ok(PackedMatrix {
+            rows: n,
+            cols,
+            words_per_row,
+            words,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bit columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Words per packed row (`ceil(cols / 64)`).
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Borrows the packed words of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[must_use]
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        assert!(r < self.rows, "row index out of range");
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// The bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        (self.words[r * self.words_per_row + c / 64] >> (c % 64)) & 1 == 1
+    }
+
+    /// The bipolar value at `(r, c)`: `+1.0` for a set bit, `−1.0` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[must_use]
+    pub fn bipolar(&self, r: usize, c: usize) -> f32 {
+        if self.get(r, c) {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Expands back to a dense bipolar `f32` matrix — the reference operand
+    /// for parity tests.
+    #[must_use]
+    pub fn to_bipolar_matrix(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in out.row_mut(r).iter_mut().enumerate() {
+                *v = if (self.words[r * self.words_per_row + c / 64] >> (c % 64)) & 1 == 1 {
+                    1.0
+                } else {
+                    -1.0
+                };
+            }
+        }
+        out
+    }
+}
+
+/// Packed forward product: `out[b][k] = dot(x_b, w_k) = D − 2·popcount(x_b
+/// XOR w_k)`, with `x` a `B×D` packed batch and `w` a `K×D` packed weight
+/// set (columns of the effective weight matrix — see
+/// [`PackedMatrix::from_sign_columns`]).
+///
+/// Every entry is an exact integer in `[−D, D]`, so for `D < 2²⁴` the result
+/// is bit-identical to `X.matmul(&C)` on the expanded bipolar operands.
+/// Threads chunk over output rows; the result is deterministic and
+/// independent of `pool` width.
+///
+/// # Errors
+///
+/// Returns [`BinnetError::ShapeMismatch`] if `x.cols() != w.cols()`.
+pub fn packed_matmul(
+    x: &PackedMatrix,
+    w: &PackedMatrix,
+    pool: &ThreadPool,
+) -> Result<Matrix, BinnetError> {
+    if x.cols != w.cols {
+        return Err(BinnetError::ShapeMismatch {
+            op: "packed_matmul",
+            left: (x.rows, x.cols),
+            right: (w.rows, w.cols),
+        });
+    }
+    let d = x.cols;
+    let k_out = w.rows;
+    let mut out = Matrix::zeros(x.rows, k_out);
+    pool.for_each_chunk_mut(out.as_mut_slice(), x.rows, k_out, |batch_rows, chunk| {
+        for (local, b) in batch_rows.enumerate() {
+            let out_row = &mut chunk[local * k_out..(local + 1) * k_out];
+            dots_into(
+                d,
+                x.row_words(b),
+                (0..k_out).map(|k| w.row_words(k)),
+                out_row,
+            );
+        }
+    });
+    Ok(out)
+}
+
+/// Masked packed forward product: dropout as a bit mask instead of `f32`
+/// zeros. `out[b][k] = kept − 2·popcount((x_b XOR w_k) AND m)`, the exact
+/// **unscaled** integer logits of a batch whose dropped coordinates were
+/// zeroed; the caller applies `mask.scale()` once to the result.
+///
+/// Bit-identical to zeroing the dropped columns of the expanded batch
+/// ([`DropMask::apply_to_matrix`]) and calling [`Matrix::matmul`].
+///
+/// # Errors
+///
+/// Returns [`BinnetError::ShapeMismatch`] if `x.cols() != w.cols()`.
+///
+/// # Panics
+///
+/// Panics if `mask.dim() != x.cols()`.
+pub fn packed_matmul_masked(
+    x: &PackedMatrix,
+    w: &PackedMatrix,
+    mask: &DropMask,
+    pool: &ThreadPool,
+) -> Result<Matrix, BinnetError> {
+    if x.cols != w.cols {
+        return Err(BinnetError::ShapeMismatch {
+            op: "packed_matmul_masked",
+            left: (x.rows, x.cols),
+            right: (w.rows, w.cols),
+        });
+    }
+    assert_eq!(mask.dim(), x.cols, "mask width must match input width");
+    let kept = mask.kept();
+    let m = mask.words();
+    let k_out = w.rows;
+    let mut out = Matrix::zeros(x.rows, k_out);
+    pool.for_each_chunk_mut(out.as_mut_slice(), x.rows, k_out, |batch_rows, chunk| {
+        for (local, b) in batch_rows.enumerate() {
+            let xb = x.row_words(b);
+            let out_row = &mut chunk[local * k_out..(local + 1) * k_out];
+            for (k, slot) in out_row.iter_mut().enumerate() {
+                *slot = masked_dot_words(kept, xb, w.row_words(k), m) as f32;
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Packed gradient product `Xᵀ·G`: `out[d][k] = Σ_b (±1)·g[b][k]` with the
+/// sign taken from bit `d` of packed batch row `b`. With `mask`, dropped
+/// dimensions produce all-zero gradient rows — exactly what the dense
+/// reference yields for a zeroed input column.
+///
+/// Threads chunk over the `D` output rows; the summed batch dimension is
+/// always walked in ascending order, so the result is bit-identical to
+/// [`Matrix::transpose_matmul`] on the expanded (and mask-zeroed) batch at
+/// any `pool` width.
+///
+/// # Errors
+///
+/// Returns [`BinnetError::ShapeMismatch`] if `x.rows() != g.rows()`.
+///
+/// # Panics
+///
+/// Panics if a mask is given and `mask.dim() != x.cols()`.
+pub fn packed_transpose_matmul(
+    x: &PackedMatrix,
+    g: &Matrix,
+    mask: Option<&DropMask>,
+    pool: &ThreadPool,
+) -> Result<Matrix, BinnetError> {
+    if x.rows != g.rows() {
+        return Err(BinnetError::ShapeMismatch {
+            op: "packed_transpose_matmul",
+            left: (x.rows, x.cols),
+            right: (g.rows(), g.cols()),
+        });
+    }
+    if let Some(m) = mask {
+        assert_eq!(m.dim(), x.cols, "mask width must match input width");
+    }
+    let d = x.cols;
+    let k = g.cols();
+    let batch = x.rows;
+    let wpr = x.words_per_row;
+    let mut out = Matrix::zeros(d, k);
+    pool.for_each_chunk_mut(out.as_mut_slice(), d, k, |dims, chunk| {
+        for (local, dim) in dims.enumerate() {
+            if let Some(m) = mask {
+                if !m.is_kept(dim) {
+                    continue; // dense reference accumulates 0.0·g → +0.0
+                }
+            }
+            let word = dim / 64;
+            let bit = dim % 64;
+            let out_row = &mut chunk[local * k..(local + 1) * k];
+            for b in 0..batch {
+                let g_row = g.row(b);
+                if (x.words[b * wpr + word] >> bit) & 1 == 1 {
+                    for (o, &gv) in out_row.iter_mut().zip(g_row) {
+                        *o += gv;
+                    }
+                } else {
+                    // o −= g is IEEE-identical to o += (−1.0)·g
+                    for (o, &gv) in out_row.iter_mut().zip(g_row) {
+                        *o -= gv;
+                    }
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dropout::Dropout;
+    use crate::layer::random_sign_matrix;
+    use testkit::{Rng, Xoshiro256pp};
+
+    fn rng(seed: u64) -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn from_fn_and_get_roundtrip() {
+        let p = PackedMatrix::from_fn(3, 70, |r, c| (r + c) % 3 == 0);
+        assert_eq!((p.rows(), p.cols(), p.words_per_row()), (3, 70, 2));
+        for r in 0..3 {
+            for c in 0..70 {
+                assert_eq!(p.get(r, c), (r + c) % 3 == 0, "({r},{c})");
+            }
+        }
+        // tail bits beyond cols stay zero
+        assert_eq!(p.row_words(0)[1] >> 6, 0);
+    }
+
+    #[test]
+    fn bipolar_pack_roundtrips_and_rejects_non_bipolar() {
+        let mut r = rng(1);
+        let m = random_sign_matrix(4, 130, &mut r);
+        let p = PackedMatrix::from_bipolar(&m).expect("bipolar");
+        assert_eq!(p.to_bipolar_matrix(), m);
+        assert_eq!(p.bipolar(0, 0), m.get(0, 0));
+
+        let mut bad = m.clone();
+        bad.set(2, 17, 2.0); // a dropout-scaled survivor
+        assert!(PackedMatrix::from_bipolar(&bad).is_none());
+        bad.set(2, 17, 0.0); // a dropout zero
+        assert!(PackedMatrix::from_bipolar(&bad).is_none());
+    }
+
+    #[test]
+    fn sign_columns_packs_transposed_by_sign() {
+        let w = Matrix::from_rows(&[vec![0.5, -0.5], vec![-2.0, 0.0], vec![1.0, -1.0]]).unwrap();
+        let p = PackedMatrix::from_sign_columns(&w);
+        assert_eq!((p.rows(), p.cols()), (2, 3)); // K×D
+        // column 0 signs: +, −, + ; column 1: −, + (sgn 0 = +1), −
+        assert_eq!(
+            (p.get(0, 0), p.get(0, 1), p.get(0, 2)),
+            (true, false, true)
+        );
+        assert_eq!(
+            (p.get(1, 0), p.get(1, 1), p.get(1, 2)),
+            (false, true, false)
+        );
+    }
+
+    #[test]
+    fn from_word_rows_validates_and_masks_tail() {
+        let rows: Vec<Vec<u64>> = vec![vec![u64::MAX, u64::MAX], vec![0, 0]];
+        let p =
+            PackedMatrix::from_word_rows(70, rows.iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(p.row_words(0)[1], (1 << 6) - 1, "tail bits cleared");
+        assert!(PackedMatrix::from_word_rows(70, [vec![0u64; 3].as_slice()]).is_err());
+        assert!(PackedMatrix::from_word_rows(70, std::iter::empty()).is_err());
+        assert!(PackedMatrix::from_word_rows(0, rows.iter().map(Vec::as_slice)).is_err());
+    }
+
+    #[test]
+    fn packed_matmul_matches_dense_exactly() {
+        let mut r = rng(7);
+        for d in [64usize, 100, 257] {
+            let x = random_sign_matrix(5, d, &mut r);
+            let w = random_sign_matrix(d, 3, &mut r);
+            let expect = x.matmul(&w).unwrap();
+            let px = PackedMatrix::from_bipolar(&x).unwrap();
+            let pw = PackedMatrix::from_sign_columns(&w);
+            for threads in [1, 3] {
+                let got = packed_matmul(&px, &pw, &ThreadPool::new(threads)).unwrap();
+                assert_eq!(got, expect, "d={d} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matmul_masked_matches_dense_reference() {
+        let mut r = rng(9);
+        let d = 200;
+        let x = random_sign_matrix(6, d, &mut r);
+        let w = random_sign_matrix(d, 4, &mut r);
+        let mut drop = Dropout::new(0.3, 5).unwrap();
+        let mask = drop.sample_mask(d).unwrap();
+
+        let mut x_ref = x.clone();
+        mask.apply_to_matrix(&mut x_ref); // unscaled zeros
+        let expect = x_ref.matmul(&w).unwrap();
+
+        let px = PackedMatrix::from_bipolar(&x).unwrap();
+        let pw = PackedMatrix::from_sign_columns(&w);
+        for threads in [1, 2] {
+            let got = packed_matmul_masked(&px, &pw, &mask, &ThreadPool::new(threads)).unwrap();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn packed_transpose_matmul_matches_dense_exactly() {
+        let mut r = rng(11);
+        let (b, d, k) = (7, 150, 3);
+        let x = random_sign_matrix(b, d, &mut r);
+        let mut g = Matrix::zeros(b, k);
+        g.map_inplace(|_| r.random_range(-1.0f32..1.0));
+        let expect = x.transpose_matmul(&g).unwrap();
+        let px = PackedMatrix::from_bipolar(&x).unwrap();
+        for threads in [1, 2, 4] {
+            let got = packed_transpose_matmul(&px, &g, None, &ThreadPool::new(threads)).unwrap();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn packed_transpose_matmul_masked_matches_dense_reference() {
+        let mut r = rng(13);
+        let (b, d, k) = (4, 100, 2);
+        let x = random_sign_matrix(b, d, &mut r);
+        let mut g = Matrix::zeros(b, k);
+        g.map_inplace(|_| r.random_range(-1.0f32..1.0));
+        let mut drop = Dropout::new(0.5, 3).unwrap();
+        let mask = drop.sample_mask(d).unwrap();
+
+        let mut x_ref = x.clone();
+        mask.apply_to_matrix(&mut x_ref);
+        let expect = x_ref.transpose_matmul(&g).unwrap();
+
+        let px = PackedMatrix::from_bipolar(&x).unwrap();
+        let got = packed_transpose_matmul(&px, &g, Some(&mask), &ThreadPool::new(2)).unwrap();
+        assert_eq!(got, expect);
+        // dropped dims have exactly-zero gradient rows
+        for dim in 0..d {
+            if !mask.is_kept(dim) {
+                assert!(got.row(dim).iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn products_reject_mismatched_shapes() {
+        let a = PackedMatrix::zeros(2, 64);
+        let b = PackedMatrix::zeros(3, 65);
+        let pool = ThreadPool::new(1);
+        assert!(matches!(
+            packed_matmul(&a, &b, &pool),
+            Err(BinnetError::ShapeMismatch { op: "packed_matmul", .. })
+        ));
+        let g = Matrix::zeros(3, 2);
+        assert!(matches!(
+            packed_transpose_matmul(&a, &g, None, &pool),
+            Err(BinnetError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn full_mask_reduces_to_unmasked_product() {
+        let mut r = rng(17);
+        let d = 96;
+        let x = random_sign_matrix(3, d, &mut r);
+        let w = random_sign_matrix(d, 2, &mut r);
+        let px = PackedMatrix::from_bipolar(&x).unwrap();
+        let pw = PackedMatrix::from_sign_columns(&w);
+        let pool = ThreadPool::new(1);
+        let full = DropMask::full(d);
+        assert_eq!(
+            packed_matmul_masked(&px, &pw, &full, &pool).unwrap(),
+            packed_matmul(&px, &pw, &pool).unwrap()
+        );
+    }
+}

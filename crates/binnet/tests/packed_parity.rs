@@ -1,0 +1,154 @@
+//! Parity suite: the bit-packed XNOR/popcount kernels must be **exactly**
+//! equal to the dense `f32` reference products — `assert_eq!` on whole
+//! matrices, never an epsilon — across property-generated shapes, dropout
+//! masks, and thread counts.
+
+use binnet::{
+    packed_matmul, packed_matmul_masked, packed_transpose_matmul, BinaryLinear, Dropout, Matrix,
+    PackedMatrix,
+};
+use testkit::prelude::*;
+use threadpool::ThreadPool;
+
+/// A random bipolar matrix (entries exactly ±1.0).
+fn arb_sign_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        collection::vec(any::<bool>(), r * c).prop_map(move |bits| {
+            let data = bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+            Matrix::from_flat(r, c, data).unwrap()
+        })
+    })
+}
+
+/// A random real matrix with awkward magnitudes (gradient stand-in).
+fn arb_grad(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    collection::vec(-100.0f32..100.0, rows * cols)
+        .prop_map(move |data| Matrix::from_flat(rows, cols, data).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn packed_forward_equals_dense_forward(
+        x in arb_sign_matrix(6, 200),
+        seed in any::<u64>(),
+        threads in 1usize..=4,
+    ) {
+        let d = x.cols();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let w = binnet::layer::random_sign_matrix(d, 3, &mut rng);
+        let expect = x.matmul(&w).unwrap();
+
+        let px = x.pack_bipolar().expect("bipolar by construction");
+        let pw = PackedMatrix::from_sign_columns(&w);
+        let got = packed_matmul(&px, &pw, &ThreadPool::new(threads)).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn masked_forward_equals_dense_on_zeroed_columns(
+        x in arb_sign_matrix(5, 150),
+        rate in 0.05f32..0.9,
+        seed in any::<u64>(),
+        threads in 1usize..=4,
+    ) {
+        let d = x.cols();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let w = binnet::layer::random_sign_matrix(d, 4, &mut rng);
+        let mut dropout = Dropout::new(rate, seed ^ 0xD0).unwrap();
+        let mask = dropout.sample_mask(d).expect("rate > 0");
+
+        // dense reference: zero the dropped columns UNSCALED, then multiply
+        let mut x_ref = x.clone();
+        mask.apply_to_matrix(&mut x_ref);
+        let expect = x_ref.matmul(&w).unwrap();
+
+        let px = x.pack_bipolar().unwrap();
+        let pw = PackedMatrix::from_sign_columns(&w);
+        let got = packed_matmul_masked(&px, &pw, &mask, &ThreadPool::new(threads)).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn threaded_transpose_matmul_is_bit_identical(
+        x in arb_sign_matrix(6, 120),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let g_strategy_sub = (0..x.rows() * 3)
+            .map(|_| rng.random_range(-50.0f32..50.0))
+            .collect::<Vec<f32>>();
+        let g = Matrix::from_flat(x.rows(), 3, g_strategy_sub).unwrap();
+        let seq = x.transpose_matmul(&g).unwrap();
+        for threads in [2, 3, 5] {
+            let pooled = x.transpose_matmul_pooled(&g, &ThreadPool::new(threads)).unwrap();
+            prop_assert_eq!(&pooled, &seq, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn packed_backward_equals_dense_backward(
+        x in arb_sign_matrix(5, 140),
+        g in arb_grad(5, 3),
+        rate in 0.0f32..0.8,
+        seed in any::<u64>(),
+        threads in 1usize..=4,
+    ) {
+        // align the generated gradient's batch size with x
+        let rows = x.rows();
+        let mut gd = Matrix::zeros(rows, g.cols());
+        for r in 0..rows {
+            gd.row_mut(r).copy_from_slice(g.row(r.min(g.rows() - 1)));
+        }
+        let px = x.pack_bipolar().unwrap();
+        let pool = ThreadPool::new(threads);
+
+        let mut dropout = Dropout::new(rate, seed ^ 0xB4).unwrap();
+        let mask = dropout.sample_mask(x.cols());
+        let mut x_ref = x.clone();
+        if let Some(m) = &mask {
+            m.apply_to_matrix(&mut x_ref);
+        }
+        let expect = x_ref.transpose_matmul(&gd).unwrap();
+        let got = packed_transpose_matmul(&px, &gd, mask.as_ref(), &pool).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn layer_forward_logits_have_integer_values_up_to_dim() {
+    // every packed logit is an exact integer with |v| ≤ D and D-parity
+    let d = 1000;
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
+    let layer = BinaryLinear::new(d, 4, 7);
+    let x = binnet::layer::random_sign_matrix(8, d, &mut rng);
+    let logits = layer.forward(&x);
+    for &v in logits.as_slice() {
+        assert_eq!(v, v.trunc(), "logit {v} must be an integer");
+        assert!(v.abs() <= d as f32);
+        assert_eq!((v.abs() as usize) % 2, d % 2, "logit parity must match D");
+    }
+}
+
+#[test]
+fn scale_once_ordering_matches_packed_dropout_semantics() {
+    // The trainer scales integer logits once; verify that equals the packed
+    // masked product scaled once — NOT inverted dropout applied per element
+    // before the product (which would round differently in general).
+    let d = 96;
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
+    let x = binnet::layer::random_sign_matrix(4, d, &mut rng);
+    let w = binnet::layer::random_sign_matrix(d, 2, &mut rng);
+    let mut dropout = Dropout::new(0.25, 17).unwrap();
+    let mask = dropout.sample_mask(d).unwrap();
+
+    let mut x_ref = x.clone();
+    mask.apply_to_matrix(&mut x_ref);
+    let mut expect = x_ref.matmul(&w).unwrap();
+    expect.scale(mask.scale());
+
+    let px = x.pack_bipolar().unwrap();
+    let pw = PackedMatrix::from_sign_columns(&w);
+    let mut got = packed_matmul_masked(&px, &pw, &mask, &ThreadPool::new(2)).unwrap();
+    got.scale(mask.scale());
+    assert_eq!(got, expect);
+}

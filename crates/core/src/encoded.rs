@@ -1,6 +1,6 @@
 //! An encoded corpus: the hypervectors every training strategy consumes.
 
-use binnet::Matrix;
+use binnet::{Matrix, PackedMatrix};
 use hdc::{BinaryHv, Dim, Encode};
 use hdc_datasets::Dataset;
 
@@ -162,6 +162,27 @@ impl EncodedDataset {
         }
         (m, labels)
     }
+
+    /// Assembles a **bit-packed** batch (`indices.len() × D`) for the packed
+    /// XNOR/popcount trainer path, with matching labels.
+    ///
+    /// Hypervectors are already bit-packed, so this is a word copy — no
+    /// `BinaryHv → f32` expansion per epoch, unlike [`EncodedDataset::batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of range.
+    #[must_use]
+    pub fn packed_batch(&self, indices: &[usize]) -> (PackedMatrix, Vec<usize>) {
+        assert!(!indices.is_empty(), "batch must not be empty");
+        let m = PackedMatrix::from_word_rows(
+            self.dim.get(),
+            indices.iter().map(|&i| self.hvs[i].as_words()),
+        )
+        .expect("hypervector words always match their dimension");
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        (m, labels)
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +232,18 @@ mod tests {
             assert_eq!(m.get(0, j), e.hvs()[3].bipolar(j) as f32);
             assert_eq!(m.get(1, j), e.hvs()[0].bipolar(j) as f32);
         }
+    }
+
+    #[test]
+    fn packed_batch_matches_dense_batch() {
+        let e = tiny_encoded();
+        let (dense, dense_labels) = e.batch(&[3, 0, 2]);
+        let (packed, packed_labels) = e.packed_batch(&[3, 0, 2]);
+        assert_eq!(dense_labels, packed_labels);
+        assert_eq!((packed.rows(), packed.cols()), (3, 128));
+        assert_eq!(packed.to_bipolar_matrix(), dense);
+        // word-level copy: rows are the hypervectors' own words
+        assert_eq!(packed.row_words(0), e.hvs()[3].as_words());
     }
 
     #[test]

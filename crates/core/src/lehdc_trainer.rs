@@ -14,6 +14,13 @@
 //! - the learning rate decays when the training loss increases;
 //! - after training, `C = sgn(C_nb)` *is* the class-hypervector set — the
 //!   inference path is the unchanged binary HDC classifier.
+//!
+//! The hot path runs on bit-packed XNOR/popcount kernels: batches come from
+//! [`EncodedDataset::packed_batch`] (a word copy, no `BinaryHv → f32`
+//! expansion per epoch), dropout is a per-batch bit mask whose survivor
+//! scale is applied once to the integer logits, and the gradient product
+//! reads signs straight from the packed bits. See `binnet::packed` for the
+//! argument that this is bit-identical to the dense `f32` formulation.
 
 use binnet::{
     softmax_cross_entropy, Adam, BatchSampler, BinaryLinear, Dropout, Optimizer, PlateauDecay,
@@ -65,6 +72,10 @@ pub struct LehdcConfig {
     /// Optional element-wise gradient clipping bound (a common BNN training
     /// stabilizer alongside latent clipping; `None` = off).
     pub grad_clip: Option<f32>,
+    /// OS threads for the packed matrix products and accuracy evaluations.
+    /// The trained model is bit-identical at any thread count (threads chunk
+    /// over output rows, never over a reduction).
+    pub threads: usize,
 }
 
 /// Validation-split early-stopping policy for [`LehdcConfig`].
@@ -104,6 +115,7 @@ impl Default for LehdcConfig {
             eval_every: 1,
             early_stopping: None,
             grad_clip: None,
+            threads: 1,
         }
     }
 }
@@ -188,6 +200,13 @@ impl LehdcConfig {
         self
     }
 
+    /// Sets the worker-thread count for training and evaluation.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -198,6 +217,11 @@ impl LehdcConfig {
         if self.epochs == 0 || self.batch_size == 0 || self.eval_every == 0 {
             return Err(LehdcError::InvalidConfig(
                 "epochs, batch size, and eval_every must be non-zero".into(),
+            ));
+        }
+        if self.threads == 0 {
+            return Err(LehdcError::InvalidConfig(
+                "thread count must be non-zero".into(),
             ));
         }
         if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
@@ -286,7 +310,7 @@ pub fn train_lehdc(
         None => (all_indices, Vec::new()),
     };
 
-    let mut layer = if config.warm_start {
+    let layer = if config.warm_start {
         // Initialize C_nb from the class sums over the fitting samples,
         // normalized into the latent range so Adam's early steps can still
         // flip bits.
@@ -307,6 +331,7 @@ pub fn train_lehdc(
     } else {
         BinaryLinear::new(d, k, hdc::rng::derive_seed(config.seed, 0x1417))
     };
+    let mut layer = layer.with_threads(config.threads);
 
     let mut opt = Adam::new(config.learning_rate).weight_decay(config.weight_decay);
     let mut dropout = Dropout::new(config.dropout, hdc::rng::derive_seed(config.seed, 0xD40))?;
@@ -341,11 +366,24 @@ pub fn train_lehdc(
         for batch_positions in sampler.epoch(epoch) {
             let batch_indices: Vec<usize> =
                 batch_positions.iter().map(|&p| fit_indices[p]).collect();
-            let (mut x, labels) = train.batch(&batch_indices);
-            dropout.apply(&mut x);
-            let logits = layer.forward(&x);
-            let (loss, dlogits) = softmax_cross_entropy(&logits, &labels)?;
-            let mut grad = layer.backward(&x, &dlogits);
+            let (x, labels) = train.packed_batch(&batch_indices);
+            // Dropout is one bit mask per batch; its inverted-dropout scale
+            // is applied once to the exact integer logits, and again to
+            // dlogits so the latent gradient matches the dense formulation.
+            let mask = dropout.sample_mask(d);
+            let logits = match &mask {
+                Some(m) => {
+                    let mut l = layer.forward_packed_masked(&x, m);
+                    l.scale(m.scale());
+                    l
+                }
+                None => layer.forward_packed(&x),
+            };
+            let (loss, mut dlogits) = softmax_cross_entropy(&logits, &labels)?;
+            if let Some(m) = &mask {
+                dlogits.scale(m.scale());
+            }
+            let mut grad = layer.backward_packed(&x, mask.as_ref(), &dlogits);
             if let Some(bound) = config.grad_clip {
                 grad.map_inplace(|v| v.clamp(-bound, bound));
             }
@@ -384,8 +422,13 @@ pub fn train_lehdc(
             let model = model_from_layer(&layer, k)?;
             history.push(EpochRecord {
                 epoch,
-                train_accuracy: model.accuracy(train.hvs(), train.labels()),
-                test_accuracy: test.map(|t| model.accuracy(t.hvs(), t.labels())),
+                train_accuracy: model.accuracy_threaded(
+                    train.hvs(),
+                    train.labels(),
+                    config.threads,
+                ),
+                test_accuracy: test
+                    .map(|t| model.accuracy_threaded(t.hvs(), t.labels(), config.threads)),
                 validation_accuracy: val_accuracy,
                 loss: Some(mean_loss),
                 learning_rate: Some(lr),
@@ -518,6 +561,22 @@ mod tests {
         assert_eq!(a, b);
         let (c, _) = train_lehdc(&train, None, &cfg.clone().with_seed(8)).unwrap();
         assert!(a != c || a.n_classes() == 2, "different seeds usually differ");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_trained_model() {
+        // Same seed, different worker counts → bit-identical models and
+        // histories, because threads only ever chunk over output rows.
+        let train = multimodal_corpus(3, 5, 300, 30, 44);
+        let base_cfg = LehdcConfig::quick().with_epochs(5).with_seed(11);
+        let cfg1 = base_cfg.clone().with_threads(1);
+        let cfg4 = base_cfg.with_threads(4);
+        assert!(cfg4.validate().is_ok());
+        let (m1, h1) = train_lehdc(&train, None, &cfg1).unwrap();
+        let (m4, h4) = train_lehdc(&train, None, &cfg4).unwrap();
+        assert_eq!(m1, m4);
+        assert_eq!(h1.records(), h4.records());
+        assert!(LehdcConfig::default().with_threads(0).validate().is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::error::LehdcError;
 /// ```
 /// use hdc::{BinaryHv, Dim};
 /// use lehdc::HdcModel;
-/// ///
+///
 /// # fn main() -> Result<(), lehdc::LehdcError> {
 /// let d = Dim::new(512);
 /// let mut rng = testkit::Xoshiro256pp::seed_from_u64(1);
@@ -92,20 +92,32 @@ impl HdcModel {
     /// Panics if the query dimension differs from the model's.
     #[must_use]
     pub fn classify(&self, query: &BinaryHv) -> usize {
-        let mut best = (i64::MIN, 0usize);
-        for (k, c) in self.class_hvs.iter().enumerate() {
-            let dot = query.dot(c);
-            if dot > best.0 {
-                best = (dot, k);
-            }
-        }
-        best.1
+        assert_eq!(
+            query.dim(),
+            self.dim,
+            "query dimension must match the model"
+        );
+        hdc::kernels::argmax_dot(query.as_words(), self.class_hvs.iter().map(BinaryHv::as_words))
+            .expect("model has at least one class")
     }
 
     /// Classifies a batch of queries.
     #[must_use]
     pub fn classify_all(&self, queries: &[BinaryHv]) -> Vec<usize> {
-        queries.iter().map(|q| self.classify(q)).collect()
+        self.classify_all_threaded(queries, 1)
+    }
+
+    /// [`HdcModel::classify_all`] fanned out over `threads` OS threads.
+    ///
+    /// Queries are chunked contiguously and results spliced back in query
+    /// order, so the output is identical at any thread count.
+    #[must_use]
+    pub fn classify_all_threaded(&self, queries: &[BinaryHv], threads: usize) -> Vec<usize> {
+        let pool = threadpool::ThreadPool::new(threads);
+        let parts = pool.run_chunks(queries.len(), |range| {
+            queries[range].iter().map(|q| self.classify(q)).collect::<Vec<usize>>()
+        });
+        parts.concat()
     }
 
     /// Classifies and reports the **margin**: the cosine-similarity gap
@@ -185,13 +197,24 @@ impl HdcModel {
     /// Panics if the slices have different lengths or are empty.
     #[must_use]
     pub fn accuracy(&self, queries: &[BinaryHv], labels: &[usize]) -> f64 {
+        self.accuracy_threaded(queries, labels, 1)
+    }
+
+    /// [`HdcModel::accuracy`] fanned out over `threads` OS threads. The
+    /// correct-count sum is exact (integer), so the result is identical at
+    /// any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    #[must_use]
+    pub fn accuracy_threaded(&self, queries: &[BinaryHv], labels: &[usize], threads: usize) -> f64 {
         assert_eq!(queries.len(), labels.len(), "one label per query required");
         assert!(!queries.is_empty(), "empty query set has no accuracy");
-        let correct = queries
-            .iter()
-            .zip(labels)
-            .filter(|(q, &y)| self.classify(q) == y)
-            .count();
+        let pool = threadpool::ThreadPool::new(threads);
+        let correct = pool.sum_indices(queries.len(), |i| {
+            usize::from(self.classify(&queries[i]) == labels[i])
+        });
         correct as f64 / queries.len() as f64
     }
 }
@@ -205,7 +228,7 @@ impl HdcModel {
 /// ```
 /// use hdc::{BinaryHv, Dim, RealHv};
 /// use lehdc::NonBinaryModel;
-/// ///
+///
 /// # fn main() -> Result<(), lehdc::LehdcError> {
 /// let d = Dim::new(256);
 /// let mut rng = testkit::Xoshiro256pp::seed_from_u64(2);
@@ -371,6 +394,22 @@ mod tests {
         let acc = model.accuracy(&[hvs[0].clone(), hvs[1].clone()], &[0, 0]);
         assert!((acc - 0.5).abs() < 1e-12);
         assert_eq!(model.classify_all(&hvs), vec![0, 1]);
+    }
+
+    #[test]
+    fn threaded_classification_matches_sequential() {
+        let (model, _) = random_model(3, 512);
+        let mut rng = rng_for(13, 4);
+        let queries: Vec<BinaryHv> = (0..25)
+            .map(|_| BinaryHv::random(Dim::new(512), &mut rng))
+            .collect();
+        let labels: Vec<usize> = (0..25).map(|i| i % 3).collect();
+        let seq = model.classify_all(&queries);
+        let acc = model.accuracy(&queries, &labels);
+        for threads in [2, 4, 7] {
+            assert_eq!(model.classify_all_threaded(&queries, threads), seq);
+            assert_eq!(model.accuracy_threaded(&queries, &labels, threads), acc);
+        }
     }
 
     #[test]

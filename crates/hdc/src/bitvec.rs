@@ -21,7 +21,7 @@ use crate::error::HdcError;
 ///
 /// ```
 /// use hdc::{BinaryHv, Dim};
-/// ///
+///
 /// let mut rng = testkit::Xoshiro256pp::seed_from_u64(1);
 /// let a = BinaryHv::random(Dim::new(4096), &mut rng);
 /// let b = BinaryHv::random(Dim::new(4096), &mut rng);
@@ -171,7 +171,7 @@ impl BinaryHv {
     /// Number of `+1` coordinates.
     #[must_use]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        crate::kernels::popcount_words(&self.words)
     }
 
     /// Element-wise bipolar negation (`-H`).
@@ -261,12 +261,7 @@ impl BinaryHv {
     /// Returns [`HdcError::DimMismatch`] if the dimensions differ.
     pub fn try_hamming(&self, other: &Self) -> Result<usize, HdcError> {
         self.check_dim(other)?;
-        Ok(self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum())
+        Ok(crate::kernels::hamming_words(&self.words, &other.words))
     }
 
     /// Normalized Hamming distance `|H₁ ≠ H₂| / D ∈ [0, 1]` (the paper's

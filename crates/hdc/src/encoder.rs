@@ -1,8 +1,7 @@
 //! Hypervector encoders: record-based (paper Eq. 1) and N-gram.
 
-use std::thread;
-
 use testkit::Xoshiro256pp;
+use threadpool::ThreadPool;
 
 use crate::accum::Accumulator;
 use crate::bitvec::BinaryHv;
@@ -52,21 +51,15 @@ pub trait Encode: Sync {
             });
         }
         let n_samples = samples.len() / n;
-        let threads = threads.max(1).min(n_samples.max(1));
-        if threads <= 1 || n_samples < 2 {
-            return samples.chunks(n).map(|row| self.encode(row)).collect();
-        }
-        let chunk_rows = n_samples.div_ceil(threads);
-        let mut out: Vec<Result<Vec<BinaryHv>, HdcError>> = Vec::new();
-        thread::scope(|scope| {
-            let handles: Vec<_> = samples
-                .chunks(chunk_rows * n)
-                .map(|chunk| scope.spawn(move || chunk.chunks(n).map(|r| self.encode(r)).collect()))
-                .collect();
-            out = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let pool = ThreadPool::new(threads);
+        let parts = pool.run_chunks(n_samples, |rows| {
+            samples[rows.start * n..rows.end * n]
+                .chunks(n)
+                .map(|row| self.encode(row))
+                .collect::<Result<Vec<BinaryHv>, HdcError>>()
         });
         let mut all = Vec::with_capacity(n_samples);
-        for part in out {
+        for part in parts {
             all.extend(part?);
         }
         Ok(all)

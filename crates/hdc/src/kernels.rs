@@ -1,0 +1,221 @@
+//! Word-level XNOR/popcount compute kernels over packed bit slices.
+//!
+//! These free functions are the single source of truth for the arithmetic
+//! identity the whole system leans on: with the [`BinaryHv`] bit convention
+//! (bit `1` ≡ bipolar `+1`, bit `0` ≡ `-1`, tail bits of the last word
+//! zero), the bipolar dot product of two `D`-dimensional vectors packed into
+//! `u64` words is
+//!
+//! ```text
+//! dot(x, w) = D − 2·popcount(x XOR w)
+//! ```
+//!
+//! because XOR marks exactly the disagreeing coordinates (each contributing
+//! `−1` instead of `+1`). The masked variant restricts the product to the
+//! coordinates kept by a dropout mask `m`:
+//!
+//! ```text
+//! dot_m(x, w) = kept − 2·popcount((x XOR w) AND m),   kept = popcount(m)
+//! ```
+//!
+//! Every result is an integer of magnitude at most `D`; for `D < 2²⁴` these
+//! integers are exactly representable in `f32`, which is why the packed
+//! matrix products built on these kernels are **bit-identical** to the dense
+//! `f32` reference products, not merely close (see `binnet::packed`).
+//!
+//! Callers guarantee equal slice lengths; the kernels `debug_assert` it and
+//! truncate to the shorter slice in release builds (the behaviour of `zip`).
+//!
+//! [`BinaryHv`]: crate::BinaryHv
+
+/// Number of set bits across a packed slice.
+#[inline]
+#[must_use]
+pub fn popcount_words(a: &[u64]) -> usize {
+    a.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Hamming distance between two packed vectors: `popcount(a XOR b)`.
+#[inline]
+#[must_use]
+pub fn hamming_words(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len(), "word slices must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x ^ y).count_ones() as usize)
+        .sum()
+}
+
+/// Bipolar dot product `d − 2·hamming` of two packed `d`-dimensional
+/// vectors — the BNN pre-activation `En(x)ᵀ c_k` of the paper's Eq. 6.
+#[inline]
+#[must_use]
+pub fn dot_words(d: usize, a: &[u64], b: &[u64]) -> i64 {
+    d as i64 - 2 * hamming_words(a, b) as i64
+}
+
+/// Hamming distance restricted to the coordinates kept by `mask`:
+/// `popcount((a XOR b) AND mask)`.
+#[inline]
+#[must_use]
+pub fn masked_hamming_words(a: &[u64], b: &[u64], mask: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len(), "word slices must have equal length");
+    debug_assert_eq!(a.len(), mask.len(), "mask must match the word slices");
+    a.iter()
+        .zip(b)
+        .zip(mask)
+        .map(|((x, y), m)| ((x ^ y) & m).count_ones() as usize)
+        .sum()
+}
+
+/// Masked bipolar dot product `kept − 2·popcount((a XOR b) AND mask)`,
+/// where `kept = popcount(mask)` is passed in so batch loops hoist it.
+///
+/// This is how input dropout becomes a per-batch bit mask instead of `f32`
+/// zeros: dropped coordinates simply leave both the positive and negative
+/// tallies, and the surviving product stays an exact integer.
+#[inline]
+#[must_use]
+pub fn masked_dot_words(kept: usize, a: &[u64], b: &[u64], mask: &[u64]) -> i64 {
+    kept as i64 - 2 * masked_hamming_words(a, b, mask) as i64
+}
+
+/// Batch kernel: the dot products of one packed query against many packed
+/// rows, written into `out` in row order.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than the row iterator.
+pub fn dots_into<'a, I>(d: usize, x: &[u64], rows: I, out: &mut [f32])
+where
+    I: IntoIterator<Item = &'a [u64]>,
+{
+    let mut n = 0;
+    for (slot, row) in out.iter_mut().zip(rows) {
+        *slot = dot_words(d, x, row) as f32;
+        n += 1;
+    }
+    debug_assert!(n <= out.len());
+}
+
+/// Batch argmax kernel: the index of the packed row with the largest dot
+/// product against `x` (ties resolve to the lowest index), or `None` for an
+/// empty row set. Classification by minimum Hamming distance is exactly
+/// this, since `dot = d − 2·hamming` is monotone in `−hamming`.
+pub fn argmax_dot<'a, I>(x: &[u64], rows: I) -> Option<usize>
+where
+    I: IntoIterator<Item = &'a [u64]>,
+{
+    // max dot == min hamming; comparing hammings avoids needing `d`.
+    let mut best: Option<(usize, usize)> = None;
+    for (k, row) in rows.into_iter().enumerate() {
+        let h = hamming_words(x, row);
+        match best {
+            Some((best_h, _)) if h >= best_h => {}
+            _ => best = Some((h, k)),
+        }
+    }
+    best.map(|(_, k)| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinaryHv, Dim};
+
+    fn pair(d: usize) -> (BinaryHv, BinaryHv) {
+        let mut rng = crate::rng::rng_for(5, 17);
+        let dim = Dim::new(d);
+        (
+            BinaryHv::random(dim, &mut rng),
+            BinaryHv::random(dim, &mut rng),
+        )
+    }
+
+    #[test]
+    fn kernels_agree_with_binaryhv_methods() {
+        for d in [64, 100, 257, 10_000] {
+            let (a, b) = pair(d);
+            assert_eq!(hamming_words(a.as_words(), b.as_words()), a.hamming(&b));
+            assert_eq!(dot_words(d, a.as_words(), b.as_words()), a.dot(&b));
+            assert_eq!(popcount_words(a.as_words()), a.count_ones());
+        }
+    }
+
+    #[test]
+    fn full_mask_reduces_to_unmasked() {
+        let d = 300;
+        let (a, b) = pair(d);
+        let mask = BinaryHv::ones(Dim::new(d));
+        let kept = popcount_words(mask.as_words());
+        assert_eq!(kept, d);
+        assert_eq!(
+            masked_dot_words(kept, a.as_words(), b.as_words(), mask.as_words()),
+            a.dot(&b)
+        );
+        assert_eq!(
+            masked_hamming_words(a.as_words(), b.as_words(), mask.as_words()),
+            a.hamming(&b)
+        );
+    }
+
+    #[test]
+    fn masked_dot_matches_scalar_reference() {
+        let d = 500;
+        let (a, b) = pair(d);
+        let mask = BinaryHv::from_fn(Dim::new(d), |i| i % 3 != 0);
+        let kept = popcount_words(mask.as_words());
+        let expect: i64 = (0..d)
+            .filter(|&i| mask.get(i))
+            .map(|i| i64::from(a.bipolar(i) * b.bipolar(i)))
+            .sum();
+        assert_eq!(
+            masked_dot_words(kept, a.as_words(), b.as_words(), mask.as_words()),
+            expect
+        );
+    }
+
+    #[test]
+    fn empty_mask_drops_everything() {
+        let d = 128;
+        let (a, b) = pair(d);
+        let zeros = BinaryHv::zeros(Dim::new(d));
+        assert_eq!(
+            masked_dot_words(0, a.as_words(), b.as_words(), zeros.as_words()),
+            0
+        );
+    }
+
+    #[test]
+    fn dots_into_fills_in_row_order() {
+        let d = 256;
+        let mut rng = crate::rng::rng_for(8, 1);
+        let dim = Dim::new(d);
+        let x = BinaryHv::random(dim, &mut rng);
+        let rows: Vec<BinaryHv> = (0..5).map(|_| BinaryHv::random(dim, &mut rng)).collect();
+        let mut out = vec![0.0f32; 5];
+        dots_into(d, x.as_words(), rows.iter().map(BinaryHv::as_words), &mut out);
+        for (k, row) in rows.iter().enumerate() {
+            assert_eq!(out[k], x.dot(row) as f32);
+        }
+    }
+
+    #[test]
+    fn argmax_dot_picks_nearest_row_with_low_index_ties() {
+        let d = 512;
+        let mut rng = crate::rng::rng_for(9, 2);
+        let dim = Dim::new(d);
+        let rows: Vec<BinaryHv> = (0..4).map(|_| BinaryHv::random(dim, &mut rng)).collect();
+        for (k, row) in rows.iter().enumerate() {
+            let got = argmax_dot(row.as_words(), rows.iter().map(BinaryHv::as_words));
+            assert_eq!(got, Some(k));
+        }
+        // exact duplicate rows tie; the lowest index wins
+        let dup = vec![rows[2].clone(), rows[2].clone()];
+        assert_eq!(
+            argmax_dot(rows[2].as_words(), dup.iter().map(BinaryHv::as_words)),
+            Some(0)
+        );
+        assert_eq!(argmax_dot::<[&[u64]; 0]>(rows[0].as_words(), []), None);
+    }
+}

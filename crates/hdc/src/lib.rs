@@ -52,6 +52,7 @@ pub mod dim;
 pub mod encoder;
 pub mod error;
 pub mod item_memory;
+pub mod kernels;
 pub mod permutation;
 pub mod quantize;
 pub mod realhv;
@@ -64,6 +65,7 @@ pub use dim::Dim;
 pub use encoder::{Encode, NgramEncoder, RecordEncoder, RecordEncoderBuilder};
 pub use error::HdcError;
 pub use item_memory::{LevelMemory, PositionMemory};
+pub use kernels::{dot_words, hamming_words, masked_dot_words, masked_hamming_words};
 pub use permutation::Permutation;
 pub use quantize::Quantizer;
 pub use realhv::RealHv;

@@ -140,9 +140,57 @@ impl Bench {
         &self.results
     }
 
-    /// Prints the closing line. Called by [`bench_main!`](crate::bench_main).
+    /// Prints the closing line and, when the `TESTKIT_BENCH_JSON`
+    /// environment variable names a directory, writes the summaries to
+    /// `BENCH_<target>.json` in it (target = bench binary name with cargo's
+    /// trailing build hash stripped). Called by
+    /// [`bench_main!`](crate::bench_main).
     pub fn finish(&self) {
         println!("\n{} benchmarks run", self.results.len());
+        let Ok(dir) = std::env::var("TESTKIT_BENCH_JSON") else {
+            return;
+        };
+        if dir.is_empty() {
+            return;
+        }
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", bench_target_name()));
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+
+    /// The recorded summaries as a JSON document: `{"quick": bool,
+    /// "benchmarks": [{"name", "median_ns", ...}]}`. Hand-rolled — the
+    /// workspace is hermetic and carries no serde.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            let throughput = match s.throughput {
+                Some(Throughput::Elements(n)) => format!(", \"elements\": {n}"),
+                Some(Throughput::Bytes(n)) => format!(", \"bytes\": {n}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, \
+                 \"sigma_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"samples\": {}, \"iters_per_sample\": {}{throughput}}}{}\n",
+                json_escape(&s.name),
+                s.median_ns,
+                s.mean_ns,
+                s.sigma_ns,
+                s.min_ns,
+                s.max_ns,
+                s.samples,
+                s.iters_per_sample,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
     fn run_one(
@@ -319,6 +367,37 @@ impl Bencher {
     }
 }
 
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// The bench target's logical name: `argv[0]`'s file stem with cargo's
+/// trailing `-<16 hex>` build hash stripped.
+fn bench_target_name() -> String {
+    let arg0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    strip_build_hash(stem)
+}
+
+fn strip_build_hash(stem: &str) -> String {
+    if let Some((name, hash)) = stem.rsplit_once('-') {
+        if !name.is_empty() && hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) {
+            return name.to_string();
+        }
+    }
+    stem.to_string()
+}
+
 fn format_time(ns: f64) -> String {
     if ns < 1e3 {
         format!("{ns:.1} ns")
@@ -439,6 +518,35 @@ mod tests {
         assert_eq!(BenchmarkId::new("enc", 4096).0, "enc/4096");
         assert_eq!(BenchmarkId::from_parameter("d10k").0, "d10k");
         assert_eq!(BenchmarkId::from("plain").0, "plain");
+    }
+
+    #[test]
+    fn build_hash_is_stripped_from_target_names() {
+        assert_eq!(strip_build_hash("kernels-0123456789abcdef"), "kernels");
+        assert_eq!(strip_build_hash("kernels"), "kernels");
+        assert_eq!(strip_build_hash("multi-word-0123456789abcdef"), "multi-word");
+        // not a 16-hex suffix → untouched
+        assert_eq!(strip_build_hash("kernels-quick"), "kernels-quick");
+        assert_eq!(strip_build_hash("kernels-0123456789abcdeg"), "kernels-0123456789abcdeg");
+    }
+
+    #[test]
+    fn json_output_lists_every_summary() {
+        let mut bench = quick_bench();
+        let mut group = bench.benchmark_group("g");
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("a", |b| b.iter(|| 1 + 1));
+        group.bench_function("b\"q", |b| b.iter(|| 2 + 2));
+        group.finish();
+        let json = bench.to_json();
+        assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\"name\": \"g/a\""));
+        assert!(json.contains("\"name\": \"g/b\\\"q\""), "quotes escaped: {json}");
+        assert!(json.contains("\"elements\": 64"));
+        assert!(json.contains("\"median_ns\": "));
+        // two entries, comma after the first only
+        assert_eq!(json.matches("\"name\"").count(), 2);
+        assert_eq!(json.trim_end().chars().last(), Some('}'));
     }
 
     #[test]

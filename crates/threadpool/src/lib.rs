@@ -1,0 +1,297 @@
+#![warn(missing_docs)]
+
+//! Scoped fan-out over `std::thread` with chunked ranges and deterministic
+//! result order.
+//!
+//! This crate is the workspace's entire threading model: a [`ThreadPool`] is
+//! nothing but a worker count, every fan-out runs inside
+//! [`std::thread::scope`] (so borrowed data needs no `'static` bounds and no
+//! `Arc`), and work is always split into **contiguous index chunks** whose
+//! results come back in chunk order. Because each output element is computed
+//! by exactly one worker from the same inputs in the same per-element order,
+//! every operation built on this pool is bit-identical across worker counts
+//! — the property the trainer's `threads = 1` vs `threads = N` regression
+//! tests pin down.
+//!
+//! No work-stealing, no channels, no shared queues: spawn, join, splice.
+//! That is deliberate — the hot loops this pool serves (packed matrix
+//! products, batch classification) are uniform per item, so static chunking
+//! loses nothing to a dynamic scheduler and keeps determinism trivial.
+//!
+//! # Examples
+//!
+//! ```
+//! use threadpool::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! // Sum of squares, fanned out over 4 workers, summed in chunk order.
+//! let partials = pool.run_chunks(1000, |range| {
+//!     range.map(|i| i as u64 * i as u64).sum::<u64>()
+//! });
+//! let total: u64 = partials.into_iter().sum();
+//! assert_eq!(total, (0..1000u64).map(|i| i * i).sum());
+//! ```
+
+use std::ops::Range;
+use std::thread;
+
+/// A fixed-width scoped thread pool.
+///
+/// Holds only the worker count; threads are spawned per call inside
+/// [`std::thread::scope`] and joined before the call returns. A pool of one
+/// worker runs everything inline on the caller's thread (no spawn cost), so
+/// `ThreadPool::new(1)` is the zero-overhead sequential reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new(1)
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool of `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    #[must_use]
+    pub fn available() -> Self {
+        ThreadPool::new(thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` once per contiguous chunk of `0..n` and returns the results
+    /// in chunk order.
+    ///
+    /// The chunking is a pure function of `(n, threads)` — see
+    /// [`chunk_ranges`] — so a given pool always hands workers the same
+    /// ranges. An empty domain returns an empty vector.
+    pub fn run_chunks<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let ranges = chunk_ranges(n, self.threads);
+        if ranges.len() <= 1 {
+            return ranges.into_iter().map(f).collect();
+        }
+        let mut results = Vec::with_capacity(ranges.len());
+        thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(|| f(range)))
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+        results
+    }
+
+    /// Maps every index in `0..n` through `f`, fanning chunks out across the
+    /// pool; the result vector is ordered by index exactly as a sequential
+    /// `(0..n).map(f)` would be.
+    pub fn map_indices<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = Vec::with_capacity(n);
+        for part in self.run_chunks(n, |range| range.map(&f).collect::<Vec<T>>()) {
+            out.extend(part);
+        }
+        out
+    }
+
+    /// Splits `data` into per-chunk sub-slices of `items` logical items of
+    /// `item_len` elements each and hands each worker its chunk's item range
+    /// plus the mutable sub-slice covering exactly those items.
+    ///
+    /// This is how parallel matrix products write disjoint row ranges of one
+    /// output buffer without locks: `data` is the flat row-major buffer,
+    /// `items` the row count, `item_len` the row width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != items * item_len`.
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], items: usize, item_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(Range<usize>, &mut [T]) + Sync,
+    {
+        assert_eq!(
+            data.len(),
+            items * item_len,
+            "buffer length must equal items * item_len"
+        );
+        let ranges = chunk_ranges(items, self.threads);
+        if ranges.len() <= 1 {
+            if let Some(range) = ranges.into_iter().next() {
+                f(range, data);
+            }
+            return;
+        }
+        thread::scope(|scope| {
+            let mut rest = data;
+            for range in ranges {
+                let take = range.len() * item_len;
+                let (chunk, tail) = rest.split_at_mut(take);
+                rest = tail;
+                scope.spawn(|| f(range, chunk));
+            }
+        });
+    }
+
+    /// Sums `f` over every index in `0..n` (fan out, add partials in chunk
+    /// order) — the shape of parallel counting and accuracy reductions.
+    pub fn sum_indices<F>(&self, n: usize, f: F) -> usize
+    where
+        F: Fn(usize) -> usize + Sync,
+    {
+        self.run_chunks(n, |range| range.map(&f).sum::<usize>())
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges of near-equal length
+/// (the first `n % parts` ranges are one longer), in ascending order.
+///
+/// Returns fewer than `parts` ranges when `n < parts`, and no ranges when
+/// `n == 0`; every index appears in exactly one range.
+///
+/// # Examples
+///
+/// ```
+/// let ranges = threadpool::chunk_ranges(10, 4);
+/// assert_eq!(ranges, vec![0..3, 3..6, 6..8, 8..10]);
+/// assert!(threadpool::chunk_ranges(0, 4).is_empty());
+/// ```
+#[must_use]
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_partition_the_domain() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 1000] {
+                let ranges = chunk_ranges(n, parts);
+                let covered: usize = ranges.iter().map(ExactSizeIterator::len).sum();
+                assert_eq!(covered, n, "n={n} parts={parts}");
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "contiguous");
+                    assert!(!r.is_empty(), "no empty chunks");
+                    expect = r.end;
+                }
+                assert!(ranges.len() <= parts.max(1));
+                if n > 0 {
+                    assert!(ranges.len() <= n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_lengths_differ_by_at_most_one() {
+        let ranges = chunk_ranges(11, 3);
+        let lens: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+        assert_eq!(lens, vec![4, 4, 3]);
+    }
+
+    #[test]
+    fn run_chunks_is_deterministic_across_widths() {
+        let reference: Vec<u64> = (0..257u64).map(|i| i * 31).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let parts = pool.run_chunks(257, |range| {
+                range.map(|i| i as u64 * 31).collect::<Vec<u64>>()
+            });
+            let flat: Vec<u64> = parts.into_iter().flatten().collect();
+            assert_eq!(flat, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_indices_preserves_order() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.map_indices(6, |i| i * i), vec![0, 1, 4, 9, 16, 25]);
+        assert!(pool.map_indices(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_disjoint_rows() {
+        for threads in [1, 2, 5] {
+            let pool = ThreadPool::new(threads);
+            let (rows, cols) = (13, 4);
+            let mut buf = vec![0usize; rows * cols];
+            pool.for_each_chunk_mut(&mut buf, rows, cols, |range, chunk| {
+                assert_eq!(chunk.len(), range.len() * cols);
+                for (local, row) in range.clone().enumerate() {
+                    for c in 0..cols {
+                        chunk[local * cols + c] = row * 100 + c;
+                    }
+                }
+            });
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(buf[r * cols + c], r * 100 + c, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "items * item_len")]
+    fn for_each_chunk_mut_validates_buffer_shape() {
+        let pool = ThreadPool::new(2);
+        let mut buf = vec![0u8; 7];
+        pool.for_each_chunk_mut(&mut buf, 2, 4, |_, _| {});
+    }
+
+    #[test]
+    fn sum_indices_matches_sequential_sum() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.sum_indices(100, |i| i % 7), (0..100).map(|i| i % 7).sum());
+        assert_eq!(pool.sum_indices(0, |_| 1), 0);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(ThreadPool::default(), pool);
+        assert!(ThreadPool::available().threads() >= 1);
+    }
+}

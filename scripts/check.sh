@@ -12,6 +12,12 @@ cargo build --release --offline --workspace --all-targets
 echo "== offline test suite =="
 cargo test -q --offline --workspace
 
+echo "== bench smoke (quick mode, one iteration per benchmark) =="
+TESTKIT_BENCH_QUICK=1 cargo bench -q --offline --workspace
+
+echo "== kernels benchmark (full run, JSON to BENCH_kernels.json) =="
+TESTKIT_BENCH_JSON="$PWD" cargo bench -q --offline -p lehdc-bench --bench kernels
+
 echo "== manifest hermeticity check =="
 # Every [dependencies] / [dev-dependencies] / [build-dependencies] entry in
 # every manifest must be a path/workspace dependency. A registry dependency

@@ -11,6 +11,9 @@
 //! - [`datasets`] (crate `hdc-datasets`) — the six benchmark profiles and
 //!   data loaders.
 //! - [`lehdc`] — the LeHDC trainer and every baseline training strategy.
+//! - [`threadpool`] — the zero-dependency scoped thread pool behind every
+//!   parallel hot path (deterministic: results are bit-identical at any
+//!   thread count).
 //!
 //! # Quickstart
 //!
@@ -35,3 +38,4 @@ pub use binnet;
 pub use hdc;
 pub use hdc_datasets as datasets;
 pub use lehdc;
+pub use threadpool;
