@@ -137,8 +137,14 @@ fn bench_forward_masked(c: &mut Bench) {
     group.finish();
 }
 
-/// Gradient product `Xᵀ·G` at 1 vs N threads (identical results; the gap is
-/// the thread-pool speedup on multi-core hosts).
+/// Worker widths for the thread-scaling groups. With the persistent pool,
+/// extra widths cost only parked threads, so the scaling curve is cheap to
+/// record even on single-core hosts (where all widths should coincide:
+/// the submitting thread claims every chunk itself).
+const SCALING_THREADS: &[usize] = &[1, 2, 4];
+
+/// Gradient product `Xᵀ·G` across pool widths (identical results; the gap
+/// is the persistent-pool speedup on multi-core hosts).
 fn bench_transpose_threads(c: &mut Bench) {
     let mut group = c.benchmark_group("transpose_matmul");
     let d = 10_000;
@@ -146,8 +152,7 @@ fn bench_transpose_threads(c: &mut Bench) {
     let x = binnet::layer::random_sign_matrix(FWD_BATCH, d, &mut rng);
     let mut g = Matrix::zeros(FWD_BATCH, FWD_CLASSES);
     g.map_inplace(|_| rng.random_range(-1.0f32..1.0));
-    let n = std::thread::available_parallelism().map_or(4, usize::from).max(2);
-    for threads in [1usize, n] {
+    for &threads in SCALING_THREADS {
         let pool = ThreadPool::new(threads);
         group.throughput(Throughput::Elements((FWD_BATCH * d) as u64));
         group.bench_with_input(
@@ -161,7 +166,63 @@ fn bench_transpose_threads(c: &mut Bench) {
     group.finish();
 }
 
-/// Batch classification at 1 vs N threads.
+/// The packed backward gradient `Xᵀ·G` (bit-packed activations) across pool
+/// widths — the product the LeHDC trainer runs once per mini-batch.
+fn bench_backward_threads(c: &mut Bench) {
+    let mut group = c.benchmark_group("backward");
+    let d = 10_000;
+    let (_, _, px, _) = forward_fixture(d);
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB4);
+    let mut g = Matrix::zeros(FWD_BATCH, FWD_CLASSES);
+    g.map_inplace(|_| rng.random_range(-1.0f32..1.0));
+    for &threads in SCALING_THREADS {
+        let pool = ThreadPool::new(threads);
+        group.throughput(Throughput::Elements((FWD_BATCH * d) as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads{threads}"), d),
+            &d,
+            |bencher, _| {
+                bencher.iter(|| {
+                    black_box(
+                        binnet::packed_transpose_matmul(black_box(&px), &g, None, &pool).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Record-encoding a small corpus across pool widths: the per-sample fan-out
+/// of `encode_all`, which bundles `n_features` bound hypervectors per row.
+fn bench_encode_threads(c: &mut Bench) {
+    let mut group = c.benchmark_group("encode");
+    let d = 10_000;
+    let n_features = 32;
+    let n_samples = 16;
+    let enc = hdc::RecordEncoder::builder(Dim::new(d), n_features)
+        .seed(0xE2)
+        .build()
+        .expect("valid encoder config");
+    let mut rng = Xoshiro256pp::seed_from_u64(0xE3);
+    let corpus: Vec<f32> = (0..n_samples * n_features)
+        .map(|_| rng.random_range(0.0f32..1.0))
+        .collect();
+    for &threads in SCALING_THREADS {
+        group.throughput(Throughput::Elements((n_samples * n_features) as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads{threads}"), d),
+            &d,
+            |bencher, _| {
+                use hdc::Encode;
+                bencher.iter(|| black_box(enc.encode_all(black_box(&corpus), threads).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Batch classification across pool widths.
 fn bench_classify_threads(c: &mut Bench) {
     let mut group = c.benchmark_group("classify_all");
     let d = 10_000;
@@ -174,8 +235,7 @@ fn bench_classify_threads(c: &mut Bench) {
     let queries: Vec<hdc::BinaryHv> = (0..256)
         .map(|_| hdc::BinaryHv::random(dim, &mut rng))
         .collect();
-    let n = std::thread::available_parallelism().map_or(4, usize::from).max(2);
-    for threads in [1usize, n] {
+    for &threads in SCALING_THREADS {
         group.throughput(Throughput::Elements(queries.len() as u64));
         group.bench_with_input(
             BenchmarkId::new(format!("threads{threads}"), d),
@@ -184,6 +244,23 @@ fn bench_classify_threads(c: &mut Bench) {
                 bencher.iter(|| black_box(model.classify_all_threaded(black_box(&queries), threads)));
             },
         );
+    }
+    group.finish();
+}
+
+/// Bare dispatch cost of the persistent pool: an empty fan-out, so the
+/// measured time is entirely publish + wake + claim + join. With the old
+/// spawn-per-call pool this was ~100 µs of thread creation; parked workers
+/// bring it to single-digit microseconds.
+fn bench_pool_dispatch(c: &mut Bench) {
+    let mut group = c.benchmark_group("pool_dispatch");
+    for &threads in SCALING_THREADS {
+        let pool = ThreadPool::new(threads);
+        // Warm the worker set so spawning is not measured.
+        pool.run_chunks(threads, |_| ());
+        group.bench_function(format!("threads{threads}"), |bencher| {
+            bencher.iter(|| pool.run_chunks(black_box(threads), |r| black_box(r.len())));
+        });
     }
     group.finish();
 }
@@ -197,5 +274,8 @@ testkit::bench_main!(
     bench_forward,
     bench_forward_masked,
     bench_transpose_threads,
+    bench_backward_threads,
+    bench_encode_threads,
     bench_classify_threads,
+    bench_pool_dispatch,
 );

@@ -1,0 +1,106 @@
+//! Diffs two benchmark snapshots and fails on median regressions.
+//!
+//! ```text
+//! bench_compare <baseline.json> <candidate.json> [group ...]
+//! ```
+//!
+//! Both files are `BENCH_<target>.json` documents written by the testkit
+//! harness (`TESTKIT_BENCH_JSON=dir cargo bench`). Every baseline benchmark
+//! whose name starts with one of the named `group` prefixes (all benchmarks
+//! when no groups are given) is matched against the candidate by exact name;
+//! a candidate median more than 25% above the baseline median is a
+//! regression, as is a gated benchmark that disappeared from the candidate.
+//!
+//! Exit status: 0 when clean, 1 on any regression or missing benchmark,
+//! 2 on usage/parse errors (including quick-mode snapshots, whose medians
+//! are single-iteration noise).
+
+use std::process::ExitCode;
+
+use testkit::bench::Snapshot;
+
+/// Allowed relative slowdown before a benchmark counts as regressed.
+const TOLERANCE: f64 = 0.25;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, candidate_path, groups @ ..] = args.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [group ...]");
+        return ExitCode::from(2);
+    };
+    let baseline = match load(baseline_path) {
+        Ok(s) => s,
+        Err(e) => return fail_usage(&e),
+    };
+    let candidate = match load(candidate_path) {
+        Ok(s) => s,
+        Err(e) => return fail_usage(&e),
+    };
+
+    let gated: Vec<&(String, f64)> = baseline
+        .medians
+        .iter()
+        .filter(|(name, _)| {
+            groups.is_empty() || groups.iter().any(|g| name.starts_with(g.as_str()))
+        })
+        .collect();
+    if gated.is_empty() {
+        eprintln!(
+            "bench_compare: no baseline benchmark matches groups {:?}",
+            groups
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut regressions = 0usize;
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline", "candidate", "ratio"
+    );
+    for (name, base_ns) in gated {
+        match candidate.median_ns(name) {
+            Some(cand_ns) => {
+                let ratio = cand_ns / base_ns;
+                let verdict = if ratio > 1.0 + TOLERANCE {
+                    regressions += 1;
+                    "  REGRESSED"
+                } else {
+                    ""
+                };
+                println!(
+                    "{name:<44} {:>10.0}ns {:>10.0}ns {ratio:>7.2}x{verdict}",
+                    base_ns, cand_ns
+                );
+            }
+            None => {
+                regressions += 1;
+                println!("{name:<44} {base_ns:>10.0}ns {:>12} {:>8}  MISSING", "-", "-");
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_compare: {regressions} benchmark(s) regressed beyond {:.0}% or went missing",
+            TOLERANCE * 100.0
+        );
+        return ExitCode::from(1);
+    }
+    println!("bench_compare: all medians within {:.0}%", TOLERANCE * 100.0);
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let snap = Snapshot::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if snap.quick {
+        return Err(format!(
+            "{path} was recorded in quick mode; rerun without TESTKIT_BENCH_QUICK for comparable medians"
+        ));
+    }
+    Ok(snap)
+}
+
+fn fail_usage(msg: &str) -> ExitCode {
+    eprintln!("bench_compare: {msg}");
+    ExitCode::from(2)
+}

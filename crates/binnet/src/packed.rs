@@ -206,6 +206,62 @@ impl PackedMatrix {
         })
     }
 
+    /// Pool-parallel [`from_word_rows`](Self::from_word_rows): `row(r)`
+    /// yields the packed words of row `r`, and workers copy disjoint
+    /// contiguous row ranges into the output buffer.
+    ///
+    /// Each destination row is written by exactly one worker from the same
+    /// source words, so the result is bit-identical to the sequential
+    /// constructor at any worker count. This is the batch-assembly fast path
+    /// of the trainer: with a persistent pool, dispatch costs microseconds,
+    /// so even the word-copy per mini-batch is worth fanning out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinnetError::InvalidConfig`] if `cols` or `n_rows` is zero,
+    /// or any row has the wrong word count.
+    pub fn from_word_rows_pooled<'a, F>(
+        cols: usize,
+        n_rows: usize,
+        row: F,
+        pool: &ThreadPool,
+    ) -> Result<Self, BinnetError>
+    where
+        F: Fn(usize) -> &'a [u64] + Sync,
+    {
+        if cols == 0 || n_rows == 0 {
+            return Err(BinnetError::InvalidConfig(
+                "packed matrix needs at least one row and one column".into(),
+            ));
+        }
+        let words_per_row = cols.div_ceil(64);
+        if let Some(bad) = (0..n_rows).find(|&r| row(r).len() != words_per_row) {
+            return Err(BinnetError::InvalidConfig(format!(
+                "packed row {bad} has {} words, expected {words_per_row}",
+                row(bad).len()
+            )));
+        }
+        let tail_mask = if cols % 64 == 0 {
+            u64::MAX
+        } else {
+            (1u64 << (cols % 64)) - 1
+        };
+        let mut words = vec![0u64; n_rows * words_per_row];
+        pool.for_each_chunk_mut(&mut words, n_rows, words_per_row, |rows, chunk| {
+            for (local, r) in rows.enumerate() {
+                let dst = &mut chunk[local * words_per_row..(local + 1) * words_per_row];
+                dst.copy_from_slice(row(r));
+                dst[words_per_row - 1] &= tail_mask;
+            }
+        });
+        Ok(PackedMatrix {
+            rows: n_rows,
+            cols,
+            words_per_row,
+            words,
+        })
+    }
+
     /// Number of rows.
     #[must_use]
     pub fn rows(&self) -> usize {
@@ -495,6 +551,25 @@ mod tests {
         assert!(PackedMatrix::from_word_rows(70, [vec![0u64; 3].as_slice()]).is_err());
         assert!(PackedMatrix::from_word_rows(70, std::iter::empty()).is_err());
         assert!(PackedMatrix::from_word_rows(0, rows.iter().map(Vec::as_slice)).is_err());
+    }
+
+    #[test]
+    fn from_word_rows_pooled_matches_sequential() {
+        let rows: Vec<Vec<u64>> = (0..17)
+            .map(|r| vec![u64::MAX.rotate_left(r as u32), r as u64])
+            .collect();
+        let seq = PackedMatrix::from_word_rows(100, rows.iter().map(Vec::as_slice)).unwrap();
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let par =
+                PackedMatrix::from_word_rows_pooled(100, 17, |r| rows[r].as_slice(), &pool)
+                    .unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        let pool = ThreadPool::new(2);
+        let bad = [0u64; 3];
+        assert!(PackedMatrix::from_word_rows_pooled(70, 2, |_| bad.as_slice(), &pool).is_err());
+        assert!(PackedMatrix::from_word_rows_pooled(0, 2, |r| rows[r].as_slice(), &pool).is_err());
     }
 
     #[test]

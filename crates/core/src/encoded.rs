@@ -3,6 +3,7 @@
 use binnet::{Matrix, PackedMatrix};
 use hdc::{BinaryHv, Dim, Encode};
 use hdc_datasets::Dataset;
+use threadpool::ThreadPool;
 
 use crate::error::LehdcError;
 
@@ -152,14 +153,27 @@ impl EncodedDataset {
     /// Panics if `indices` is empty or any index is out of range.
     #[must_use]
     pub fn batch(&self, indices: &[usize]) -> (Matrix, Vec<usize>) {
+        self.batch_pooled(indices, &ThreadPool::new(1))
+    }
+
+    /// [`batch`](Self::batch) with rows expanded in parallel: workers fill
+    /// disjoint contiguous row ranges of the output matrix, so the result is
+    /// bit-identical at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of range.
+    #[must_use]
+    pub fn batch_pooled(&self, indices: &[usize], pool: &ThreadPool) -> (Matrix, Vec<usize>) {
         assert!(!indices.is_empty(), "batch must not be empty");
         let d = self.dim.get();
         let mut m = Matrix::zeros(indices.len(), d);
-        let mut labels = Vec::with_capacity(indices.len());
-        for (row, &i) in indices.iter().enumerate() {
-            self.hvs[i].write_bipolar_f32(m.row_mut(row));
-            labels.push(self.labels[i]);
-        }
+        pool.for_each_chunk_mut(m.as_mut_slice(), indices.len(), d, |rows, chunk| {
+            for (local, &i) in indices[rows].iter().enumerate() {
+                self.hvs[i].write_bipolar_f32(&mut chunk[local * d..(local + 1) * d]);
+            }
+        });
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
         (m, labels)
     }
 
@@ -178,6 +192,32 @@ impl EncodedDataset {
         let m = PackedMatrix::from_word_rows(
             self.dim.get(),
             indices.iter().map(|&i| self.hvs[i].as_words()),
+        )
+        .expect("hypervector words always match their dimension");
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        (m, labels)
+    }
+
+    /// [`packed_batch`](Self::packed_batch) with the word copy fanned out
+    /// over `pool`: workers copy disjoint contiguous row ranges, so the
+    /// result is bit-identical at any worker count. This is the batch
+    /// assembly the LeHDC trainer runs once per mini-batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of range.
+    #[must_use]
+    pub fn packed_batch_pooled(
+        &self,
+        indices: &[usize],
+        pool: &ThreadPool,
+    ) -> (PackedMatrix, Vec<usize>) {
+        assert!(!indices.is_empty(), "batch must not be empty");
+        let m = PackedMatrix::from_word_rows_pooled(
+            self.dim.get(),
+            indices.len(),
+            |r| self.hvs[indices[r]].as_words(),
+            pool,
         )
         .expect("hypervector words always match their dimension");
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
@@ -244,6 +284,23 @@ mod tests {
         assert_eq!(packed.to_bipolar_matrix(), dense);
         // word-level copy: rows are the hypervectors' own words
         assert_eq!(packed.row_words(0), e.hvs()[3].as_words());
+    }
+
+    #[test]
+    fn pooled_batches_match_sequential_batches() {
+        let e = tiny_encoded();
+        let indices = [3usize, 0, 2, 1, 2];
+        let (dense, dense_labels) = e.batch(&indices);
+        let (packed, packed_labels) = e.packed_batch(&indices);
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let (dp, dl) = e.batch_pooled(&indices, &pool);
+            assert_eq!(dp, dense, "dense threads={threads}");
+            assert_eq!(dl, dense_labels);
+            let (pp, pl) = e.packed_batch_pooled(&indices, &pool);
+            assert_eq!(pp, packed, "packed threads={threads}");
+            assert_eq!(pl, packed_labels);
+        }
     }
 
     #[test]

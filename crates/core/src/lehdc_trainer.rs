@@ -16,8 +16,8 @@
 //!   inference path is the unchanged binary HDC classifier.
 //!
 //! The hot path runs on bit-packed XNOR/popcount kernels: batches come from
-//! [`EncodedDataset::packed_batch`] (a word copy, no `BinaryHv → f32`
-//! expansion per epoch), dropout is a per-batch bit mask whose survivor
+//! [`EncodedDataset::packed_batch_pooled`] (a pool-parallel word copy, no
+//! `BinaryHv → f32` expansion per epoch), dropout is a per-batch bit mask whose survivor
 //! scale is applied once to the integer logits, and the gradient product
 //! reads signs straight from the packed bits. See `binnet::packed` for the
 //! argument that this is bit-identical to the dense `f32` formulation.
@@ -342,6 +342,9 @@ pub fn train_lehdc(
         hdc::rng::derive_seed(config.seed, 0xBA7C),
     )?;
     let mut history = TrainingHistory::new();
+    // One pool handle for batch assembly; the persistent workers behind it
+    // are shared with the layer's own products, so dispatch stays cheap.
+    let pool = threadpool::ThreadPool::new(config.threads);
 
     let accuracy_on = |model: &HdcModel, indices: &[usize]| -> f64 {
         if indices.is_empty() {
@@ -366,7 +369,7 @@ pub fn train_lehdc(
         for batch_positions in sampler.epoch(epoch) {
             let batch_indices: Vec<usize> =
                 batch_positions.iter().map(|&p| fit_indices[p]).collect();
-            let (x, labels) = train.packed_batch(&batch_indices);
+            let (x, labels) = train.packed_batch_pooled(&batch_indices, &pool);
             // Dropout is one bit mask per batch; its inverted-dropout scale
             // is applied once to the exact integer logits, and again to
             // dlogits so the latent gradient matches the dense formulation.

@@ -107,7 +107,8 @@ impl HdcModel {
         self.classify_all_threaded(queries, 1)
     }
 
-    /// [`HdcModel::classify_all`] fanned out over `threads` OS threads.
+    /// [`HdcModel::classify_all`] fanned out over `threads` persistent pool
+    /// workers (dispatch costs microseconds — see the `threadpool` crate).
     ///
     /// Queries are chunked contiguously and results spliced back in query
     /// order, so the output is identical at any thread count.
@@ -200,7 +201,7 @@ impl HdcModel {
         self.accuracy_threaded(queries, labels, 1)
     }
 
-    /// [`HdcModel::accuracy`] fanned out over `threads` OS threads. The
+    /// [`HdcModel::accuracy`] fanned out over `threads` pool workers. The
     /// correct-count sum is exact (integer), so the result is identical at
     /// any thread count.
     ///

@@ -57,6 +57,58 @@ fn different_seeds_give_different_models() {
 }
 
 #[test]
+fn one_worker_set_serves_the_whole_pipeline_deterministically() {
+    // Encode → train → classify reuses the same parked worker set for every
+    // dispatch (pool handles are just widths over one process-global set),
+    // and the results are bit-identical whether that set is used at width 1
+    // or width 4.
+    let spec = SyntheticSpec::builder("pool", 12, 4)
+        .prototypes_per_class(2)
+        .noise(0.1)
+        .train_samples(80)
+        .test_samples(20)
+        .build()
+        .unwrap();
+    let data = spec.generate(11).unwrap();
+    let enc = RecordEncoder::builder(Dim::new(1024), 12)
+        .levels(8)
+        .seed(11)
+        .build()
+        .unwrap();
+    let queries = lehdc::EncodedDataset::encode(&data.test, &enc, 1).unwrap();
+
+    let jobs_before = threadpool::dispatched_jobs();
+    let run = |threads: usize| {
+        let train = EncodedDataset::encode(&data.train, &enc, threads).unwrap();
+        let cfg = LehdcConfig::quick()
+            .with_epochs(2)
+            .with_seed(11)
+            .with_threads(threads);
+        let (model, _) = train_lehdc(&train, None, &cfg).unwrap();
+        let predictions = model.classify_all_threaded(queries.hvs(), threads);
+        (model, predictions)
+    };
+    let (m1, p1) = run(1);
+    let (m4, p4) = run(4);
+    assert_eq!(
+        m1.class_hvs(),
+        m4.class_hvs(),
+        "pool width must not change the trained model"
+    );
+    assert_eq!(p1, p4, "pool width must not change classifications");
+    // The width-4 run fanned out through the persistent pool: many jobs, but
+    // never more parked workers than the widest dispatch needs.
+    assert!(
+        threadpool::dispatched_jobs() > jobs_before,
+        "parallel pipeline should dispatch pool jobs"
+    );
+    assert!(
+        threadpool::spawned_workers() <= 7,
+        "worker set must stay bounded by the widest pool ever used (8)"
+    );
+}
+
+#[test]
 fn lehdc_training_is_bit_identical_across_runs() {
     // The discriminative trainer adds batch shuffling, dropout masks, and
     // binarized weight updates on top of the baseline path — all seeded.

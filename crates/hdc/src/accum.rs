@@ -118,24 +118,87 @@ impl Accumulator {
     /// `sgn(0)` ties with `rng` as the paper prescribes.
     ///
     /// Ties can only occur when an even number of hypervectors was added.
+    ///
+    /// The majority comparison runs as a branch-free word-building loop; RNG
+    /// draws happen in a separate sparse pass over a per-word tie mask. Ties
+    /// are visited in ascending dimension order, so the tie-break stream is
+    /// identical to a per-bit scan and golden vectors are unaffected.
     #[must_use]
     pub fn threshold<R: Rng + ?Sized>(&self, rng: &mut R) -> BinaryHv {
-        let half = self.n; // compare 2*ones vs n  ⇔  ones*2 > n
-        BinaryHv::from_fn(self.dim, |i| {
-            let twice = 2 * self.ones[i];
-            match twice.cmp(&half) {
-                std::cmp::Ordering::Greater => true,
-                std::cmp::Ordering::Less => false,
-                std::cmp::Ordering::Equal => rng.random::<bool>(),
+        let n = self.n; // compare 2*ones vs n  ⇔  bipolar sum vs 0
+        let d = self.dim.get();
+        let mut words = Vec::with_capacity(self.dim.words());
+        for base in (0..d).step_by(64) {
+            let top = (d - base).min(64);
+            let mut majority = 0u64;
+            let mut ties = 0u64;
+            for b in 0..top {
+                let twice = 2 * self.ones[base + b];
+                majority |= u64::from(twice > n) << b;
+                ties |= u64::from(twice == n) << b;
             }
-        })
+            while ties != 0 {
+                let b = ties.trailing_zeros();
+                majority |= u64::from(rng.random::<bool>()) << b;
+                ties &= ties - 1;
+            }
+            words.push(majority);
+        }
+        BinaryHv::from_raw_words(words, self.dim)
     }
 
     /// Deterministic threshold: `sgn(0)` resolves to `+1` (the convention of
     /// the paper's Eq. 8).
     #[must_use]
     pub fn threshold_deterministic(&self) -> BinaryHv {
-        BinaryHv::from_fn(self.dim, |i| 2 * self.ones[i] >= self.n)
+        let n = self.n;
+        let d = self.dim.get();
+        let mut words = Vec::with_capacity(self.dim.words());
+        for base in (0..d).step_by(64) {
+            let top = (d - base).min(64);
+            let mut majority = 0u64;
+            for b in 0..top {
+                majority |= u64::from(2 * self.ones[base + b] >= n) << b;
+            }
+            words.push(majority);
+        }
+        BinaryHv::from_raw_words(words, self.dim)
+    }
+
+    /// Merges another bundle into this one, exactly as if every hypervector
+    /// added to `other` had been [`add`](Self::add)ed here instead.
+    ///
+    /// Per-dimension vote counts are `u32` sums, so merging is associative
+    /// and commutative with no rounding: bundling a corpus in chunks and
+    /// merging the partials in any grouping yields the same accumulator as
+    /// one sequential pass. This is what makes the feature-parallel encoder
+    /// path bit-identical to the sequential one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ; use [`try_merge`](Self::try_merge)
+    /// for a fallible variant.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.try_merge(other).expect("dimension mismatch in merge");
+    }
+
+    /// Fallible [`merge`](Self::merge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimMismatch`] if the dimensions differ.
+    pub fn try_merge(&mut self, other: &Accumulator) -> Result<(), HdcError> {
+        if other.dim != self.dim {
+            return Err(HdcError::DimMismatch {
+                left: self.dim.get(),
+                right: other.dim.get(),
+            });
+        }
+        for (mine, theirs) in self.ones.iter_mut().zip(&other.ones) {
+            *mine += theirs;
+        }
+        self.n += other.n;
+        Ok(())
     }
 
     /// Clears the accumulator for reuse without reallocating.
@@ -230,6 +293,68 @@ mod tests {
         acc.clear();
         assert!(acc.is_empty());
         assert_eq!(acc.sum(0), 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_adds() {
+        let d = Dim::new(300);
+        let mut r = rng();
+        let hvs: Vec<BinaryHv> = (0..10).map(|_| BinaryHv::random(d, &mut r)).collect();
+        let mut sequential = Accumulator::new(d);
+        for hv in &hvs {
+            sequential.add(hv);
+        }
+        // Bundle in three uneven chunks and merge the partials in order.
+        let mut merged = Accumulator::new(d);
+        for chunk in [&hvs[0..3], &hvs[3..4], &hvs[4..10]] {
+            let mut part = Accumulator::new(d);
+            for hv in chunk {
+                part.add(hv);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.len(), 10);
+        // merging an empty accumulator is the identity
+        merged.merge(&Accumulator::new(d));
+        assert_eq!(merged, sequential);
+        assert!(merged.try_merge(&Accumulator::new(Dim::new(5))).is_err());
+    }
+
+    #[test]
+    fn threshold_matches_per_bit_reference_and_rng_stream() {
+        // Dimensions straddling a word boundary plus a ragged tail, with an
+        // even count so ties actually occur.
+        for d in [Dim::new(63), Dim::new(64), Dim::new(130), Dim::new(517)] {
+            let mut r = rng();
+            let hvs: Vec<BinaryHv> = (0..6).map(|_| BinaryHv::random(d, &mut r)).collect();
+            let mut acc = Accumulator::new(d);
+            for hv in &hvs {
+                acc.add(hv);
+            }
+            let mut fast_rng = Xoshiro256pp::seed_from_u64(99);
+            let mut ref_rng = fast_rng.clone();
+            let fast = acc.threshold(&mut fast_rng);
+            let reference = BinaryHv::from_fn(d, |i| match acc.sum(i).cmp(&0) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => ref_rng.random::<bool>(),
+            });
+            assert_eq!(fast, reference, "D={}", d.get());
+            // Same number of draws, in the same order: the streams align.
+            assert_eq!(
+                fast_rng.random::<u64>(),
+                ref_rng.random::<u64>(),
+                "tie-break RNG stream diverged at D={}",
+                d.get()
+            );
+            assert_eq!(
+                acc.threshold_deterministic(),
+                BinaryHv::from_fn(d, |i| acc.sum(i) >= 0),
+                "deterministic D={}",
+                d.get()
+            );
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub trait Encode: Sync {
     fn encode(&self, features: &[f32]) -> Result<BinaryHv, HdcError>;
 
     /// Encodes a flat row-major corpus (`samples.len()` must be a multiple of
-    /// `n_features()`), fanning out across `threads` OS threads.
+    /// `n_features()`), fanning out across `threads` persistent pool workers.
     ///
     /// The result is identical to calling [`encode`](Encode::encode) on each
     /// row sequentially.
@@ -142,6 +142,61 @@ impl RecordEncoder {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// [`encode`](Encode::encode) with the bundle-accumulate loop fanned out
+    /// over `pool`: the features are chunked, every chunk binds and bundles
+    /// into its own partial [`Accumulator`], and the partials merge in fixed
+    /// chunk order.
+    ///
+    /// Per-dimension vote counts are exact integer sums (see
+    /// [`Accumulator::merge`]), and the tie-break stream depends only on the
+    /// sample's level pattern, so the result is **bit-identical** to the
+    /// sequential encode at any worker count. Useful when single-sample
+    /// latency matters more than corpus throughput (corpus encoding should
+    /// prefer the sample-chunked [`encode_all`](Encode::encode_all)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureCountMismatch`] if
+    /// `features.len() != self.n_features()`.
+    pub fn encode_pooled(
+        &self,
+        features: &[f32],
+        pool: &ThreadPool,
+    ) -> Result<BinaryHv, HdcError> {
+        let n = self.n_features();
+        if features.len() != n {
+            return Err(HdcError::FeatureCountMismatch {
+                expected: n,
+                actual: features.len(),
+            });
+        }
+        // Hash the level pattern so sgn(0) tie-breaking is a deterministic
+        // function of (encoder seed, sample content); the hash chains over
+        // features, so it stays a cheap sequential pass.
+        let mut content_hash = self.seed;
+        for (i, &value) in features.iter().enumerate() {
+            let level = self.quantizer.level(value);
+            content_hash = splitmix64(content_hash ^ (level as u64).wrapping_mul(i as u64 + 1));
+        }
+        let parts = pool.run_chunks(n, |range| {
+            let mut acc = Accumulator::new(self.dim());
+            let mut buf = BinaryHv::zeros(self.dim());
+            for i in range {
+                let level = self.quantizer.level(features[i]);
+                buf.clone_from(self.positions.hv(i));
+                buf.bind_assign(self.levels.hv(level));
+                acc.add(&buf);
+            }
+            acc
+        });
+        let mut acc = Accumulator::new(self.dim());
+        for part in &parts {
+            acc.merge(part);
+        }
+        let mut tie_rng = Xoshiro256pp::seed_from_u64(content_hash);
+        Ok(acc.threshold(&mut tie_rng))
+    }
 }
 
 impl Encode for RecordEncoder {
@@ -154,27 +209,9 @@ impl Encode for RecordEncoder {
     }
 
     fn encode(&self, features: &[f32]) -> Result<BinaryHv, HdcError> {
-        let n = self.n_features();
-        if features.len() != n {
-            return Err(HdcError::FeatureCountMismatch {
-                expected: n,
-                actual: features.len(),
-            });
-        }
-        let mut acc = Accumulator::new(self.dim());
-        let mut buf = BinaryHv::zeros(self.dim());
-        // Hash the level pattern so sgn(0) tie-breaking is a deterministic
-        // function of (encoder seed, sample content).
-        let mut content_hash = self.seed;
-        for (i, &value) in features.iter().enumerate() {
-            let level = self.quantizer.level(value);
-            content_hash = splitmix64(content_hash ^ (level as u64).wrapping_mul(i as u64 + 1));
-            buf.clone_from(self.positions.hv(i));
-            buf.bind_assign(self.levels.hv(level));
-            acc.add(&buf);
-        }
-        let mut tie_rng = Xoshiro256pp::seed_from_u64(content_hash);
-        Ok(acc.threshold(&mut tie_rng))
+        // A 1-wide pool runs the single chunk inline on this thread, so the
+        // sequential encode is just the pooled one with no dispatch.
+        self.encode_pooled(features, &ThreadPool::new(1))
     }
 }
 
@@ -429,6 +466,18 @@ mod tests {
             let par = enc.encode_all(&flat, threads).unwrap();
             assert_eq!(par, seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn encode_pooled_is_bit_identical_to_sequential() {
+        let enc = encoder(1024, 37);
+        let x = sample(37, 0.4);
+        let seq = enc.encode(&x).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let pooled = enc.encode_pooled(&x, &ThreadPool::new(threads)).unwrap();
+            assert_eq!(pooled, seq, "threads={threads}");
+        }
+        assert!(enc.encode_pooled(&[0.0; 3], &ThreadPool::new(2)).is_err());
     }
 
     #[test]

@@ -71,6 +71,16 @@ proptest! {
     }
 
     #[test]
+    fn rotation_matches_per_bit_reference(d in arb_dim(), s in any::<u64>(), k in 0usize..600) {
+        // The word-level shift-and-stitch must agree with the definition:
+        // output bit j is input bit (j - k) mod d.
+        let a = hv(d, s);
+        let kk = k % d;
+        let reference = BinaryHv::from_fn(Dim::new(d), |j| a.get((j + d - kk) % d));
+        prop_assert_eq!(a.rotated(k), reference);
+    }
+
+    #[test]
     fn accumulator_threshold_of_odd_copies_is_identity(d in arb_dim(), s in any::<u64>(), copies in 1usize..6) {
         let a = hv(d, s);
         let mut acc = Accumulator::new(Dim::new(d));

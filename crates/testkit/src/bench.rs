@@ -367,6 +367,100 @@ impl Bencher {
     }
 }
 
+/// A benchmark snapshot parsed back from the JSON that [`Bench::finish`]
+/// writes: the `quick` flag and each benchmark's median, in file order.
+///
+/// This is the reading half of the snapshot round-trip used by regression
+/// gating (`bench_compare`): record a baseline `BENCH_<target>.json`, rerun,
+/// and diff medians.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Whether the snapshot was taken in quick (single-iteration) mode.
+    /// Quick-mode medians are noise; comparisons should refuse them.
+    pub quick: bool,
+    /// `(name, median_ns)` per benchmark, in file order.
+    pub medians: Vec<(String, f64)>,
+}
+
+impl Snapshot {
+    /// Parses a snapshot document produced by [`Bench::to_json`].
+    ///
+    /// The parser is deliberately scoped to that writer's output shape (the
+    /// workspace carries no JSON dependency): it scans for `"name"` /
+    /// `"median_ns"` key pairs and decodes the string escapes
+    /// [`Bench::to_json`] can emit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry: a truncated name
+    /// string, a missing `median_ns`, or an unparseable number.
+    pub fn parse(json: &str) -> Result<Snapshot, String> {
+        let quick = json.contains("\"quick\": true");
+        let mut medians = Vec::new();
+        let mut rest = json;
+        while let Some(pos) = rest.find("\"name\": \"") {
+            rest = &rest[pos + "\"name\": \"".len()..];
+            let (name, after) = json_unescape_string(rest)
+                .ok_or_else(|| format!("unterminated name string near `{}`", clip(rest)))?;
+            rest = after;
+            let key = "\"median_ns\": ";
+            let mpos = rest
+                .find(key)
+                .ok_or_else(|| format!("benchmark `{name}` has no median_ns"))?;
+            let tail = &rest[mpos + key.len()..];
+            let end = tail
+                .find([',', '}'])
+                .ok_or_else(|| format!("unterminated median for `{name}`"))?;
+            let median: f64 = tail[..end]
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad median for `{name}`: {e}"))?;
+            medians.push((name, median));
+        }
+        Ok(Snapshot { quick, medians })
+    }
+
+    /// The median for a benchmark name, if recorded.
+    #[must_use]
+    pub fn median_ns(&self, name: &str) -> Option<f64> {
+        self.medians
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, m)| m)
+    }
+}
+
+/// Decodes a JSON string body (opening quote already consumed) up to its
+/// closing quote. Returns the decoded string and the remainder after the
+/// quote, or `None` if the string never terminates.
+fn json_unescape_string(s: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &s[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn clip(s: &str) -> &str {
+    &s[..s.len().min(40)]
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -547,6 +641,49 @@ mod tests {
         // two entries, comma after the first only
         assert_eq!(json.matches("\"name\"").count(), 2);
         assert_eq!(json.trim_end().chars().last(), Some('}'));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut bench = quick_bench();
+        let mut group = bench.benchmark_group("g");
+        group.bench_function("a", |b| b.iter(|| 1 + 1));
+        group.bench_function("b\"q\\w", |b| b.iter(|| 2 + 2));
+        group.finish();
+        let snap = Snapshot::parse(&bench.to_json()).unwrap();
+        assert!(snap.quick);
+        assert_eq!(snap.medians.len(), 2);
+        assert_eq!(snap.medians[0].0, "g/a");
+        assert_eq!(snap.medians[1].0, "g/b\"q\\w");
+        assert_eq!(snap.median_ns("g/a"), Some(snap.medians[0].1));
+        assert_eq!(snap.median_ns("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_parses_reference_document() {
+        let doc = r#"{
+  "quick": false,
+  "benchmarks": [
+    {"name": "hamming/10000", "median_ns": 123.5, "mean_ns": 130, "sigma_ns": 2, "min_ns": 120, "max_ns": 140, "samples": 15, "iters_per_sample": 1000, "elements": 10000},
+    {"name": "rotAte", "median_ns": 7e3, "mean_ns": 7000, "sigma_ns": 1, "min_ns": 6900, "max_ns": 7100, "samples": 15, "iters_per_sample": 10}
+  ]
+}
+"#;
+        let snap = Snapshot::parse(doc).unwrap();
+        assert!(!snap.quick);
+        assert_eq!(snap.median_ns("hamming/10000"), Some(123.5));
+        assert_eq!(snap.median_ns("rotAte"), Some(7000.0));
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_documents() {
+        assert!(Snapshot::parse("{\"benchmarks\": [{\"name\": \"x\"}]}")
+            .unwrap_err()
+            .contains("no median_ns"));
+        assert!(Snapshot::parse("{\"name\": \"x\", \"median_ns\": oops}").is_err());
+        assert!(Snapshot::parse("{\"name\": \"never ends").is_err());
+        // no entries at all is fine — an empty snapshot
+        assert_eq!(Snapshot::parse("{}").unwrap().medians.len(), 0);
     }
 
     #[test]

@@ -1,22 +1,44 @@
 #![warn(missing_docs)]
 
-//! Scoped fan-out over `std::thread` with chunked ranges and deterministic
+//! Persistent parked-worker fan-out with chunked ranges and deterministic
 //! result order.
 //!
-//! This crate is the workspace's entire threading model: a [`ThreadPool`] is
-//! nothing but a worker count, every fan-out runs inside
-//! [`std::thread::scope`] (so borrowed data needs no `'static` bounds and no
-//! `Arc`), and work is always split into **contiguous index chunks** whose
-//! results come back in chunk order. Because each output element is computed
-//! by exactly one worker from the same inputs in the same per-element order,
-//! every operation built on this pool is bit-identical across worker counts
-//! — the property the trainer's `threads = 1` vs `threads = N` regression
-//! tests pin down.
+//! This crate is the workspace's entire threading model. A [`ThreadPool`] is
+//! nothing but a worker count — a cheap `Copy` handle — while the actual OS
+//! threads live in one process-wide worker set shared by every pool value:
+//! workers are spawned lazily on the first parallel call that needs them,
+//! then **parked on a condvar** between jobs. Dispatching a job is a mutex
+//! lock, a job-descriptor write, and a few `notify_one`s — microseconds, not
+//! the hundreds of microseconds a per-call `std::thread::spawn` costs — so
+//! the trainer can fan out thousands of times per epoch without the dispatch
+//! swamping the work.
 //!
-//! No work-stealing, no channels, no shared queues: spawn, join, splice.
-//! That is deliberate — the hot loops this pool serves (packed matrix
-//! products, batch classification) are uniform per item, so static chunking
-//! loses nothing to a dynamic scheduler and keeps determinism trivial.
+//! Work is always split into **contiguous index chunks** whose results come
+//! back in chunk order, and the chunk boundaries are a pure function of
+//! `(n, threads)` (see [`chunk_ranges`]) — never of how many workers happen
+//! to be parked or which worker runs which chunk. Because each output element
+//! is computed by exactly one task invocation from the same inputs in the
+//! same per-element order, every operation built on this pool is
+//! bit-identical across worker counts *and* across pool reuse — the property
+//! the trainer's `threads = 1` vs `threads = N` regression tests pin down.
+//!
+//! # How a job runs
+//!
+//! The shared worker set keeps a single job slot behind a mutex, plus a
+//! monotonically increasing **epoch** that numbers jobs. A submitter waits
+//! for the slot to be free, publishes `{task, n_chunks}` with a fresh epoch,
+//! and wakes up to `n_chunks − 1` parked workers. Chunks are then **claimed**
+//! from a shared cursor: the submitter claims alongside the woken workers, so
+//! a chunk never waits for a descheduled worker (on a single-core host the
+//! submitter simply claims everything itself and the workers go back to
+//! sleep). Each finished chunk bumps a completion counter; the submitter
+//! joins by waiting until the counter reaches `n_chunks`, then clears the
+//! slot. Claiming order does not affect results: chunks write disjoint
+//! outputs, so only the fixed chunk *boundaries* matter for determinism.
+//!
+//! A panic inside any chunk is caught, carried through the job descriptor,
+//! and re-raised on the submitting thread after every chunk has finished —
+//! the workers themselves never die, so the pool stays usable after a panic.
 //!
 //! # Examples
 //!
@@ -32,14 +54,19 @@
 //! assert_eq!(total, (0..1000u64).map(|i| i * i).sum());
 //! ```
 
+use std::any::Any;
+use std::cell::Cell;
 use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
 use std::thread;
 
-/// A fixed-width scoped thread pool.
+/// A fixed-width handle onto the process-wide parked-worker set.
 ///
-/// Holds only the worker count; threads are spawned per call inside
-/// [`std::thread::scope`] and joined before the call returns. A pool of one
-/// worker runs everything inline on the caller's thread (no spawn cost), so
+/// Holds only the worker count; the persistent worker threads are shared by
+/// all `ThreadPool` values and spawned lazily on first use, so constructing a
+/// pool — even per call — is free. A pool of one worker runs everything
+/// inline on the caller's thread (no dispatch at all), so
 /// `ThreadPool::new(1)` is the zero-overhead sequential reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadPool {
@@ -88,17 +115,23 @@ impl ThreadPool {
         if ranges.len() <= 1 {
             return ranges.into_iter().map(f).collect();
         }
-        let mut results = Vec::with_capacity(ranges.len());
-        thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|range| scope.spawn(|| f(range)))
-                .collect();
-            for handle in handles {
-                results.push(handle.join().expect("worker thread panicked"));
-            }
-        });
-        results
+        // One slot per chunk; chunk i writes slot i exactly once, and the
+        // submitter only reads after joining the job, so the lock is never
+        // contended for more than the Option write.
+        let slots: Vec<Mutex<Option<T>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        let task = |i: usize| {
+            let out = f(ranges[i].clone());
+            *slots[i].lock().expect("result slot poisoned") = Some(out);
+        };
+        fan_out(ranges.len(), &task);
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every claimed chunk stores its result")
+            })
+            .collect()
     }
 
     /// Maps every index in `0..n` through `f`, fanning chunks out across the
@@ -144,15 +177,28 @@ impl ThreadPool {
             }
             return;
         }
-        thread::scope(|scope| {
-            let mut rest = data;
-            for range in ranges {
-                let take = range.len() * item_len;
-                let (chunk, tail) = rest.split_at_mut(take);
-                rest = tail;
-                scope.spawn(|| f(range, chunk));
-            }
-        });
+        // Pre-split the buffer into disjoint per-chunk raw parts so that any
+        // worker can pick up any chunk index. Reconstructing the `&mut [T]`
+        // inside the task is sound: each index is claimed by exactly one
+        // task invocation, the parts never overlap, and the submitter blocks
+        // in `fan_out` until every chunk is done, keeping `data` borrowed.
+        let mut parts: Vec<RawChunk<T>> = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [T] = data;
+        for range in &ranges {
+            let take = range.len() * item_len;
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            parts.push(RawChunk {
+                ptr: chunk.as_mut_ptr(),
+                len: chunk.len(),
+            });
+        }
+        let task = |i: usize| {
+            let part = &parts[i];
+            let chunk = unsafe { std::slice::from_raw_parts_mut(part.ptr, part.len) };
+            f(ranges[i].clone(), chunk);
+        };
+        fan_out(ranges.len(), &task);
     }
 
     /// Sums `f` over every index in `0..n` (fan out, add partials in chunk
@@ -164,6 +210,230 @@ impl ThreadPool {
         self.run_chunks(n, |range| range.map(&f).sum::<usize>())
             .into_iter()
             .sum()
+    }
+}
+
+/// A disjoint sub-slice of a caller-owned buffer, in raw-parts form so it
+/// can cross into the worker set without a lifetime.
+struct RawChunk<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// Safety: a `RawChunk` is only ever turned back into a `&mut [T]` by the one
+// task invocation that claims its index, and the submitter keeps the
+// underlying buffer alive (and exclusively borrowed) until the job joins.
+unsafe impl<T: Send> Send for RawChunk<T> {}
+unsafe impl<T: Send> Sync for RawChunk<T> {}
+
+/// The chunk runner of the currently published job, with its borrow lifetime
+/// erased (see the safety argument in [`fan_out`]).
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// Safety: the pointee outlives the job (the submitter blocks until every
+// chunk completes before returning or unwinding), and the pointee is `Sync`
+// so shared calls from several workers are fine.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// The job descriptor workers claim chunks from.
+struct Job {
+    task: TaskPtr,
+    n_chunks: usize,
+    /// Claim cursor: the next unclaimed chunk index.
+    next: usize,
+    /// Number of chunks that have finished running.
+    completed: usize,
+    /// First panic payload raised by any chunk, re-thrown by the submitter.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// State shared between submitters and the parked workers.
+struct PoolState {
+    /// Job generation counter; bumped once per published job so parked
+    /// workers can tell "a job I already drained" from "a new job".
+    epoch: u64,
+    /// Number of persistent workers spawned so far.
+    spawned: usize,
+    /// The single in-flight job, if any. The slot doubles as the submission
+    /// lock: a submitter owns the slot from publish to join.
+    job: Option<Job>,
+}
+
+struct PoolCore {
+    state: Mutex<PoolState>,
+    /// Parked workers wait here for a new epoch.
+    work_cv: Condvar,
+    /// Submitters wait here, both for the job slot and for chunk completion.
+    done_cv: Condvar,
+}
+
+/// The process-wide worker set every [`ThreadPool`] value dispatches into.
+static CORE: PoolCore = PoolCore {
+    state: Mutex::new(PoolState {
+        epoch: 0,
+        spawned: 0,
+        job: None,
+    }),
+    work_cv: Condvar::new(),
+    done_cv: Condvar::new(),
+};
+
+thread_local! {
+    /// Set on pool worker threads, and on a submitter while it runs claimed
+    /// chunks. A nested fan-out from inside a task must not wait on the job
+    /// slot its own job occupies, so it runs its chunks inline instead.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of persistent worker threads spawned so far, process-wide.
+///
+/// Monotonic: workers are never torn down. Grows to at most
+/// `max(threads) − 1` over all pools ever dispatched through.
+#[must_use]
+pub fn spawned_workers() -> usize {
+    CORE.state.lock().expect("pool state poisoned").spawned
+}
+
+/// Total number of parallel jobs dispatched through the shared worker set
+/// (the pool's epoch counter). Inline runs — single-chunk domains, `threads
+/// == 1`, nested fan-outs — do not count.
+#[must_use]
+pub fn dispatched_jobs() -> u64 {
+    CORE.state.lock().expect("pool state poisoned").epoch
+}
+
+/// Publishes a `n_chunks`-chunk job to the shared worker set, helps run it,
+/// and joins it; re-raises the first chunk panic after the join.
+fn fan_out(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(n_chunks >= 2, "single-chunk jobs run inline");
+    if IN_POOL.get() {
+        // Nested fan-out (a task submitting work): run inline. The chunk
+        // boundaries are unchanged, so results are too.
+        for i in 0..n_chunks {
+            task(i);
+        }
+        return;
+    }
+    // Safety: workers only dereference this pointer between claiming a chunk
+    // and marking it complete, and this function does not return or unwind
+    // until `completed == n_chunks` — so the borrow outlives every use.
+    let erased: &'static (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+    };
+    let helpers = n_chunks - 1;
+    {
+        let mut state = CORE.state.lock().expect("pool state poisoned");
+        // The job slot is exclusive; queue behind any in-flight job.
+        while state.job.is_some() {
+            state = CORE.done_cv.wait(state).expect("pool state poisoned");
+        }
+        while state.spawned < helpers {
+            spawn_worker(state.spawned, state.epoch);
+            state.spawned += 1;
+        }
+        state.epoch += 1;
+        state.job = Some(Job {
+            task: TaskPtr(erased),
+            n_chunks,
+            next: 0,
+            completed: 0,
+            panic: None,
+        });
+    }
+    for _ in 0..helpers {
+        CORE.work_cv.notify_one();
+    }
+    // Claim chunks alongside the woken workers; on a single-core host the
+    // submitter typically drains the whole cursor itself.
+    IN_POOL.set(true);
+    loop {
+        let idx = {
+            let mut state = CORE.state.lock().expect("pool state poisoned");
+            let job = state.job.as_mut().expect("submitter owns the job slot");
+            if job.next >= job.n_chunks {
+                break;
+            }
+            let idx = job.next;
+            job.next += 1;
+            idx
+        };
+        run_chunk(task, idx);
+    }
+    IN_POOL.set(false);
+    // Join: wait for stragglers, free the slot, hand it to the next queued
+    // submitter, then surface any chunk panic.
+    let finished = {
+        let mut state = CORE.state.lock().expect("pool state poisoned");
+        while state
+            .job
+            .as_ref()
+            .is_some_and(|job| job.completed < job.n_chunks)
+        {
+            state = CORE.done_cv.wait(state).expect("pool state poisoned");
+        }
+        state.job.take().expect("submitter owns the job slot")
+    };
+    CORE.done_cv.notify_all();
+    if let Some(payload) = finished.panic {
+        panic::resume_unwind(payload);
+    }
+}
+
+/// Runs one claimed chunk, then records completion (and any panic) in the
+/// job descriptor.
+fn run_chunk(task: &(dyn Fn(usize) + Sync), idx: usize) {
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| task(idx)));
+    let mut state = CORE.state.lock().expect("pool state poisoned");
+    let job = state
+        .job
+        .as_mut()
+        .expect("job lives until every chunk completes");
+    job.completed += 1;
+    if let Err(payload) = outcome {
+        job.panic.get_or_insert(payload);
+    }
+    if job.completed == job.n_chunks {
+        CORE.done_cv.notify_all();
+    }
+}
+
+fn spawn_worker(index: usize, seen_epoch: u64) {
+    thread::Builder::new()
+        .name(format!("lehdc-pool-{index}"))
+        .spawn(move || worker_loop(seen_epoch))
+        .expect("failed to spawn pool worker");
+}
+
+/// The persistent worker body: park on the condvar until a new epoch shows
+/// up, drain the claim cursor, park again. Workers never exit; they are
+/// daemon threads reaped at process exit.
+fn worker_loop(mut seen: u64) {
+    IN_POOL.set(true);
+    loop {
+        let (task, idx) = {
+            let mut state = CORE.state.lock().expect("pool state poisoned");
+            loop {
+                if state.epoch != seen {
+                    if let Some(job) = state.job.as_mut() {
+                        if job.next < job.n_chunks {
+                            let idx = job.next;
+                            job.next += 1;
+                            break (job.task, idx);
+                        }
+                    }
+                    // Current job fully claimed (or already joined): this
+                    // worker is caught up with the epoch.
+                    seen = state.epoch;
+                }
+                state = CORE.work_cv.wait(state).expect("pool state poisoned");
+            }
+        };
+        // Safety: see `TaskPtr` — the submitter keeps the task alive until
+        // this chunk's completion is recorded.
+        let task = unsafe { &*task.0 };
+        run_chunk(task, idx);
     }
 }
 
@@ -293,5 +563,71 @@ mod tests {
         assert_eq!(pool.threads(), 1);
         assert_eq!(ThreadPool::default(), pool);
         assert!(ThreadPool::available().threads() >= 1);
+    }
+
+    #[test]
+    fn pool_reuse_keeps_worker_set_and_results_stable() {
+        // Warm the shared worker set up to this binary's widest pool (8 ⇒ 7
+        // helper workers); no test in this binary uses a wider pool, so the
+        // spawn count must stay put across hundreds of dispatches.
+        let pool = ThreadPool::new(8);
+        let reference = pool.run_chunks(500, |r| r.len());
+        let before = spawned_workers();
+        assert!(before >= 7, "widest dispatch spawns its helpers");
+        let jobs_before = dispatched_jobs();
+        for _ in 0..200 {
+            assert_eq!(pool.run_chunks(500, |r| r.len()), reference);
+        }
+        assert_eq!(
+            spawned_workers(),
+            before,
+            "workers must be reused, never respawned"
+        );
+        assert!(dispatched_jobs() >= jobs_before + 200, "each call is one job");
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let result = panic::catch_unwind(|| {
+            pool.run_chunks(8, |range| {
+                assert!(!range.contains(&5), "boom in chunk");
+                range.len()
+            })
+        });
+        assert!(result.is_err(), "chunk panic must surface to the submitter");
+        // The worker set must stay fully usable after surfacing a panic.
+        for _ in 0..10 {
+            let total: usize = pool.run_chunks(100, |r| r.len()).into_iter().sum();
+            assert_eq!(total, 100);
+        }
+    }
+
+    #[test]
+    fn nested_fan_out_runs_inline_without_deadlock() {
+        let outer = ThreadPool::new(4);
+        let inner = ThreadPool::new(4);
+        let sums = outer.run_chunks(8, |range| {
+            inner.run_chunks(64, |r| r.len()).into_iter().sum::<usize>() + range.len()
+        });
+        assert_eq!(sums.into_iter().sum::<usize>(), 64 * 4 + 8);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_worker_set() {
+        let results: Vec<(usize, usize)> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let pool = ThreadPool::new(3);
+                        (t, pool.sum_indices(1000, move |i| i + t))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (t, sum) in results {
+            assert_eq!(sum, (0..1000).map(|i| i + t).sum::<usize>(), "submitter {t}");
+        }
     }
 }

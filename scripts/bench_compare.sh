@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Gate benchmark regressions against a recorded snapshot.
+#
+# Usage:
+#   scripts/bench_compare.sh <baseline.json> <candidate.json> [group ...]
+#   scripts/bench_compare.sh --rerun [group ...]
+#
+# The two-file form diffs existing snapshots. `--rerun` treats the committed
+# BENCH_kernels.json as the baseline, reruns the kernels bench into a temp
+# directory, and diffs against that fresh run. Named groups (e.g.
+# `classify_all` `transpose_matmul`) restrict the gate to benchmarks whose
+# names start with those prefixes; with no groups every benchmark is gated.
+#
+# Exits nonzero when any gated median regresses by more than 25% — the
+# comparison logic lives in `crates/bench/src/bin/bench_compare.rs`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--rerun" ]; then
+    shift
+    baseline="$PWD/BENCH_kernels.json"
+    if [ ! -f "$baseline" ]; then
+        echo "bench_compare.sh: no committed BENCH_kernels.json to use as baseline" >&2
+        exit 2
+    fi
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    echo "== rerunning kernels bench into $tmp =="
+    TESTKIT_BENCH_JSON="$tmp" cargo bench -q --offline -p lehdc-bench --bench kernels
+    candidate="$tmp/BENCH_kernels.json"
+else
+    if [ $# -lt 2 ]; then
+        echo "usage: $0 <baseline.json> <candidate.json> [group ...]" >&2
+        echo "       $0 --rerun [group ...]" >&2
+        exit 2
+    fi
+    baseline=$1
+    candidate=$2
+    shift 2
+fi
+
+cargo run -q --offline --release -p lehdc-bench --bin bench_compare -- \
+    "$baseline" "$candidate" "$@"

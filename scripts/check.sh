@@ -18,6 +18,13 @@ TESTKIT_BENCH_QUICK=1 cargo bench -q --offline --workspace
 echo "== kernels benchmark (full run, JSON to BENCH_kernels.json) =="
 TESTKIT_BENCH_JSON="$PWD" cargo bench -q --offline -p lehdc-bench --bench kernels
 
+if [ "${CHECK_BENCH_COMPARE:-0}" != "0" ]; then
+    echo "== bench regression gate (opt-in via CHECK_BENCH_COMPARE=1) =="
+    # Compares the run above against the committed snapshot for the groups
+    # whose scaling the thread pool is responsible for.
+    ./scripts/bench_compare.sh --rerun classify_all transpose_matmul backward encode
+fi
+
 echo "== manifest hermeticity check =="
 # Every [dependencies] / [dev-dependencies] / [build-dependencies] entry in
 # every manifest must be a path/workspace dependency. A registry dependency

@@ -11,9 +11,9 @@
 //! - [`datasets`] (crate `hdc-datasets`) — the six benchmark profiles and
 //!   data loaders.
 //! - [`lehdc`] — the LeHDC trainer and every baseline training strategy.
-//! - [`threadpool`] — the zero-dependency scoped thread pool behind every
-//!   parallel hot path (deterministic: results are bit-identical at any
-//!   thread count).
+//! - [`threadpool`] — the zero-dependency persistent parked-worker pool
+//!   behind every parallel hot path (workers are spawned once and reused;
+//!   deterministic: results are bit-identical at any thread count).
 //!
 //! # Quickstart
 //!
@@ -39,3 +39,5 @@ pub use hdc;
 pub use hdc_datasets as datasets;
 pub use lehdc;
 pub use threadpool;
+
+pub use threadpool::{chunk_ranges, dispatched_jobs, spawned_workers, ThreadPool};
