@@ -81,6 +81,7 @@ fn bench_rotate(c: &mut Bench) {
     let mut group = c.benchmark_group("rotate");
     for &d in &[1024usize, 4096] {
         let (a, _) = random_pair(d);
+        group.throughput(Throughput::Elements(d as u64));
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bencher, _| {
             bencher.iter(|| black_box(a.rotated(black_box(17))));
         });
@@ -248,6 +249,80 @@ fn bench_classify_threads(c: &mut Bench) {
     group.finish();
 }
 
+/// The trainer's per-batch hot path, zero-alloc variant: the packed
+/// backward product, the fused Adam + rebinarize + incremental-repack
+/// update, and the full fused step (forward → loss → backward → update),
+/// all in reused scratch buffers. `full` is the number the training-time
+/// claims rest on: it should beat the sum of a separate backward +
+/// apply-gradient pair because the fused update makes one pool fan-out and
+/// repacks only in place.
+fn bench_train_step(c: &mut Bench) {
+    use binnet::{Adam, BinaryLinear};
+
+    let mut group = c.benchmark_group("train_step");
+    for &d in &[1024usize, 10_000] {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x75 + d as u64);
+        let x = binnet::layer::random_sign_matrix(FWD_BATCH, d, &mut rng);
+        let px = x.pack_bipolar().expect("bipolar by construction");
+        let labels: Vec<usize> = (0..FWD_BATCH).map(|i| i % FWD_CLASSES).collect();
+        let mut dlogits = Matrix::zeros(FWD_BATCH, FWD_CLASSES);
+        dlogits.map_inplace(|_| rng.random_range(-1.0f32..1.0));
+        for &threads in SCALING_THREADS {
+            let mut layer = BinaryLinear::new(d, FWD_CLASSES, 3).with_threads(threads);
+            let pool = ThreadPool::new(threads);
+            let mut grad = Matrix::zeros(d, FWD_CLASSES);
+            group.throughput(Throughput::Elements((FWD_BATCH * d) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("backward/threads{threads}"), d),
+                &d,
+                |bencher, _| {
+                    bencher.iter(|| {
+                        binnet::packed_transpose_matmul_into(
+                            black_box(&px),
+                            &dlogits,
+                            None,
+                            &pool,
+                            &mut grad,
+                        )
+                        .unwrap();
+                        black_box(grad.as_slice()[0])
+                    });
+                },
+            );
+            let mut opt = Adam::new(1e-4).weight_decay(0.01);
+            group.bench_with_input(
+                BenchmarkId::new(format!("apply_gradient/threads{threads}"), d),
+                &d,
+                |bencher, _| {
+                    bencher.iter(|| {
+                        layer.apply_gradient_fused(black_box(&grad), &mut opt, None, None);
+                        black_box(layer.latent().as_slice()[0])
+                    });
+                },
+            );
+            let mut logits = Matrix::zeros(FWD_BATCH, FWD_CLASSES);
+            let mut dl = Matrix::zeros(FWD_BATCH, FWD_CLASSES);
+            let mut full_opt = Adam::new(1e-4).weight_decay(0.01);
+            group.bench_with_input(
+                BenchmarkId::new(format!("full/threads{threads}"), d),
+                &d,
+                |bencher, _| {
+                    bencher.iter(|| {
+                        layer.forward_packed_into(black_box(&px), &mut logits);
+                        let loss =
+                            binnet::softmax_cross_entropy_into(&logits, &labels, &mut dl).unwrap();
+                        binnet::packed_transpose_matmul_into(&px, &dl, None, &pool, &mut grad)
+                            .unwrap();
+                        layer.apply_gradient_fused(&grad, &mut full_opt, None, None);
+                        black_box(loss)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Bare dispatch cost of the persistent pool: an empty fan-out, so the
 /// measured time is entirely publish + wake + claim + join. With the old
 /// spawn-per-call pool this was ~100 µs of thread creation; parked workers
@@ -277,5 +352,6 @@ testkit::bench_main!(
     bench_backward_threads,
     bench_encode_threads,
     bench_classify_threads,
+    bench_train_step,
     bench_pool_dispatch,
 );

@@ -37,6 +37,19 @@ fn main() -> ExitCode {
         Err(e) => return fail_usage(&e),
     };
 
+    // A group new in this PR has candidate entries but no baseline yet: note
+    // it and gate the rest. A group matching in *neither* snapshot is a typo.
+    let matches_in = |snap: &Snapshot, g: &str| snap.medians.iter().any(|(n, _)| n.starts_with(g));
+    for g in groups {
+        if !matches_in(&baseline, g) {
+            if matches_in(&candidate, g) {
+                println!("bench_compare: group {g:?} is new (no baseline) — skipping gate");
+            } else {
+                eprintln!("bench_compare: group {g:?} matches no benchmark in either snapshot");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let gated: Vec<&(String, f64)> = baseline
         .medians
         .iter()
@@ -44,11 +57,8 @@ fn main() -> ExitCode {
             groups.is_empty() || groups.iter().any(|g| name.starts_with(g.as_str()))
         })
         .collect();
-    if gated.is_empty() {
-        eprintln!(
-            "bench_compare: no baseline benchmark matches groups {:?}",
-            groups
-        );
+    if gated.is_empty() && groups.is_empty() {
+        eprintln!("bench_compare: baseline snapshot contains no benchmarks");
         return ExitCode::from(2);
     }
 

@@ -1,12 +1,17 @@
 //! The binary linear layer with straight-through gradients.
 
+use std::ops::Range;
+
 use testkit::Rng;
-use threadpool::ThreadPool;
+use threadpool::{chunk_ranges, ThreadPool};
 
 use crate::dropout::DropMask;
 use crate::matrix::Matrix;
-use crate::optim::Optimizer;
-use crate::packed::{packed_matmul, packed_matmul_masked, packed_transpose_matmul, PackedMatrix};
+use crate::optim::{ChunkedOptimizer, Optimizer, StepChunk};
+use crate::packed::{
+    packed_matmul, packed_matmul_into, packed_matmul_masked, packed_matmul_masked_into,
+    packed_transpose_matmul, packed_transpose_matmul_into, PackedMatrix,
+};
 
 /// A fully connected layer with **binary effective weights** and **latent
 /// real weights** — the single-layer BNN of the paper's Fig. 4.
@@ -57,7 +62,7 @@ impl BinaryLinear {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(d_in: usize, k_out: usize, seed: u64) -> Self {
-                let mut rng = testkit::Xoshiro256pp::seed_from_u64(seed);
+        let mut rng = testkit::Xoshiro256pp::seed_from_u64(seed);
         Self::with_init(d_in, k_out, |_, _| rng.random_range(-0.1f32..0.1))
     }
 
@@ -174,6 +179,19 @@ impl BinaryLinear {
         packed_matmul(x, &self.packed, &self.pool).expect("input width must equal layer d_in")
     }
 
+    /// [`forward_packed`](Self::forward_packed) writing into a caller-owned
+    /// buffer, reshaped to `B×K` — identical logits, zero allocation once
+    /// the buffer has its steady capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in`.
+    pub fn forward_packed_into(&self, x: &PackedMatrix, out: &mut Matrix) {
+        out.reshape(x.rows(), self.k_out);
+        packed_matmul_into(x, &self.packed, &self.pool, out)
+            .expect("input width must equal layer d_in");
+    }
+
     /// Forward pass on a packed batch under a dropout bit mask: exact
     /// **unscaled** integer logits `kept − 2·popcount((x_b XOR c_k) AND m)`.
     /// The caller applies `mask.scale()` once to the result.
@@ -185,6 +203,24 @@ impl BinaryLinear {
     pub fn forward_packed_masked(&self, x: &PackedMatrix, mask: &DropMask) -> Matrix {
         packed_matmul_masked(x, &self.packed, mask, &self.pool)
             .expect("input width must equal layer d_in")
+    }
+
+    /// [`forward_packed_masked`](Self::forward_packed_masked) writing into a
+    /// caller-owned buffer, reshaped to `B×K` — identical unscaled logits,
+    /// zero allocation once the buffer has its steady capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in` or the mask width differs.
+    pub fn forward_packed_masked_into(
+        &self,
+        x: &PackedMatrix,
+        mask: &DropMask,
+        out: &mut Matrix,
+    ) {
+        out.reshape(x.rows(), self.k_out);
+        packed_matmul_masked_into(x, &self.packed, mask, &self.pool, out)
+            .expect("input width must equal layer d_in");
     }
 
     /// Straight-through backward pass: returns the latent-weight gradient
@@ -233,6 +269,33 @@ impl BinaryLinear {
             .expect("batch sizes of x and dlogits must match")
     }
 
+    /// [`backward_packed`](Self::backward_packed) writing into a caller-owned
+    /// buffer, reshaped to `D×K` — identical gradient, zero allocation once
+    /// the buffer has its steady capacity (this is the ~400 KB/step
+    /// allocation of the D = 10,000 trainer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes of `x` (`B×D` packed), `mask`, and `dlogits`
+    /// (`B×K`) are inconsistent with the layer.
+    pub fn backward_packed_into(
+        &self,
+        x: &PackedMatrix,
+        mask: Option<&DropMask>,
+        dlogits: &Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(x.cols(), self.d_in, "input width must equal layer d_in");
+        assert_eq!(
+            dlogits.cols(),
+            self.k_out,
+            "gradient width must equal layer k_out"
+        );
+        out.reshape(self.d_in, self.k_out);
+        packed_transpose_matmul_into(x, dlogits, mask, &self.pool, out)
+            .expect("batch sizes of x and dlogits must match");
+    }
+
     /// Applies a gradient to the latent weights through `opt`, then
     /// re-binarizes the effective weights (paper: "the binary hypervectors
     /// … are updated after each iteration").
@@ -250,6 +313,110 @@ impl BinaryLinear {
         opt.step(self.latent.as_mut_slice(), grad.as_slice())
             .expect("optimizer state length must match weights");
         self.rebinarize();
+    }
+
+    /// Fused [`apply_gradient`](Self::apply_gradient): one pool fan-out per
+    /// step runs optimizer + optional clips + sign + **incremental repack**
+    /// over disjoint latent chunks — replacing the serial optimizer pass,
+    /// the full-matrix `rebinarize`, and the per-step [`PackedMatrix`]
+    /// allocation with a single pass over the latents.
+    ///
+    /// Chunks are word-aligned over the packed rows: the chunk owning word
+    /// columns `[w₀, w₁)` owns coordinate rows `[w₀·64, min(w₁·64, D))` of
+    /// the row-major `D×K` latent/binary/gradient buffers — a contiguous
+    /// flat range — and rewrites exactly those word columns of every packed
+    /// row. The per-coordinate math is identical to [`Optimizer::step`] (see
+    /// [`ChunkedOptimizer`]), so the trained model stays bit-identical to
+    /// the reference path at any thread count.
+    ///
+    /// `grad_clip` clamps each gradient entry into `[-c, c]` before the step
+    /// — the same result as clamping the whole gradient buffer first.
+    /// `latent_clip` clamps the updated latents into `[-c, c]` after the
+    /// step — the same result as calling [`clip_latent`](Self::clip_latent)
+    /// afterwards (clamping never changes a sign).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` has a different shape than the weights or the
+    /// optimizer was previously used with a different parameter length.
+    pub fn apply_gradient_fused<O: ChunkedOptimizer>(
+        &mut self,
+        grad: &Matrix,
+        opt: &mut O,
+        grad_clip: Option<f32>,
+        latent_clip: Option<f32>,
+    ) {
+        assert_eq!(
+            (grad.rows(), grad.cols()),
+            (self.d_in, self.k_out),
+            "gradient shape must match weights"
+        );
+        let (d, k) = (self.d_in, self.k_out);
+        let wpr = self.packed.words_per_row();
+        let pool = self.pool;
+        let word_ranges = chunk_ranges(wpr, pool.threads());
+        // Word range [w0, w1) ↔ flat coordinate range [w0·64·K, min(w1·64, D)·K):
+        // contiguous and, across chunks, a partition of 0..D·K.
+        let coord_ranges: Vec<Range<usize>> = word_ranges
+            .iter()
+            .map(|r| r.start * 64 * k..(r.end * 64).min(d) * k)
+            .collect();
+        let steppers = opt
+            .begin_step(d * k, &coord_ranges)
+            .expect("optimizer state length must match weights");
+        let mut latent_rest = self.latent.as_mut_slice();
+        let mut binary_rest = self.binary.as_mut_slice();
+        let mut grad_rest = grad.as_slice();
+        let mut tasks = Vec::with_capacity(word_ranges.len());
+        for (words, (coords, stepper)) in word_ranges
+            .into_iter()
+            .zip(coord_ranges.iter().zip(steppers))
+        {
+            let len = coords.len();
+            let (latent, rest) = latent_rest.split_at_mut(len);
+            latent_rest = rest;
+            let (binary, rest) = binary_rest.split_at_mut(len);
+            binary_rest = rest;
+            let (grad_part, rest) = grad_rest.split_at(len);
+            grad_rest = rest;
+            tasks.push(FusedChunk {
+                words,
+                latent,
+                binary,
+                grad: grad_part,
+                stepper,
+            });
+        }
+        let packed_words = SyncWordPtr(self.packed.words_mut().as_mut_ptr());
+        pool.for_each_task(tasks, |_, mut t| {
+            t.stepper.apply(t.latent, t.grad, grad_clip);
+            if let Some(limit) = latent_clip {
+                for v in t.latent.iter_mut() {
+                    *v = v.clamp(-limit, limit);
+                }
+            }
+            for (b, &l) in t.binary.iter_mut().zip(t.latent.iter()) {
+                *b = if l >= 0.0 { 1.0 } else { -1.0 };
+            }
+            // Incremental repack: rebuild exactly this chunk's word columns
+            // from 64 branchless sign tests per word. The last word of a
+            // D-not-multiple-of-64 layer keeps its tail bits zero.
+            let row0 = t.words.start * 64;
+            for w in t.words.clone() {
+                let base = w * 64;
+                let n = 64.min(d - base);
+                for kk in 0..k {
+                    let mut word = 0u64;
+                    for bit in 0..n {
+                        word |= u64::from(t.latent[(base - row0 + bit) * k + kk] >= 0.0) << bit;
+                    }
+                    // Safety: this chunk owns word columns `t.words` of every
+                    // packed row — writes of different chunks never alias —
+                    // and the fan-out joins before this method returns.
+                    unsafe { *packed_words.get().add(kk * wpr + w) = word };
+                }
+            }
+        });
     }
 
     /// Clamps every latent weight into `[-limit, limit]`.
@@ -289,6 +456,10 @@ impl BinaryLinear {
     /// Fraction of binary weights that differ from `other` — a convergence
     /// diagnostic ("how many bits still flip per epoch").
     ///
+    /// Computed as one XOR/popcount pass over the two layers' packed weight
+    /// rows, which stay in sync with the `f32` binary matrices (both are
+    /// signs of the same latents), instead of scanning `2·D·K` floats.
+    ///
     /// # Panics
     ///
     /// Panics if the layer shapes differ.
@@ -299,13 +470,7 @@ impl BinaryLinear {
             (other.d_in, other.k_out),
             "layer shapes must match"
         );
-        let diff = self
-            .binary
-            .as_slice()
-            .iter()
-            .zip(other.binary.as_slice())
-            .filter(|(a, b)| a != b)
-            .count();
+        let diff = self.packed.count_diff(&other.packed);
         diff as f64 / (self.d_in * self.k_out) as f64
     }
 
@@ -320,6 +485,34 @@ impl BinaryLinear {
         }
         self.packed = PackedMatrix::from_sign_columns(&self.latent);
     }
+}
+
+/// A raw pointer into a packed word buffer that may cross a pool fan-out.
+///
+/// Safety: used only by [`BinaryLinear::apply_gradient_fused`], where each
+/// chunk writes a disjoint set of words and the submitting thread joins the
+/// fan-out (keeping the buffer exclusively borrowed) before returning.
+struct SyncWordPtr(*mut u64);
+
+impl SyncWordPtr {
+    /// Returns the wrapped pointer. Going through a method (rather than the
+    /// field) makes closures capture the `Sync` wrapper, not the raw pointer.
+    fn get(&self) -> *mut u64 {
+        self.0
+    }
+}
+
+unsafe impl Send for SyncWordPtr {}
+unsafe impl Sync for SyncWordPtr {}
+
+/// One task of [`BinaryLinear::apply_gradient_fused`]: a packed word range
+/// plus the matching latent/binary/gradient sub-slices and optimizer chunk.
+struct FusedChunk<'a, C> {
+    words: Range<usize>,
+    latent: &'a mut [f32],
+    binary: &'a mut [f32],
+    grad: &'a [f32],
+    stepper: C,
 }
 
 /// Draws a random `±1` matrix — useful for tests and random binary inits.
@@ -365,7 +558,7 @@ impl DenseLinear {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(d_in: usize, k_out: usize, seed: u64) -> Self {
-                let mut rng = testkit::Xoshiro256pp::seed_from_u64(seed);
+        let mut rng = testkit::Xoshiro256pp::seed_from_u64(seed);
         Self::with_init(d_in, k_out, |_, _| rng.random_range(-0.1f32..0.1))
     }
 

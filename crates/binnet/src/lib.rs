@@ -68,9 +68,12 @@ pub use batch::BatchSampler;
 pub use dropout::{DropMask, Dropout};
 pub use error::BinnetError;
 pub use layer::{BinaryLinear, DenseLinear};
-pub use loss::{accuracy_from_logits, softmax, softmax_cross_entropy};
+pub use loss::{accuracy_from_logits, softmax, softmax_cross_entropy, softmax_cross_entropy_into};
 pub use matrix::Matrix;
 pub use metrics::{accuracy, ConfusionMatrix};
-pub use optim::{Adam, Optimizer, Sgd};
-pub use packed::{packed_matmul, packed_matmul_masked, packed_transpose_matmul, PackedMatrix};
+pub use optim::{Adam, ChunkedOptimizer, Optimizer, Sgd, StepChunk};
+pub use packed::{
+    packed_matmul, packed_matmul_into, packed_matmul_masked, packed_matmul_masked_into,
+    packed_transpose_matmul, packed_transpose_matmul_into, PackedMatrix,
+};
 pub use scheduler::{PlateauDecay, StepDecay};

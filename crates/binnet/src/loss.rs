@@ -51,6 +51,25 @@ pub fn softmax_cross_entropy(
     logits: &Matrix,
     labels: &[usize],
 ) -> Result<(f64, Matrix), BinnetError> {
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad)?;
+    Ok((loss, grad))
+}
+
+/// [`softmax_cross_entropy`] writing the gradient into a caller-owned
+/// buffer (reshaped to `B×K`) — identical loss and gradient, zero
+/// allocation once the buffer has its steady capacity.
+///
+/// # Errors
+///
+/// Returns [`BinnetError::InvalidConfig`] if `labels.len()` differs from the
+/// batch size or any label is out of range; `dlogits` is unspecified after
+/// an error.
+pub fn softmax_cross_entropy_into(
+    logits: &Matrix,
+    labels: &[usize],
+    dlogits: &mut Matrix,
+) -> Result<f64, BinnetError> {
     let (b, k) = (logits.rows(), logits.cols());
     if labels.len() != b {
         return Err(BinnetError::InvalidConfig(format!(
@@ -63,11 +82,25 @@ pub fn softmax_cross_entropy(
             "label {bad} out of range for {k} classes"
         )));
     }
-    let mut grad = softmax(logits);
+    dlogits.reshape(b, k);
+    dlogits.as_mut_slice().copy_from_slice(logits.as_slice());
+    // row-wise stable softmax, in place (same math as `softmax`)
+    for r in 0..b {
+        let row = dlogits.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
     let mut loss = 0.0f64;
     let inv_b = 1.0 / b as f32;
     for (r, &y) in labels.iter().enumerate() {
-        let row = grad.row_mut(r);
+        let row = dlogits.row_mut(r);
         // -log p_y, clamped away from log(0)
         loss += -f64::from(row[y].max(1e-12)).ln();
         row[y] -= 1.0;
@@ -75,7 +108,7 @@ pub fn softmax_cross_entropy(
             *v *= inv_b;
         }
     }
-    Ok((loss / b as f64, grad))
+    Ok(loss / b as f64)
 }
 
 /// Fraction of rows whose argmax logit equals the label.
@@ -167,6 +200,19 @@ mod tests {
                     "grad[{r}][{c}]: numeric {numeric} vs analytic {analytic}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn into_variant_is_bit_identical_to_allocating_variant() {
+        let logits = Matrix::from_rows(&[vec![0.5, -1.0, 2.0], vec![1.0, 1.0, 0.0]]).unwrap();
+        let labels = [2usize, 0];
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let mut reused = Matrix::zeros(1, 1);
+        for _ in 0..2 {
+            let loss2 = softmax_cross_entropy_into(&logits, &labels, &mut reused).unwrap();
+            assert_eq!(loss.to_bits(), loss2.to_bits());
+            assert_eq!(grad, reused);
         }
     }
 

@@ -160,6 +160,22 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes in place to `rows × cols` without preserving contents: the
+    /// elements are unspecified (stale or zero) until the caller overwrites
+    /// them. Reuses the existing buffer capacity, so once the matrix has
+    /// grown to its steady shape, reshaping allocates nothing — this is what
+    /// the trainer's scratch buffers lean on for zero-allocation steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix product `self · rhs` (`(m×n)·(n×p) → m×p`) using an
     /// ikj loop order so the inner loop streams both operands.
     ///
@@ -369,6 +385,17 @@ mod tests {
         assert_eq!(m.row(0), &[2.0, -4.0]);
         m.map_inplace(f32::abs);
         assert_eq!(m.row(0), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn reshape_reuses_capacity() {
+        let mut m = Matrix::zeros(4, 3);
+        let ptr = m.as_slice().as_ptr();
+        m.reshape(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        m.reshape(4, 3);
+        assert_eq!(m.as_slice().len(), 12);
+        assert_eq!(m.as_slice().as_ptr(), ptr, "no reallocation within capacity");
     }
 
     #[test]

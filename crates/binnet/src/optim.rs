@@ -6,6 +6,8 @@
 //! `λ/2‖C_nb‖²` on the latent weights (Eq. 10), which appears here as a
 //! coupled `λ·w` term added to the gradient.
 
+use std::ops::Range;
+
 use crate::error::BinnetError;
 
 /// A first-order optimizer over a flat parameter buffer.
@@ -226,6 +228,236 @@ impl Optimizer for Adam {
     }
 }
 
+/// One chunk of a split optimizer step: owns the mutable optimizer state of
+/// a contiguous coordinate range and applies the exact per-coordinate update
+/// of [`Optimizer::step`] to it.
+///
+/// Produced by [`ChunkedOptimizer::begin_step`]; the chunks of one step can
+/// run on different pool workers because every coordinate's update reads and
+/// writes only that coordinate's state.
+pub trait StepChunk: Send {
+    /// Updates `params` from `grads` over this chunk's coordinates, with an
+    /// optional symmetric gradient clip applied first (`g.clamp(-c, c)` —
+    /// the same element-wise clamp a caller would run over the gradient
+    /// buffer before an unchunked [`Optimizer::step`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ from the chunk's coordinate count.
+    fn apply(&mut self, params: &mut [f32], grads: &[f32], grad_clip: Option<f32>);
+}
+
+/// An [`Optimizer`] whose per-step state can be pre-split into disjoint
+/// coordinate chunks, so one pool fan-out can run optimizer + sign + repack
+/// fused over the parameter buffer.
+///
+/// The contract mirrors [`Optimizer::step`] exactly: `begin_step` performs
+/// the once-per-step work (Adam's `t` bump and bias corrections), and the
+/// returned chunks together apply the identical per-coordinate math — a
+/// chunked step over any partition is **bit-identical** to an unchunked
+/// `step` because no coordinate's update depends on another's.
+pub trait ChunkedOptimizer: Optimizer {
+    /// The per-chunk stepper borrowing this optimizer's split state.
+    type Chunk<'a>: StepChunk
+    where
+        Self: 'a;
+
+    /// Starts one step over `len` parameters split at `ranges`, which must
+    /// partition `0..len` in ascending order (e.g. [`threadpool::chunk_ranges`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinnetError::ShapeMismatch`] if `len` disagrees with
+    /// existing optimizer state, or [`BinnetError::InvalidConfig`] if
+    /// `ranges` is not an ascending partition of `0..len`.
+    fn begin_step<'a>(
+        &'a mut self,
+        len: usize,
+        ranges: &[Range<usize>],
+    ) -> Result<Vec<Self::Chunk<'a>>, BinnetError>;
+}
+
+fn check_partition(ranges: &[Range<usize>], len: usize) -> Result<(), BinnetError> {
+    let mut offset = 0;
+    for r in ranges {
+        if r.start != offset || r.end < r.start {
+            return Err(BinnetError::InvalidConfig(format!(
+                "chunk ranges must partition 0..{len} in ascending order"
+            )));
+        }
+        offset = r.end;
+    }
+    if offset != len {
+        return Err(BinnetError::InvalidConfig(format!(
+            "chunk ranges cover 0..{offset}, expected 0..{len}"
+        )));
+    }
+    Ok(())
+}
+
+/// Splits `state` at the boundaries of `ranges` (assumed validated).
+fn split_state<'a>(mut state: &'a mut [f32], ranges: &[Range<usize>]) -> Vec<&'a mut [f32]> {
+    let mut parts = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        let (head, tail) = state.split_at_mut(r.len());
+        parts.push(head);
+        state = tail;
+    }
+    parts
+}
+
+/// One coordinate chunk of an SGD step (see [`ChunkedOptimizer`]).
+#[derive(Debug)]
+pub struct SgdChunk<'a> {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Option<&'a mut [f32]>,
+}
+
+impl StepChunk for SgdChunk<'_> {
+    fn apply(&mut self, params: &mut [f32], grads: &[f32], grad_clip: Option<f32>) {
+        assert_eq!(params.len(), grads.len(), "chunk slice lengths must match");
+        if let Some(vel) = &self.velocity {
+            assert_eq!(params.len(), vel.len(), "chunk state length must match");
+        }
+        for i in 0..params.len() {
+            let mut gr = grads[i];
+            if let Some(c) = grad_clip {
+                gr = gr.clamp(-c, c);
+            }
+            let g = gr + self.weight_decay * params[i];
+            let update = match &mut self.velocity {
+                Some(vel) => {
+                    vel[i] = self.momentum * vel[i] + g;
+                    vel[i]
+                }
+                None => g,
+            };
+            params[i] -= self.lr * update;
+        }
+    }
+}
+
+impl ChunkedOptimizer for Sgd {
+    type Chunk<'a> = SgdChunk<'a>;
+
+    fn begin_step<'a>(
+        &'a mut self,
+        len: usize,
+        ranges: &[Range<usize>],
+    ) -> Result<Vec<SgdChunk<'a>>, BinnetError> {
+        if !self.velocity.is_empty() && self.velocity.len() != len {
+            return Err(BinnetError::ShapeMismatch {
+                op: "sgd_step",
+                left: (len, 1),
+                right: (self.velocity.len(), 1),
+            });
+        }
+        check_partition(ranges, len)?;
+        if self.momentum != 0.0 && self.velocity.is_empty() {
+            self.velocity = vec![0.0; len];
+        }
+        let (lr, momentum, weight_decay) = (self.lr, self.momentum, self.weight_decay);
+        let velocities: Vec<Option<&mut [f32]>> = if self.momentum != 0.0 {
+            split_state(&mut self.velocity, ranges)
+                .into_iter()
+                .map(Some)
+                .collect()
+        } else {
+            ranges.iter().map(|_| None).collect()
+        };
+        Ok(velocities
+            .into_iter()
+            .map(|velocity| SgdChunk {
+                lr,
+                momentum,
+                weight_decay,
+                velocity,
+            })
+            .collect())
+    }
+}
+
+/// One coordinate chunk of an Adam step (see [`ChunkedOptimizer`]): carries
+/// the step's shared bias corrections plus this chunk's moment slices.
+#[derive(Debug)]
+pub struct AdamChunk<'a> {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    bc1: f32,
+    bc2: f32,
+    m: &'a mut [f32],
+    v: &'a mut [f32],
+}
+
+impl StepChunk for AdamChunk<'_> {
+    fn apply(&mut self, params: &mut [f32], grads: &[f32], grad_clip: Option<f32>) {
+        assert_eq!(params.len(), grads.len(), "chunk slice lengths must match");
+        assert_eq!(params.len(), self.m.len(), "chunk state length must match");
+        for i in 0..params.len() {
+            let mut gr = grads[i];
+            if let Some(c) = grad_clip {
+                gr = gr.clamp(-c, c);
+            }
+            let g = gr + self.weight_decay * params[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / self.bc1;
+            let v_hat = self.v[i] / self.bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+impl ChunkedOptimizer for Adam {
+    type Chunk<'a> = AdamChunk<'a>;
+
+    fn begin_step<'a>(
+        &'a mut self,
+        len: usize,
+        ranges: &[Range<usize>],
+    ) -> Result<Vec<AdamChunk<'a>>, BinnetError> {
+        if !self.m.is_empty() && self.m.len() != len {
+            return Err(BinnetError::ShapeMismatch {
+                op: "adam_step",
+                left: (len, 1),
+                right: (self.m.len(), 1),
+            });
+        }
+        check_partition(ranges, len)?;
+        if self.m.is_empty() {
+            self.m = vec![0.0; len];
+            self.v = vec![0.0; len];
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t.min(1_000_000) as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t.min(1_000_000) as i32);
+        let (lr, beta1, beta2, eps, weight_decay) =
+            (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let m_parts = split_state(&mut self.m, ranges);
+        let v_parts = split_state(&mut self.v, ranges);
+        Ok(m_parts
+            .into_iter()
+            .zip(v_parts)
+            .map(|(m, v)| AdamChunk {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                weight_decay,
+                bc1,
+                bc2,
+                m,
+                v,
+            })
+            .collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,5 +535,76 @@ mod tests {
         opt.step(&mut w, &[1.0]).unwrap();
         opt.step(&mut w, &[1.0]).unwrap();
         assert_eq!(opt.steps(), 2);
+    }
+
+    /// Runs `steps` chunked steps over `partitions` chunks and asserts the
+    /// parameters stay bit-identical to the unchunked reference each step.
+    fn assert_chunked_matches_reference<O>(
+        mut reference: O,
+        mut chunked: O,
+        partitions: usize,
+        grad_clip: Option<f32>,
+    ) where
+        O: Optimizer + ChunkedOptimizer,
+    {
+        let len = 37;
+        let mut w_ref: Vec<f32> = (0..len).map(|i| (i as f32 - 20.0) * 0.21).collect();
+        let mut w_chk = w_ref.clone();
+        for step in 0..5 {
+            let grads: Vec<f32> = (0..len)
+                .map(|i| ((i + step) as f32 * 0.73 - 13.0) * 0.11)
+                .collect();
+            let mut clipped = grads.clone();
+            if let Some(c) = grad_clip {
+                for g in &mut clipped {
+                    *g = g.clamp(-c, c);
+                }
+            }
+            reference.step(&mut w_ref, &clipped).unwrap();
+            let ranges = threadpool::chunk_ranges(len, partitions);
+            let chunks = chunked.begin_step(len, &ranges).unwrap();
+            for (mut chunk, r) in chunks.into_iter().zip(&ranges) {
+                chunk.apply(&mut w_chk[r.clone()], &grads[r.clone()], grad_clip);
+            }
+            assert_eq!(w_ref, w_chk, "partitions={partitions} step={step}");
+        }
+    }
+
+    #[test]
+    fn chunked_adam_is_bit_identical_to_step() {
+        for partitions in [1usize, 2, 5] {
+            let opt = Adam::new(0.07).weight_decay(0.03);
+            assert_chunked_matches_reference(opt.clone(), opt, partitions, None);
+        }
+    }
+
+    #[test]
+    fn chunked_adam_clips_like_a_pre_clamped_gradient() {
+        let opt = Adam::new(0.07).weight_decay(0.03);
+        assert_chunked_matches_reference(opt.clone(), opt, 3, Some(0.5));
+    }
+
+    #[test]
+    fn chunked_sgd_is_bit_identical_to_step() {
+        for partitions in [1usize, 3] {
+            let plain = Sgd::new(0.05).weight_decay(0.01);
+            assert_chunked_matches_reference(plain.clone(), plain, partitions, None);
+            let momentum = Sgd::new(0.05).momentum(0.9).weight_decay(0.01);
+            assert_chunked_matches_reference(momentum.clone(), momentum, partitions, Some(1.0));
+        }
+    }
+
+    #[test]
+    fn begin_step_validates_partition_and_length() {
+        let mut opt = Adam::new(0.1);
+        // not a partition: gap
+        assert!(opt.begin_step(10, &[0..4, 5..10]).is_err());
+        // not a partition: short
+        assert!(opt.begin_step(10, &[0..4]).is_err());
+        // good partition establishes state at length 10
+        assert!(opt.begin_step(10, &[0..4, 4..10]).is_ok());
+        // changing the length afterwards is a shape error
+        assert!(opt.begin_step(12, &[0..12]).is_err());
+        assert_eq!(opt.steps(), 1, "failed begin_step must not count a step");
     }
 }

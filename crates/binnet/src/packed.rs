@@ -76,6 +76,19 @@ pub struct PackedMatrix {
 }
 
 impl PackedMatrix {
+    /// Creates an empty `0 × 0` placeholder, the starting state for a scratch
+    /// buffer later filled by
+    /// [`refill_word_rows_pooled`](Self::refill_word_rows_pooled).
+    #[must_use]
+    pub fn empty() -> Self {
+        PackedMatrix {
+            rows: 0,
+            cols: 0,
+            words_per_row: 0,
+            words: Vec::new(),
+        }
+    }
+
     /// Creates a `rows × cols` packed matrix of zero bits (all `−1`).
     ///
     /// # Panics
@@ -141,15 +154,24 @@ impl PackedMatrix {
     /// This is how binary weights enter the packed forward product: column
     /// `k` of the weight matrix becomes packed row `k`, so
     /// `logits[b][k] = dot(x_b, c_k)` is a row-against-row kernel call.
+    ///
+    /// Each output word is assembled from 64 branchless sign tests and
+    /// stored once — no per-bit read-modify-write of scattered words.
     #[must_use]
     pub fn from_sign_columns(m: &Matrix) -> Self {
-        let mut out = PackedMatrix::zeros(m.cols(), m.rows());
+        let (d, k) = (m.rows(), m.cols());
+        let mut out = PackedMatrix::zeros(k, d);
         let wpr = out.words_per_row;
-        for r in 0..m.rows() {
-            for (c, &v) in m.row(r).iter().enumerate() {
-                if v >= 0.0 {
-                    out.words[c * wpr + r / 64] |= 1 << (r % 64);
+        let data = m.as_slice();
+        for c in 0..k {
+            for w in 0..wpr {
+                let base = w * 64;
+                let n = 64.min(d - base);
+                let mut word = 0u64;
+                for bit in 0..n {
+                    word |= u64::from(data[(base + bit) * k + c] >= 0.0) << bit;
                 }
+                out.words[c * wpr + w] = word;
             }
         }
         out
@@ -229,6 +251,33 @@ impl PackedMatrix {
     where
         F: Fn(usize) -> &'a [u64] + Sync,
     {
+        let mut out = PackedMatrix::empty();
+        out.refill_word_rows_pooled(cols, n_rows, row, pool)?;
+        Ok(out)
+    }
+
+    /// Refills `self` in place from pre-packed word rows, reshaping as
+    /// needed — the buffer-reusing counterpart of
+    /// [`from_word_rows_pooled`](Self::from_word_rows_pooled). Once the word
+    /// buffer has grown to the steady batch shape, refills allocate nothing;
+    /// this is how the trainer assembles its per-batch packed input without
+    /// a per-step `PackedMatrix` allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinnetError::InvalidConfig`] if `cols` or `n_rows` is zero,
+    /// or any row has the wrong word count. `self` is left unchanged on
+    /// error.
+    pub fn refill_word_rows_pooled<'a, F>(
+        &mut self,
+        cols: usize,
+        n_rows: usize,
+        row: F,
+        pool: &ThreadPool,
+    ) -> Result<(), BinnetError>
+    where
+        F: Fn(usize) -> &'a [u64] + Sync,
+    {
         if cols == 0 || n_rows == 0 {
             return Err(BinnetError::InvalidConfig(
                 "packed matrix needs at least one row and one column".into(),
@@ -246,20 +295,19 @@ impl PackedMatrix {
         } else {
             (1u64 << (cols % 64)) - 1
         };
-        let mut words = vec![0u64; n_rows * words_per_row];
-        pool.for_each_chunk_mut(&mut words, n_rows, words_per_row, |rows, chunk| {
+        self.rows = n_rows;
+        self.cols = cols;
+        self.words_per_row = words_per_row;
+        self.words.clear();
+        self.words.resize(n_rows * words_per_row, 0);
+        pool.for_each_chunk_mut(&mut self.words, n_rows, words_per_row, |rows, chunk| {
             for (local, r) in rows.enumerate() {
                 let dst = &mut chunk[local * words_per_row..(local + 1) * words_per_row];
                 dst.copy_from_slice(row(r));
                 dst[words_per_row - 1] &= tail_mask;
             }
         });
-        Ok(PackedMatrix {
-            rows: n_rows,
-            cols,
-            words_per_row,
-            words,
-        })
+        Ok(())
     }
 
     /// Number of rows.
@@ -316,6 +364,36 @@ impl PackedMatrix {
         }
     }
 
+    /// Number of bit positions where `self` and `other` disagree, as one
+    /// XOR/popcount pass over the packed words (tail bits are zero in both
+    /// operands, so padding never contributes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn count_diff(&self, other: &PackedMatrix) -> u64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "matrix shapes must match"
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| u64::from((a ^ b).count_ones()))
+            .sum()
+    }
+
+    /// Mutable access to the whole packed word buffer, for same-crate
+    /// incremental repacking (the fused optimizer step rewrites exactly the
+    /// words whose latent chunk it owns). Row `r`'s words occupy
+    /// `r * words_per_row ..`; writers must keep tail bits beyond `cols`
+    /// zero.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Expands back to a dense bipolar `f32` matrix — the reference operand
     /// for parity tests.
     #[must_use]
@@ -352,6 +430,27 @@ pub fn packed_matmul(
     w: &PackedMatrix,
     pool: &ThreadPool,
 ) -> Result<Matrix, BinnetError> {
+    let mut out = Matrix::zeros(x.rows, w.rows);
+    packed_matmul_into(x, w, pool, &mut out)?;
+    Ok(out)
+}
+
+/// [`packed_matmul`] writing into a caller-owned `B×K` output buffer —
+/// identical results with zero allocation per call.
+///
+/// # Errors
+///
+/// Returns [`BinnetError::ShapeMismatch`] if `x.cols() != w.cols()`.
+///
+/// # Panics
+///
+/// Panics if `out` is not `x.rows() × w.rows()`.
+pub fn packed_matmul_into(
+    x: &PackedMatrix,
+    w: &PackedMatrix,
+    pool: &ThreadPool,
+    out: &mut Matrix,
+) -> Result<(), BinnetError> {
     if x.cols != w.cols {
         return Err(BinnetError::ShapeMismatch {
             op: "packed_matmul",
@@ -361,7 +460,11 @@ pub fn packed_matmul(
     }
     let d = x.cols;
     let k_out = w.rows;
-    let mut out = Matrix::zeros(x.rows, k_out);
+    assert_eq!(
+        (out.rows(), out.cols()),
+        (x.rows, k_out),
+        "output buffer must be B×K"
+    );
     pool.for_each_chunk_mut(out.as_mut_slice(), x.rows, k_out, |batch_rows, chunk| {
         for (local, b) in batch_rows.enumerate() {
             let out_row = &mut chunk[local * k_out..(local + 1) * k_out];
@@ -373,7 +476,7 @@ pub fn packed_matmul(
             );
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// Masked packed forward product: dropout as a bit mask instead of `f32`
@@ -397,6 +500,28 @@ pub fn packed_matmul_masked(
     mask: &DropMask,
     pool: &ThreadPool,
 ) -> Result<Matrix, BinnetError> {
+    let mut out = Matrix::zeros(x.rows, w.rows);
+    packed_matmul_masked_into(x, w, mask, pool, &mut out)?;
+    Ok(out)
+}
+
+/// [`packed_matmul_masked`] writing into a caller-owned `B×K` output buffer —
+/// identical results with zero allocation per call.
+///
+/// # Errors
+///
+/// Returns [`BinnetError::ShapeMismatch`] if `x.cols() != w.cols()`.
+///
+/// # Panics
+///
+/// Panics if `mask.dim() != x.cols()` or `out` is not `x.rows() × w.rows()`.
+pub fn packed_matmul_masked_into(
+    x: &PackedMatrix,
+    w: &PackedMatrix,
+    mask: &DropMask,
+    pool: &ThreadPool,
+    out: &mut Matrix,
+) -> Result<(), BinnetError> {
     if x.cols != w.cols {
         return Err(BinnetError::ShapeMismatch {
             op: "packed_matmul_masked",
@@ -408,7 +533,11 @@ pub fn packed_matmul_masked(
     let kept = mask.kept();
     let m = mask.words();
     let k_out = w.rows;
-    let mut out = Matrix::zeros(x.rows, k_out);
+    assert_eq!(
+        (out.rows(), out.cols()),
+        (x.rows, k_out),
+        "output buffer must be B×K"
+    );
     pool.for_each_chunk_mut(out.as_mut_slice(), x.rows, k_out, |batch_rows, chunk| {
         for (local, b) in batch_rows.enumerate() {
             let xb = x.row_words(b);
@@ -418,7 +547,7 @@ pub fn packed_matmul_masked(
             }
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// Packed gradient product `Xᵀ·G`: `out[d][k] = Σ_b (±1)·g[b][k]` with the
@@ -444,6 +573,48 @@ pub fn packed_transpose_matmul(
     mask: Option<&DropMask>,
     pool: &ThreadPool,
 ) -> Result<Matrix, BinnetError> {
+    let mut out = Matrix::zeros(x.cols, g.cols());
+    packed_transpose_matmul_into(x, g, mask, pool, &mut out)?;
+    Ok(out)
+}
+
+/// Output-tile size of the blocked gradient kernel, in `f32`s (~16 KB — an
+/// easy fit in L1/L2 alongside one packed batch row and one gradient row).
+const TILE_F32S: usize = 4096;
+
+/// [`packed_transpose_matmul`] writing into a caller-owned `D×K` output
+/// buffer — identical results with zero allocation per call.
+///
+/// The kernel is cache-blocked: each pool chunk walks its output dims in
+/// tiles of at most [`TILE_F32S`] `f32`s, and within a tile iterates the
+/// batch **outer** / dims **inner**, so row `b`'s packed words and gradient
+/// row are loaded once per tile and the tile stays resident while the batch
+/// streams over it (the old dim-outer loop re-walked the whole packed batch,
+/// stride `words_per_row`, for every output dim). The ±1 sign is applied as
+/// a branchless sign-bit flip — IEEE negation is exact — and per output
+/// element the batch index still ascends, so the result stays bit-identical
+/// to the dense reference at any blocking or `pool` width for finite
+/// gradients. Masked dims contribute exactly `+0.0` where the dense
+/// reference accumulates `±0.0`; the two are `==` and indistinguishable to
+/// every downstream consumer (a non-finite gradient under a mask would
+/// differ — the dense reference turns `0.0·∞` into NaN — but softmax
+/// gradients are always finite).
+///
+/// # Errors
+///
+/// Returns [`BinnetError::ShapeMismatch`] if `x.rows() != g.rows()`.
+///
+/// # Panics
+///
+/// Panics if a mask is given and `mask.dim() != x.cols()`, or if `out` is
+/// not `x.cols() × g.cols()`.
+pub fn packed_transpose_matmul_into(
+    x: &PackedMatrix,
+    g: &Matrix,
+    mask: Option<&DropMask>,
+    pool: &ThreadPool,
+    out: &mut Matrix,
+) -> Result<(), BinnetError> {
     if x.rows != g.rows() {
         return Err(BinnetError::ShapeMismatch {
             op: "packed_transpose_matmul",
@@ -458,33 +629,46 @@ pub fn packed_transpose_matmul(
     let k = g.cols();
     let batch = x.rows;
     let wpr = x.words_per_row;
-    let mut out = Matrix::zeros(d, k);
+    assert_eq!(
+        (out.rows(), out.cols()),
+        (d, k),
+        "output buffer must be D×K"
+    );
+    let mask_words = mask.map(DropMask::words);
+    let block = (TILE_F32S / k).max(64);
     pool.for_each_chunk_mut(out.as_mut_slice(), d, k, |dims, chunk| {
-        for (local, dim) in dims.enumerate() {
-            if let Some(m) = mask {
-                if !m.is_kept(dim) {
-                    continue; // dense reference accumulates 0.0·g → +0.0
-                }
-            }
-            let word = dim / 64;
-            let bit = dim % 64;
-            let out_row = &mut chunk[local * k..(local + 1) * k];
+        chunk.fill(0.0);
+        let first = dims.start;
+        let mut blk = dims.start;
+        while blk < dims.end {
+            let blk_end = dims.end.min(blk + block);
+            let tile = &mut chunk[(blk - first) * k..(blk_end - first) * k];
             for b in 0..batch {
+                let x_words = &x.words[b * wpr..(b + 1) * wpr];
                 let g_row = g.row(b);
-                if (x.words[b * wpr + word] >> bit) & 1 == 1 {
+                for (dim, out_row) in (blk..blk_end).zip(tile.chunks_exact_mut(k)) {
+                    // `±gv` as a sign-bit XOR, not a `±1.0` multiply: both
+                    // are exact and branchless, but the multiply pays the
+                    // subnormal-assist penalty on every subnormal gradient
+                    // entry — and softmax routinely emits subnormal
+                    // probabilities at large D, each one multiplied D times
+                    // here (milliseconds per batch). Integer XOR/AND and an
+                    // f32 add take no such assist.
+                    let bit = (x_words[dim / 64] >> (dim % 64)) & 1;
+                    let flip = ((bit ^ 1) as u32) << 31;
+                    let keep = match mask_words {
+                        Some(m) => (((m[dim / 64] >> (dim % 64)) & 1) as u32).wrapping_neg(),
+                        None => u32::MAX,
+                    };
                     for (o, &gv) in out_row.iter_mut().zip(g_row) {
-                        *o += gv;
-                    }
-                } else {
-                    // o −= g is IEEE-identical to o += (−1.0)·g
-                    for (o, &gv) in out_row.iter_mut().zip(g_row) {
-                        *o -= gv;
+                        *o += f32::from_bits((gv.to_bits() ^ flip) & keep);
                     }
                 }
             }
+            blk = blk_end;
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -570,6 +754,54 @@ mod tests {
         let bad = [0u64; 3];
         assert!(PackedMatrix::from_word_rows_pooled(70, 2, |_| bad.as_slice(), &pool).is_err());
         assert!(PackedMatrix::from_word_rows_pooled(0, 2, |r| rows[r].as_slice(), &pool).is_err());
+    }
+
+    #[test]
+    fn sign_columns_matches_per_bit_reference() {
+        let mut r = rng(21);
+        for (d, k) in [(1usize, 1usize), (63, 2), (64, 3), (65, 4), (200, 5)] {
+            let mut m = Matrix::zeros(d, k);
+            m.map_inplace(|_| r.random_range(-1.0f32..1.0));
+            m.set(0, 0, 0.0); // sgn(0) = +1 edge
+            let word_level = PackedMatrix::from_sign_columns(&m);
+            let reference = PackedMatrix::from_fn(k, d, |c, dim| m.get(dim, c) >= 0.0);
+            assert_eq!(word_level, reference, "d={d} k={k}");
+        }
+    }
+
+    #[test]
+    fn count_diff_counts_disagreeing_bits() {
+        let a = PackedMatrix::from_fn(3, 70, |r, c| (r + c) % 2 == 0);
+        assert_eq!(a.count_diff(&a), 0);
+        let b = PackedMatrix::from_fn(3, 70, |r, c| (r + c) % 2 == 0 || c == 5);
+        // column 5 flips wherever (r+5) % 2 != 0: rows 0 and 2
+        assert_eq!(a.count_diff(&b), 2);
+        let full = PackedMatrix::from_fn(3, 70, |_, _| true);
+        let empty = PackedMatrix::zeros(3, 70);
+        assert_eq!(full.count_diff(&empty), 3 * 70, "tail bits never counted");
+    }
+
+    #[test]
+    fn refill_word_rows_reuses_buffer_without_reallocating() {
+        let rows: Vec<Vec<u64>> = (0..9).map(|r| vec![r as u64, u64::MAX]).collect();
+        let pool = ThreadPool::new(2);
+        let mut m =
+            PackedMatrix::from_word_rows_pooled(100, 9, |r| rows[r].as_slice(), &pool).unwrap();
+        let ptr = m.row_words(0).as_ptr();
+        // shrink (partial batch) then grow back: capacity is retained
+        m.refill_word_rows_pooled(100, 4, |r| rows[r + 1].as_slice(), &pool)
+            .unwrap();
+        assert_eq!((m.rows(), m.cols()), (4, 100));
+        assert_eq!(m.row_words(0)[0], 1);
+        m.refill_word_rows_pooled(100, 9, |r| rows[r].as_slice(), &pool)
+            .unwrap();
+        let seq = PackedMatrix::from_word_rows(100, rows.iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(m, seq);
+        assert_eq!(m.row_words(0).as_ptr(), ptr, "refill must not reallocate");
+        // errors leave the buffer untouched
+        let bad = [0u64; 3];
+        assert!(m.refill_word_rows_pooled(100, 2, |_| bad.as_slice(), &pool).is_err());
+        assert_eq!(m, seq);
     }
 
     #[test]

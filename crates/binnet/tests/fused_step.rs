@@ -1,0 +1,133 @@
+//! The fused update path (`BinaryLinear::apply_gradient_fused`) must be
+//! **bit-identical** to the reference sequence it replaces — optimizer
+//! `step`, rebinarize, full repack — at any thread count, for Adam and SGD,
+//! with and without gradient/latent clipping, and it must not allocate once
+//! the layer exists.
+
+use binnet::{Adam, BinaryLinear, ChunkedOptimizer, Matrix, Optimizer, Sgd};
+use testkit::{Rng, Xoshiro256pp};
+
+const D: usize = 200; // deliberately not a multiple of 64: exercises the tail word
+const K: usize = 5;
+const STEPS: usize = 10;
+
+/// A varying pseudo-gradient for step `t`.
+fn grad_at(rng: &mut Xoshiro256pp) -> Matrix {
+    let mut g = Matrix::zeros(D, K);
+    g.map_inplace(|_| rng.random_range(-1.5f32..1.5));
+    g
+}
+
+/// Runs `STEPS` updates through both paths and asserts the layers stay
+/// bit-identical (latent, binary, and packed weights) after every step.
+fn assert_fused_matches_reference<O, R>(
+    mut opt_ref: O,
+    mut opt_fused: O,
+    threads: usize,
+    mut reference_update: R,
+) where
+    O: Optimizer + ChunkedOptimizer,
+    R: FnMut(&mut BinaryLinear, &Matrix, &mut O),
+{
+    let mut reference = BinaryLinear::new(D, K, 42).with_threads(threads);
+    let mut fused = reference.clone();
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
+    for step in 0..STEPS {
+        let grad = grad_at(&mut rng);
+        reference_update(&mut reference, &grad, &mut opt_ref);
+        fused.apply_gradient_fused(&grad, &mut opt_fused, None, None);
+        assert_eq!(
+            reference.latent(),
+            fused.latent(),
+            "latent diverged at step {step} (threads={threads})"
+        );
+        assert_eq!(reference.binary(), fused.binary(), "binary diverged at step {step}");
+        assert_eq!(
+            reference.packed_weights(),
+            fused.packed_weights(),
+            "packed weights diverged at step {step}"
+        );
+    }
+}
+
+#[test]
+fn fused_adam_matches_step_plus_rebinarize() {
+    for threads in [1, 3, 4] {
+        assert_fused_matches_reference(
+            Adam::new(0.05).weight_decay(0.01),
+            Adam::new(0.05).weight_decay(0.01),
+            threads,
+            |layer, grad, opt| layer.apply_gradient(grad, opt),
+        );
+    }
+}
+
+#[test]
+fn fused_sgd_with_momentum_matches_step_plus_rebinarize() {
+    for threads in [1, 4] {
+        assert_fused_matches_reference(
+            Sgd::new(0.1).momentum(0.9).weight_decay(0.005),
+            Sgd::new(0.1).momentum(0.9).weight_decay(0.005),
+            threads,
+            |layer, grad, opt| layer.apply_gradient(grad, opt),
+        );
+    }
+}
+
+#[test]
+fn fused_grad_clip_matches_pre_clamped_gradient() {
+    let clip = 0.5f32;
+    let mut reference = BinaryLinear::new(D, K, 42).with_threads(4);
+    let mut fused = reference.clone();
+    let mut opt_ref = Adam::new(0.05).weight_decay(0.01);
+    let mut opt_fused = opt_ref.clone();
+    let mut rng = Xoshiro256pp::seed_from_u64(8);
+    for step in 0..STEPS {
+        let grad = grad_at(&mut rng);
+        let mut clamped = grad.clone();
+        clamped.map_inplace(|v| v.clamp(-clip, clip));
+        reference.apply_gradient(&clamped, &mut opt_ref);
+        fused.apply_gradient_fused(&grad, &mut opt_fused, Some(clip), None);
+        assert_eq!(reference.latent(), fused.latent(), "step {step}");
+        assert_eq!(reference.packed_weights(), fused.packed_weights(), "step {step}");
+    }
+}
+
+#[test]
+fn fused_latent_clip_matches_clip_latent_afterwards() {
+    let limit = 0.8f32;
+    let mut reference = BinaryLinear::new(D, K, 42).with_threads(3);
+    let mut fused = reference.clone();
+    let mut opt_ref = Adam::new(0.05);
+    let mut opt_fused = opt_ref.clone();
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
+    for step in 0..STEPS {
+        let grad = grad_at(&mut rng);
+        reference.apply_gradient(&grad, &mut opt_ref);
+        reference.clip_latent(limit); // clamping never changes a sign
+        fused.apply_gradient_fused(&grad, &mut opt_fused, None, Some(limit));
+        assert_eq!(reference.latent(), fused.latent(), "step {step}");
+        assert_eq!(reference.binary(), fused.binary(), "step {step}");
+        assert_eq!(reference.packed_weights(), fused.packed_weights(), "step {step}");
+    }
+}
+
+#[test]
+fn fused_step_does_not_reallocate_layer_buffers() {
+    let mut layer = BinaryLinear::new(D, K, 42).with_threads(2);
+    let mut opt = Adam::new(0.05).weight_decay(0.01);
+    let mut rng = Xoshiro256pp::seed_from_u64(10);
+    let fingerprint = |l: &BinaryLinear| {
+        [
+            l.latent().as_slice().as_ptr() as usize,
+            l.binary().as_slice().as_ptr() as usize,
+            l.packed_weights().row_words(0).as_ptr() as usize,
+        ]
+    };
+    let before = fingerprint(&layer);
+    for _ in 0..5 {
+        let grad = grad_at(&mut rng);
+        layer.apply_gradient_fused(&grad, &mut opt, Some(1.0), None);
+        assert_eq!(before, fingerprint(&layer), "fused step must not move layer buffers");
+    }
+}

@@ -152,3 +152,61 @@ fn scale_once_ordering_matches_packed_dropout_semantics() {
     got.scale(mask.scale());
     assert_eq!(got, expect);
 }
+
+#[test]
+fn blocked_backward_matches_dense_at_dims_crossing_cache_blocks() {
+    // The gradient kernel walks D in cache-sized blocks (TILE_F32S/K dims
+    // per block). Dims chosen to land below, on, and well past block
+    // boundaries for small K must still be exactly equal to the dense
+    // reference, at every thread count.
+    let mut rng = Xoshiro256pp::seed_from_u64(21);
+    for (d, k) in [(2048, 3), (4096, 1), (4100, 5), (8200, 2)] {
+        let batch = 3;
+        let x = binnet::layer::random_sign_matrix(batch, d, &mut rng);
+        let g_data: Vec<f32> = (0..batch * k).map(|_| rng.random_range(-50.0f32..50.0)).collect();
+        let g = Matrix::from_flat(batch, k, g_data).unwrap();
+        let expect = x.transpose_matmul(&g).unwrap();
+        let px = x.pack_bipolar().unwrap();
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let got = packed_transpose_matmul(&px, &g, None, &pool).unwrap();
+            assert_eq!(got, expect, "d={d} k={k} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn into_variants_match_allocating_variants_and_reuse_buffers() {
+    let mut rng = Xoshiro256pp::seed_from_u64(22);
+    let (batch, d, k) = (5, 300, 4);
+    let x = binnet::layer::random_sign_matrix(batch, d, &mut rng);
+    let w = binnet::layer::random_sign_matrix(d, k, &mut rng);
+    let g_data: Vec<f32> = (0..batch * k).map(|_| rng.random_range(-10.0f32..10.0)).collect();
+    let g = Matrix::from_flat(batch, k, g_data).unwrap();
+    let px = x.pack_bipolar().unwrap();
+    let pw = PackedMatrix::from_sign_columns(&w);
+    let mut dropout = Dropout::new(0.3, 23).unwrap();
+    let mask = dropout.sample_mask(d).unwrap();
+
+    // the raw `_into` kernels take pre-shaped buffers (the layer wrappers
+    // own the reshape) and are reused across thread counts below
+    let mut fwd = Matrix::zeros(batch, k);
+    let mut bwd = Matrix::zeros(d, k);
+    for threads in [1, 2, 4] {
+        let pool = ThreadPool::new(threads);
+
+        binnet::packed_matmul_into(&px, &pw, &pool, &mut fwd).unwrap();
+        assert_eq!(fwd, binnet::packed_matmul(&px, &pw, &pool).unwrap());
+        let fwd_ptr = fwd.as_slice().as_ptr();
+
+        binnet::packed_matmul_masked_into(&px, &pw, &mask, &pool, &mut fwd).unwrap();
+        assert_eq!(fwd, binnet::packed_matmul_masked(&px, &pw, &mask, &pool).unwrap());
+        assert_eq!(fwd_ptr, fwd.as_slice().as_ptr(), "same shape must not reallocate");
+
+        binnet::packed_transpose_matmul_into(&px, &g, Some(&mask), &pool, &mut bwd).unwrap();
+        assert_eq!(
+            bwd,
+            packed_transpose_matmul(&px, &g, Some(&mask), &pool).unwrap()
+        );
+    }
+}

@@ -223,6 +223,33 @@ impl EncodedDataset {
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
         (m, labels)
     }
+
+    /// [`packed_batch_pooled`](Self::packed_batch_pooled) writing into
+    /// caller-owned buffers — identical contents, zero allocation once the
+    /// buffers have their steady capacity. This is the batch assembly of the
+    /// trainer's zero-alloc hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of range.
+    pub fn packed_batch_pooled_into(
+        &self,
+        indices: &[usize],
+        pool: &ThreadPool,
+        x: &mut PackedMatrix,
+        labels: &mut Vec<usize>,
+    ) {
+        assert!(!indices.is_empty(), "batch must not be empty");
+        x.refill_word_rows_pooled(
+            self.dim.get(),
+            indices.len(),
+            |r| self.hvs[indices[r]].as_words(),
+            pool,
+        )
+        .expect("hypervector words always match their dimension");
+        labels.clear();
+        labels.extend(indices.iter().map(|&i| self.labels[i]));
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +328,25 @@ mod tests {
             assert_eq!(pp, packed, "packed threads={threads}");
             assert_eq!(pl, packed_labels);
         }
+    }
+
+    #[test]
+    fn packed_batch_into_matches_allocating_variant_and_reuses_buffers() {
+        let e = tiny_encoded();
+        let pool = ThreadPool::new(2);
+        let mut x = PackedMatrix::empty();
+        let mut labels = Vec::new();
+        e.packed_batch_pooled_into(&[3, 0, 2], &pool, &mut x, &mut labels);
+        let ptr = x.row_words(0).as_ptr();
+        let (expect, expect_labels) = e.packed_batch_pooled(&[3, 0, 2], &pool);
+        assert_eq!(x, expect);
+        assert_eq!(labels, expect_labels);
+        // refilling with a batch of equal or smaller footprint reuses memory
+        e.packed_batch_pooled_into(&[1, 2], &pool, &mut x, &mut labels);
+        assert_eq!(ptr, x.row_words(0).as_ptr(), "refill must not reallocate");
+        let (expect, expect_labels) = e.packed_batch_pooled(&[1, 2], &pool);
+        assert_eq!(x, expect);
+        assert_eq!(labels, expect_labels);
     }
 
     #[test]

@@ -15,17 +15,24 @@
 //! - after training, `C = sgn(C_nb)` *is* the class-hypervector set — the
 //!   inference path is the unchanged binary HDC classifier.
 //!
-//! The hot path runs on bit-packed XNOR/popcount kernels: batches come from
-//! [`EncodedDataset::packed_batch_pooled`] (a pool-parallel word copy, no
-//! `BinaryHv → f32` expansion per epoch), dropout is a per-batch bit mask whose survivor
-//! scale is applied once to the integer logits, and the gradient product
-//! reads signs straight from the packed bits. See `binnet::packed` for the
-//! argument that this is bit-identical to the dense `f32` formulation.
+//! The hot path runs on bit-packed XNOR/popcount kernels and allocates
+//! nothing per batch: every per-step buffer lives in a [`TrainScratch`]
+//! refilled in place. Batches come from
+//! [`EncodedDataset::packed_batch_pooled_into`] (a pool-parallel word copy,
+//! no `BinaryHv → f32` expansion per epoch), dropout is a per-batch bit mask
+//! whose survivor scale is applied once to the integer logits, the gradient
+//! product reads signs straight from the packed bits, and the optimizer
+//! update is fused with rebinarization and an incremental repack of the
+//! packed weights (`BinaryLinear::apply_gradient_fused`). See
+//! `binnet::packed` for the argument that this is bit-identical to the dense
+//! `f32` formulation.
 
 use binnet::{
-    softmax_cross_entropy, Adam, BatchSampler, BinaryLinear, Dropout, Optimizer, PlateauDecay,
+    softmax_cross_entropy_into, Adam, BatchSampler, BinaryLinear, Dropout, Matrix, Optimizer,
+    PackedMatrix, PlateauDecay,
 };
 use hdc::BinaryHv;
+use threadpool::ThreadPool;
 
 use crate::encoded::EncodedDataset;
 use crate::error::LehdcError;
@@ -273,6 +280,101 @@ impl LehdcConfig {
     }
 }
 
+/// Reusable per-batch buffers of the training hot loop.
+///
+/// One mini-batch step touches ~`B·D/8 + 2·B·K·4 + D·K·4` bytes of scratch
+/// (the packed batch, logits, their gradient, and the `D×K` latent gradient
+/// — roughly 400 KB/step at `D = 10⁴`, `K = 10`, `B = 64`). Allocating these
+/// fresh every step is pure overhead: the shapes repeat, so the trainer
+/// hoists them into this struct and refills in place. Every `_into` path
+/// writes the same bits as its allocating twin, so reuse cannot change the
+/// trained model (pinned by `scratch_reuse_matches_fresh_buffers`).
+struct TrainScratch {
+    batch_indices: Vec<usize>,
+    labels: Vec<usize>,
+    x: PackedMatrix,
+    logits: Matrix,
+    dlogits: Matrix,
+    grad: Matrix,
+}
+
+impl TrainScratch {
+    fn new(d: usize, k: usize, batch: usize) -> TrainScratch {
+        TrainScratch {
+            batch_indices: Vec::with_capacity(batch),
+            labels: Vec::with_capacity(batch),
+            x: PackedMatrix::empty(),
+            logits: Matrix::zeros(batch.max(1), k),
+            dlogits: Matrix::zeros(batch.max(1), k),
+            grad: Matrix::zeros(d, k),
+        }
+    }
+
+    /// The data pointers of every buffer — stable across steps once each
+    /// buffer has reached its steady capacity (i.e. the hot loop allocates
+    /// nothing per batch).
+    #[cfg(test)]
+    fn fingerprint(&self) -> [usize; 6] {
+        [
+            self.batch_indices.as_ptr() as usize,
+            self.labels.as_ptr() as usize,
+            self.x.row_words(0).as_ptr() as usize,
+            self.logits.as_slice().as_ptr() as usize,
+            self.dlogits.as_slice().as_ptr() as usize,
+            self.grad.as_slice().as_ptr() as usize,
+        ]
+    }
+}
+
+/// One fused LeHDC mini-batch step, entirely in `scratch` buffers: packed
+/// batch assembly, masked forward, loss/gradient, packed backward, and the
+/// fused Adam + rebinarize + incremental-repack update. Returns the batch
+/// loss.
+#[allow(clippy::too_many_arguments)]
+fn lehdc_batch_step(
+    train: &EncodedDataset,
+    fit_indices: &[usize],
+    positions: &[usize],
+    layer: &mut BinaryLinear,
+    opt: &mut Adam,
+    dropout: &mut Dropout,
+    grad_clip: Option<f32>,
+    pool: &ThreadPool,
+    scratch: &mut TrainScratch,
+) -> Result<f64, LehdcError> {
+    let d = layer.d_in();
+    scratch.batch_indices.clear();
+    scratch
+        .batch_indices
+        .extend(positions.iter().map(|&p| fit_indices[p]));
+    train.packed_batch_pooled_into(
+        &scratch.batch_indices,
+        pool,
+        &mut scratch.x,
+        &mut scratch.labels,
+    );
+    // Dropout is one bit mask per batch; its inverted-dropout scale is
+    // applied once to the exact integer logits, and again to dlogits so the
+    // latent gradient matches the dense formulation.
+    let mask = dropout.sample_mask(d);
+    match &mask {
+        Some(m) => {
+            layer.forward_packed_masked_into(&scratch.x, m, &mut scratch.logits);
+            scratch.logits.scale(m.scale());
+        }
+        None => layer.forward_packed_into(&scratch.x, &mut scratch.logits),
+    }
+    let loss = softmax_cross_entropy_into(&scratch.logits, &scratch.labels, &mut scratch.dlogits)?;
+    if let Some(m) = &mask {
+        scratch.dlogits.scale(m.scale());
+    }
+    layer.backward_packed_into(&scratch.x, mask.as_ref(), &scratch.dlogits, &mut scratch.grad);
+    // Gradient clipping happens inside the fused update — element-wise clamp
+    // before the Adam step, bit-identical to clamping the buffer first.
+    layer.apply_gradient_fused(&scratch.grad, opt, grad_clip, None);
+    Ok(loss)
+}
+
 /// Trains class hypervectors with the LeHDC equivalent-BNN recipe.
 ///
 /// Returns the binary HDC model (`C = sgn(C_nb)`) and the per-epoch
@@ -288,6 +390,18 @@ pub fn train_lehdc(
     train: &EncodedDataset,
     test: Option<&EncodedDataset>,
     config: &LehdcConfig,
+) -> Result<(HdcModel, TrainingHistory), LehdcError> {
+    train_lehdc_impl(train, test, config, false)
+}
+
+/// [`train_lehdc`] with a switch that rebuilds the scratch buffers before
+/// every batch — the reference against which buffer reuse is pinned
+/// bit-identical in tests.
+fn train_lehdc_impl(
+    train: &EncodedDataset,
+    test: Option<&EncodedDataset>,
+    config: &LehdcConfig,
+    fresh_scratch_per_step: bool,
 ) -> Result<(HdcModel, TrainingHistory), LehdcError> {
     config.validate()?;
     let d = train.dim().get();
@@ -344,7 +458,8 @@ pub fn train_lehdc(
     let mut history = TrainingHistory::new();
     // One pool handle for batch assembly; the persistent workers behind it
     // are shared with the layer's own products, so dispatch stays cheap.
-    let pool = threadpool::ThreadPool::new(config.threads);
+    let pool = ThreadPool::new(config.threads);
+    let mut scratch = TrainScratch::new(d, k, config.batch_size.min(fit_indices.len()));
 
     let accuracy_on = |model: &HdcModel, indices: &[usize]| -> f64 {
         if indices.is_empty() {
@@ -367,30 +482,20 @@ pub fn train_lehdc(
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         for batch_positions in sampler.epoch(epoch) {
-            let batch_indices: Vec<usize> =
-                batch_positions.iter().map(|&p| fit_indices[p]).collect();
-            let (x, labels) = train.packed_batch_pooled(&batch_indices, &pool);
-            // Dropout is one bit mask per batch; its inverted-dropout scale
-            // is applied once to the exact integer logits, and again to
-            // dlogits so the latent gradient matches the dense formulation.
-            let mask = dropout.sample_mask(d);
-            let logits = match &mask {
-                Some(m) => {
-                    let mut l = layer.forward_packed_masked(&x, m);
-                    l.scale(m.scale());
-                    l
-                }
-                None => layer.forward_packed(&x),
-            };
-            let (loss, mut dlogits) = softmax_cross_entropy(&logits, &labels)?;
-            if let Some(m) = &mask {
-                dlogits.scale(m.scale());
+            if fresh_scratch_per_step {
+                scratch = TrainScratch::new(d, k, batch_positions.len());
             }
-            let mut grad = layer.backward_packed(&x, mask.as_ref(), &dlogits);
-            if let Some(bound) = config.grad_clip {
-                grad.map_inplace(|v| v.clamp(-bound, bound));
-            }
-            layer.apply_gradient(&grad, &mut opt);
+            let loss = lehdc_batch_step(
+                train,
+                &fit_indices,
+                &batch_positions,
+                &mut layer,
+                &mut opt,
+                &mut dropout,
+                config.grad_clip,
+                &pool,
+                &mut scratch,
+            )?;
             epoch_loss += loss;
             batches += 1;
         }
@@ -580,6 +685,60 @@ mod tests {
         assert_eq!(m1, m4);
         assert_eq!(h1.records(), h4.records());
         assert!(LehdcConfig::default().with_threads(0).validate().is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_buffers() {
+        // Reusing the TrainScratch across every step of training must be
+        // bit-identical to rebuilding all buffers per batch, at any thread
+        // count — the zero-alloc path changes *where* results are written,
+        // never *what* is written.
+        let train = multimodal_corpus(3, 5, 300, 30, 46);
+        for threads in [1, 4] {
+            let cfg = LehdcConfig::quick()
+                .with_epochs(4)
+                .with_seed(13)
+                .with_grad_clip(0.05)
+                .with_threads(threads);
+            let (reused, h_reused) = train_lehdc_impl(&train, None, &cfg, false).unwrap();
+            let (fresh, h_fresh) = train_lehdc_impl(&train, None, &cfg, true).unwrap();
+            assert_eq!(reused, fresh, "threads={threads}");
+            assert_eq!(h_reused.records(), h_fresh.records());
+        }
+    }
+
+    #[test]
+    fn train_steps_do_not_reallocate_scratch_buffers() {
+        // Drive the per-batch step directly: after the first full-size
+        // batch, every scratch buffer pointer must stay put — including
+        // through a smaller partial batch and back — so the packed hot loop
+        // performs no per-batch heap allocation.
+        let train = multimodal_corpus(2, 10, 256, 40, 47);
+        let d = train.dim().get();
+        let k = train.n_classes();
+        let fit_indices: Vec<usize> = (0..train.len()).collect();
+        let mut layer = BinaryLinear::new(d, k, 5).with_threads(2);
+        let mut opt = Adam::new(0.01).weight_decay(0.01);
+        let mut dropout = Dropout::new(0.2, 9).unwrap();
+        let pool = ThreadPool::new(2);
+        let mut scratch = TrainScratch::new(d, k, 32);
+
+        let full: Vec<usize> = (0..32).collect();
+        let partial: Vec<usize> = (32..39).collect();
+        lehdc_batch_step(
+            &train, &fit_indices, &full, &mut layer, &mut opt, &mut dropout, None, &pool,
+            &mut scratch,
+        )
+        .unwrap();
+        let fp = scratch.fingerprint();
+        for positions in [&partial, &full, &partial, &full] {
+            lehdc_batch_step(
+                &train, &fit_indices, positions, &mut layer, &mut opt, &mut dropout, None,
+                &pool, &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(fp, scratch.fingerprint(), "scratch buffers must not move");
+        }
     }
 
     #[test]

@@ -201,6 +201,49 @@ impl ThreadPool {
         fan_out(ranges.len(), &task);
     }
 
+    /// Runs every task in `tasks` concurrently across the pool, consuming
+    /// each exactly once and passing its index along.
+    ///
+    /// Unlike [`for_each_chunk_mut`], which splits one flat buffer into
+    /// per-chunk sub-slices, each task here carries its own pre-split state —
+    /// for example several mutable sub-slices over *different* buffers plus a
+    /// per-chunk optimizer — so callers can fan one job out over many
+    /// disjoint buffers at once. Task boundaries are fixed by the caller, not
+    /// by scheduling, so results are bit-identical at any worker count. With
+    /// zero or one task, or a one-worker pool, everything runs inline on the
+    /// caller's thread.
+    ///
+    /// Callers should build at most [`threads`](ThreadPool::threads) tasks;
+    /// extra tasks still run (the claim cursor hands them out as workers
+    /// free up) but buy no additional parallelism.
+    ///
+    /// [`for_each_chunk_mut`]: ThreadPool::for_each_chunk_mut
+    pub fn for_each_task<T, F>(&self, tasks: Vec<T>, f: F)
+    where
+        T: Send,
+        F: Fn(usize, T) + Sync,
+    {
+        if tasks.len() <= 1 || self.threads == 1 {
+            for (i, t) in tasks.into_iter().enumerate() {
+                f(i, t);
+            }
+            return;
+        }
+        // One slot per task; the claiming invocation takes the task out, so
+        // each task value is moved into exactly one `f` call.
+        let slots: Vec<Mutex<Option<T>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let task = |i: usize| {
+            let t = slots[i]
+                .lock()
+                .expect("task slot poisoned")
+                .take()
+                .expect("each task index is claimed exactly once");
+            f(i, t);
+        };
+        fan_out(slots.len(), &task);
+    }
+
     /// Sums `f` over every index in `0..n` (fan out, add partials in chunk
     /// order) — the shape of parallel counting and accuracy reductions.
     pub fn sum_indices<F>(&self, n: usize, f: F) -> usize
@@ -548,6 +591,28 @@ mod tests {
         let pool = ThreadPool::new(2);
         let mut buf = vec![0u8; 7];
         pool.for_each_chunk_mut(&mut buf, 2, 4, |_, _| {});
+    }
+
+    #[test]
+    fn for_each_task_consumes_each_task_once() {
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let mut bufs = vec![vec![0usize; 3]; 4];
+            let tasks: Vec<(usize, &mut [usize])> = bufs
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| (10 * (i + 1), b.as_mut_slice()))
+                .collect();
+            pool.for_each_task(tasks, |i, (base, slice)| {
+                for (j, v) in slice.iter_mut().enumerate() {
+                    *v = base + i + j;
+                }
+            });
+            for (i, b) in bufs.iter().enumerate() {
+                let base = 10 * (i + 1);
+                assert_eq!(b, &vec![base + i, base + i + 1, base + i + 2], "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ if [ "${CHECK_BENCH_COMPARE:-0}" != "0" ]; then
     echo "== bench regression gate (opt-in via CHECK_BENCH_COMPARE=1) =="
     # Compares the run above against the committed snapshot for the groups
     # whose scaling the thread pool is responsible for.
-    ./scripts/bench_compare.sh --rerun classify_all transpose_matmul backward encode
+    ./scripts/bench_compare.sh --rerun classify_all transpose_matmul backward encode train_step
 fi
 
 echo "== manifest hermeticity check =="
