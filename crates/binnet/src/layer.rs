@@ -49,6 +49,7 @@ pub struct BinaryLinear {
     binary: Matrix,       // D×K entries in {-1, +1}, kept in sync with latent
     packed: PackedMatrix, // K×D bit-packed columns of `binary`, kept in sync
     pool: ThreadPool,
+    rec: obs::Recorder,
     d_in: usize,
     k_out: usize,
 }
@@ -90,6 +91,7 @@ impl BinaryLinear {
             binary: Matrix::zeros(d_in, k_out),
             packed: PackedMatrix::zeros(k_out, d_in),
             pool: ThreadPool::default(),
+            rec: obs::Recorder::disabled(),
             latent,
             d_in,
             k_out,
@@ -115,6 +117,25 @@ impl BinaryLinear {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// Attaches a metrics recorder and returns `self` (builder style).
+    ///
+    /// An enabled recorder collects per-call latency histograms
+    /// (`layer/forward_ns`, `layer/backward_ns`, `layer/fused_step_ns`) from
+    /// the packed `_into` hot paths — the distribution behind the trainer's
+    /// per-epoch aggregate spans. The default (disabled) recorder makes the
+    /// instrumentation a dead branch: no clock reads, no locks.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: obs::Recorder) -> Self {
+        self.set_recorder(rec);
+        self
+    }
+
+    /// Attaches a metrics recorder (see
+    /// [`with_recorder`](Self::with_recorder)).
+    pub fn set_recorder(&mut self, rec: obs::Recorder) {
+        self.rec = rec;
     }
 
     /// Input width `D`.
@@ -187,9 +208,11 @@ impl BinaryLinear {
     ///
     /// Panics if `x.cols() != d_in`.
     pub fn forward_packed_into(&self, x: &PackedMatrix, out: &mut Matrix) {
+        let t = self.rec.start();
         out.reshape(x.rows(), self.k_out);
         packed_matmul_into(x, &self.packed, &self.pool, out)
             .expect("input width must equal layer d_in");
+        self.rec.observe_since("layer/forward_ns", &t);
     }
 
     /// Forward pass on a packed batch under a dropout bit mask: exact
@@ -218,9 +241,11 @@ impl BinaryLinear {
         mask: &DropMask,
         out: &mut Matrix,
     ) {
+        let t = self.rec.start();
         out.reshape(x.rows(), self.k_out);
         packed_matmul_masked_into(x, &self.packed, mask, &self.pool, out)
             .expect("input width must equal layer d_in");
+        self.rec.observe_since("layer/forward_ns", &t);
     }
 
     /// Straight-through backward pass: returns the latent-weight gradient
@@ -291,9 +316,11 @@ impl BinaryLinear {
             self.k_out,
             "gradient width must equal layer k_out"
         );
+        let t = self.rec.start();
         out.reshape(self.d_in, self.k_out);
         packed_transpose_matmul_into(x, dlogits, mask, &self.pool, out)
             .expect("batch sizes of x and dlogits must match");
+        self.rec.observe_since("layer/backward_ns", &t);
     }
 
     /// Applies a gradient to the latent weights through `opt`, then
@@ -351,6 +378,7 @@ impl BinaryLinear {
             (self.d_in, self.k_out),
             "gradient shape must match weights"
         );
+        let t = self.rec.start();
         let (d, k) = (self.d_in, self.k_out);
         let wpr = self.packed.words_per_row();
         let pool = self.pool;
@@ -417,6 +445,7 @@ impl BinaryLinear {
                 }
             }
         });
+        self.rec.observe_since("layer/fused_step_ns", &t);
     }
 
     /// Clamps every latent weight into `[-limit, limit]`.

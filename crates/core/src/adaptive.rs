@@ -132,6 +132,7 @@ pub fn train_adaptive(
             validation_accuracy: None,
             loss: None,
             learning_rate: Some(config.max_alpha * iter_scale),
+            timing: None,
         });
     }
     Ok((model, history))

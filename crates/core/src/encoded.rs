@@ -49,7 +49,25 @@ impl EncodedDataset {
         encoder: &E,
         threads: usize,
     ) -> Result<Self, LehdcError> {
-        let hvs = encoder.encode_all(dataset.features(), threads)?;
+        Self::encode_recorded(dataset, encoder, threads, &obs::Recorder::disabled())
+    }
+
+    /// [`encode`](Self::encode) with corpus throughput metrics: records an
+    /// `encode/corpus_ns` span and `encode/samples_per_sec` gauge and emits
+    /// one `encode` event into `rec`. Encoding output is bit-identical
+    /// either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LehdcError::Hdc`] if the dataset's feature count does not
+    /// match the encoder.
+    pub fn encode_recorded<E: Encode>(
+        dataset: &Dataset,
+        encoder: &E,
+        threads: usize,
+        rec: &obs::Recorder,
+    ) -> Result<Self, LehdcError> {
+        let hvs = encoder.encode_all_recorded(dataset.features(), threads, rec)?;
         Ok(EncodedDataset {
             hvs,
             labels: dataset.labels().to_vec(),

@@ -82,6 +82,7 @@ pub fn train_enhanced(
             validation_accuracy: None,
             loss: None,
             learning_rate: Some(alpha),
+            timing: None,
         });
     }
     Ok((model, history))

@@ -1,5 +1,32 @@
 //! Per-iteration training curves, used by the figure experiments.
 
+/// Wall-clock spans of one training epoch, filled in when the trainer ran
+/// with an enabled [`obs::Recorder`].
+///
+/// All spans are nanoseconds summed over the epoch's batches (except
+/// `eval_ns` and `epoch_ns`, which are single spans). `None` on
+/// [`EpochRecord::timing`] for uninstrumented runs, so histories stay
+/// comparable across runs that differ only in instrumentation — wall-clock
+/// never participates in determinism checks unless both runs recorded it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EpochTiming {
+    /// Batch assembly (gather + bit-pack of the epoch's batches).
+    pub assembly_ns: u64,
+    /// Forward passes (packed XNOR/popcount products + logit scaling).
+    pub forward_ns: u64,
+    /// Backward passes (softmax CE + packed transpose products).
+    pub backward_ns: u64,
+    /// Fused optimizer steps (Adam + clips + rebinarize + repack).
+    pub optimizer_ns: u64,
+    /// End-of-epoch evaluation (validation + train/test accuracy).
+    pub eval_ns: u64,
+    /// Whole epoch, wall-clock.
+    pub epoch_ns: u64,
+    /// Training throughput over the epoch's batch loop (samples per
+    /// second, excluding evaluation).
+    pub samples_per_sec: f64,
+}
+
 /// One iteration/epoch of a training trajectory.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpochRecord {
@@ -16,6 +43,21 @@ pub struct EpochRecord {
     pub loss: Option<f64>,
     /// Learning rate in effect during the epoch, when applicable.
     pub learning_rate: Option<f32>,
+    /// Wall-clock spans, when the trainer ran with metrics enabled.
+    pub timing: Option<EpochTiming>,
+}
+
+impl EpochRecord {
+    /// This record with its wall-clock timing stripped — what determinism
+    /// tests compare, since timing is the one field allowed to differ
+    /// between otherwise bit-identical runs.
+    #[must_use]
+    pub fn without_timing(&self) -> EpochRecord {
+        EpochRecord {
+            timing: None,
+            ..self.clone()
+        }
+    }
 }
 
 /// A training trajectory: what the paper plots in Figs. 3 and 5.
@@ -31,6 +73,7 @@ pub struct EpochRecord {
 ///     validation_accuracy: None,
 ///     loss: Some(0.6),
 ///     learning_rate: Some(0.01),
+///     timing: None,
 /// });
 /// assert_eq!(h.len(), 1);
 /// assert_eq!(h.final_train_accuracy(), Some(0.8));
@@ -103,6 +146,38 @@ impl TrainingHistory {
             .fold(None, |best, v| Some(best.map_or(v, |b: f64| b.max(v))))
     }
 
+    /// Total recorded wall-clock across epochs with timing, in nanoseconds
+    /// (`None` when no epoch carried timing).
+    #[must_use]
+    pub fn total_epoch_ns(&self) -> Option<u64> {
+        let spans: Vec<u64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.timing.as_ref().map(|t| t.epoch_ns))
+            .collect();
+        if spans.is_empty() {
+            None
+        } else {
+            Some(spans.iter().sum())
+        }
+    }
+
+    /// Mean training throughput over epochs with timing, in samples per
+    /// second (`None` when no epoch carried timing).
+    #[must_use]
+    pub fn mean_samples_per_sec(&self) -> Option<f64> {
+        let rates: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.timing.as_ref().map(|t| t.samples_per_sec))
+            .collect();
+        if rates.is_empty() {
+            None
+        } else {
+            Some(rates.iter().sum::<f64>() / rates.len() as f64)
+        }
+    }
+
     /// A crude oscillation measure: mean absolute epoch-to-epoch change in
     /// training accuracy over the last half of the trajectory. The paper's
     /// Fig. 3 observes that basic retraining oscillates after convergence
@@ -134,6 +209,7 @@ mod tests {
             validation_accuracy: None,
             loss: None,
             learning_rate: None,
+            timing: None,
         }
     }
 
@@ -158,6 +234,33 @@ mod tests {
         assert_eq!(h.final_test_accuracy(), Some(0.8));
         assert_eq!(h.best_test_accuracy(), Some(0.8));
         assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn timing_aggregates_skip_untimed_epochs() {
+        let mut h = TrainingHistory::new();
+        h.push(record(0, 0.5, None));
+        assert_eq!(h.total_epoch_ns(), None);
+        assert_eq!(h.mean_samples_per_sec(), None);
+        let mut timed = record(1, 0.6, None);
+        timed.timing = Some(EpochTiming {
+            epoch_ns: 1_000,
+            samples_per_sec: 200.0,
+            ..EpochTiming::default()
+        });
+        let stripped = timed.without_timing();
+        assert_eq!(stripped.timing, None);
+        assert_eq!(stripped.epoch, 1);
+        h.push(timed);
+        let mut timed2 = record(2, 0.7, None);
+        timed2.timing = Some(EpochTiming {
+            epoch_ns: 3_000,
+            samples_per_sec: 400.0,
+            ..EpochTiming::default()
+        });
+        h.push(timed2);
+        assert_eq!(h.total_epoch_ns(), Some(4_000));
+        assert_eq!(h.mean_samples_per_sec(), Some(300.0));
     }
 
     #[test]

@@ -28,6 +28,39 @@ const VERSION: u32 = 1;
 const BUNDLE_MAGIC: &[u8; 8] = b"LEHDCBDL";
 const BUNDLE_VERSION: u32 = 1;
 
+/// Writes `path` atomically: the payload goes to a sibling temp file that is
+/// flushed and fsynced, then renamed over `path`. A crash, full disk, or
+/// serialization error mid-write can therefore never leave a truncated
+/// artifact at `path` — an existing valid file survives any failed attempt,
+/// because the only mutation of `path` itself is the final atomic rename.
+///
+/// The temp name is deterministic per process (`<name>.tmp.<pid>`), sitting
+/// in the same directory so the rename never crosses a filesystem boundary.
+fn write_atomic<F>(path: &Path, write: F) -> Result<(), LehdcError>
+where
+    F: FnOnce(&mut BufWriter<File>) -> Result<(), LehdcError>,
+{
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let file = File::create(&tmp)?;
+        let mut writer = BufWriter::new(file);
+        write(&mut writer)?;
+        writer.flush()?;
+        writer.get_ref().sync_all()?;
+        Ok(())
+    })();
+    if let Err(err) = result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(err);
+    }
+    std::fs::rename(&tmp, path).map_err(|err| {
+        let _ = std::fs::remove_file(&tmp);
+        LehdcError::from(err)
+    })
+}
+
 /// Serializes a model to any writer (a `&mut` reference works too).
 ///
 /// # Errors
@@ -110,14 +143,14 @@ pub fn read_model<R: Read>(mut reader: R) -> Result<HdcModel, LehdcError> {
     HdcModel::new(class_hvs)
 }
 
-/// Saves a model to a file path.
+/// Saves a model to a file path (atomically: temp file + fsync + rename, so
+/// an interrupted save never clobbers an existing artifact).
 ///
 /// # Errors
 ///
 /// As [`write_model`], plus file-creation failures.
 pub fn save_model(model: &HdcModel, path: &Path) -> Result<(), LehdcError> {
-    let file = File::create(path)?;
-    write_model(model, BufWriter::new(file))
+    write_atomic(path, |w| write_model(model, w))
 }
 
 /// Loads a model from a file path.
@@ -293,14 +326,14 @@ pub fn read_bundle<R: Read>(mut reader: R) -> Result<ModelBundle, LehdcError> {
     })
 }
 
-/// Saves a bundle to a file path.
+/// Saves a bundle to a file path (atomically: temp file + fsync + rename, so
+/// an interrupted save never clobbers an existing artifact).
 ///
 /// # Errors
 ///
 /// As [`write_bundle`], plus file-creation failures.
 pub fn save_bundle(bundle: &ModelBundle, path: &Path) -> Result<(), LehdcError> {
-    let file = File::create(path)?;
-    write_bundle(bundle, BufWriter::new(file))
+    write_atomic(path, |w| write_bundle(bundle, w))
 }
 
 /// Loads a bundle from a file path.
@@ -407,14 +440,14 @@ pub fn read_encoded<R: Read>(mut reader: R) -> Result<crate::EncodedDataset, Leh
     crate::EncodedDataset::from_parts(hvs, labels, n_classes)
 }
 
-/// Saves an encoded corpus to a file path.
+/// Saves an encoded corpus to a file path (atomically: temp file + fsync +
+/// rename, so an interrupted save never clobbers an existing artifact).
 ///
 /// # Errors
 ///
 /// As [`write_encoded`], plus file-creation failures.
 pub fn save_encoded(encoded: &crate::EncodedDataset, path: &Path) -> Result<(), LehdcError> {
-    let file = File::create(path)?;
-    write_encoded(encoded, BufWriter::new(file))
+    write_atomic(path, |w| write_encoded(encoded, w))
 }
 
 /// Loads an encoded corpus from a file path.
@@ -657,6 +690,41 @@ mod tests {
         let loaded = load_model(&path).unwrap();
         assert_eq!(loaded, model);
         assert!(load_model(Path::new("/nonexistent/model.lehdc")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_write_never_replaces_a_valid_file() {
+        // A save that dies mid-payload (crash, full disk, serialization
+        // error) must leave the previous artifact untouched and no temp
+        // debris behind — the atomic-rename contract.
+        let dir = std::env::temp_dir().join("lehdc_atomic_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.lehdc");
+        let model = random_model(3, 1024, 11);
+        save_model(&model, &path).unwrap();
+
+        let err = write_atomic(&path, |w| {
+            // Write a garbage partial payload, then fail as an interrupted
+            // writer would.
+            w.write_all(b"partial garbage")?;
+            Err(LehdcError::ModelFormat("simulated interruption".into()))
+        });
+        assert!(err.is_err(), "the simulated interruption must surface");
+
+        let loaded = load_model(&path).expect("the valid artifact must survive");
+        assert_eq!(loaded, model, "payload must be byte-preserved");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|name| name.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp debris left behind: {leftovers:?}");
+
+        // A successful save still lands, replacing the old payload.
+        let replacement = random_model(3, 1024, 12);
+        save_model(&replacement, &path).unwrap();
+        assert_eq!(load_model(&path).unwrap(), replacement);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -36,7 +36,7 @@ use threadpool::ThreadPool;
 
 use crate::encoded::EncodedDataset;
 use crate::error::LehdcError;
-use crate::history::{EpochRecord, TrainingHistory};
+use crate::history::{EpochRecord, EpochTiming, TrainingHistory};
 use crate::model::HdcModel;
 
 /// LeHDC hyper-parameters (the paper's Table 2).
@@ -326,10 +326,24 @@ impl TrainScratch {
     }
 }
 
+/// Per-epoch accumulators for the batch-step phase spans (all nanoseconds;
+/// all zero — and never touched by a clock read — when the recorder is
+/// disabled).
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseSpans {
+    assembly_ns: u64,
+    forward_ns: u64,
+    backward_ns: u64,
+    optimizer_ns: u64,
+}
+
 /// One fused LeHDC mini-batch step, entirely in `scratch` buffers: packed
 /// batch assembly, masked forward, loss/gradient, packed backward, and the
 /// fused Adam + rebinarize + incremental-repack update. Returns the batch
 /// loss.
+///
+/// Phase wall-clock accumulates into `spans` when `rec` is enabled; the
+/// step's math and RNG draws are identical either way.
 #[allow(clippy::too_many_arguments)]
 fn lehdc_batch_step(
     train: &EncodedDataset,
@@ -341,8 +355,11 @@ fn lehdc_batch_step(
     grad_clip: Option<f32>,
     pool: &ThreadPool,
     scratch: &mut TrainScratch,
+    rec: &obs::Recorder,
+    spans: &mut PhaseSpans,
 ) -> Result<f64, LehdcError> {
     let d = layer.d_in();
+    let t = rec.start();
     scratch.batch_indices.clear();
     scratch
         .batch_indices
@@ -353,9 +370,11 @@ fn lehdc_batch_step(
         &mut scratch.x,
         &mut scratch.labels,
     );
+    spans.assembly_ns += t.elapsed_ns();
     // Dropout is one bit mask per batch; its inverted-dropout scale is
     // applied once to the exact integer logits, and again to dlogits so the
     // latent gradient matches the dense formulation.
+    let t = rec.start();
     let mask = dropout.sample_mask(d);
     match &mask {
         Some(m) => {
@@ -364,14 +383,19 @@ fn lehdc_batch_step(
         }
         None => layer.forward_packed_into(&scratch.x, &mut scratch.logits),
     }
+    spans.forward_ns += t.elapsed_ns();
+    let t = rec.start();
     let loss = softmax_cross_entropy_into(&scratch.logits, &scratch.labels, &mut scratch.dlogits)?;
     if let Some(m) = &mask {
         scratch.dlogits.scale(m.scale());
     }
     layer.backward_packed_into(&scratch.x, mask.as_ref(), &scratch.dlogits, &mut scratch.grad);
+    spans.backward_ns += t.elapsed_ns();
     // Gradient clipping happens inside the fused update — element-wise clamp
     // before the Adam step, bit-identical to clamping the buffer first.
+    let t = rec.start();
     layer.apply_gradient_fused(&scratch.grad, opt, grad_clip, None);
+    spans.optimizer_ns += t.elapsed_ns();
     Ok(loss)
 }
 
@@ -391,7 +415,31 @@ pub fn train_lehdc(
     test: Option<&EncodedDataset>,
     config: &LehdcConfig,
 ) -> Result<(HdcModel, TrainingHistory), LehdcError> {
-    train_lehdc_impl(train, test, config, false)
+    train_lehdc_impl(train, test, config, false, &obs::Recorder::disabled())
+}
+
+/// [`train_lehdc`] with runtime metrics: per-epoch phase spans (batch
+/// assembly / forward / backward / fused optimizer / eval), throughput, and
+/// the post-`PlateauDecay` learning rate flow into `rec` as histograms,
+/// counters, gauges, and one `train_epoch` event per epoch; evaluated
+/// epochs additionally carry [`EpochTiming`] on their history record.
+///
+/// Instrumentation reads only the wall clock — never an RNG stream — so the
+/// trained model is bit-identical to [`train_lehdc`] at any thread count
+/// (pinned by the determinism tests). With a disabled recorder this *is*
+/// `train_lehdc`: the timer calls short-circuit without reading the clock.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] for an invalid configuration, or a
+/// class with no samples when `warm_start` is enabled.
+pub fn train_lehdc_recorded(
+    train: &EncodedDataset,
+    test: Option<&EncodedDataset>,
+    config: &LehdcConfig,
+    rec: &obs::Recorder,
+) -> Result<(HdcModel, TrainingHistory), LehdcError> {
+    train_lehdc_impl(train, test, config, false, rec)
 }
 
 /// [`train_lehdc`] with a switch that rebuilds the scratch buffers before
@@ -402,6 +450,7 @@ fn train_lehdc_impl(
     test: Option<&EncodedDataset>,
     config: &LehdcConfig,
     fresh_scratch_per_step: bool,
+    rec: &obs::Recorder,
 ) -> Result<(HdcModel, TrainingHistory), LehdcError> {
     config.validate()?;
     let d = train.dim().get();
@@ -445,7 +494,9 @@ fn train_lehdc_impl(
     } else {
         BinaryLinear::new(d, k, hdc::rng::derive_seed(config.seed, 0x1417))
     };
-    let mut layer = layer.with_threads(config.threads);
+    // The layer shares the recorder: its packed products feed per-call
+    // latency histograms (`layer/*_ns`) under the trainer's epoch spans.
+    let mut layer = layer.with_threads(config.threads).with_recorder(rec.clone());
 
     let mut opt = Adam::new(config.learning_rate).weight_decay(config.weight_decay);
     let mut dropout = Dropout::new(config.dropout, hdc::rng::derive_seed(config.seed, 0xD40))?;
@@ -479,8 +530,11 @@ fn train_lehdc_impl(
     let mut stale_epochs = 0usize;
 
     for epoch in 0..config.epochs {
+        let epoch_timer = rec.start();
+        let mut spans = PhaseSpans::default();
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
+        let mut epoch_samples = 0usize;
         for batch_positions in sampler.epoch(epoch) {
             if fresh_scratch_per_step {
                 scratch = TrainScratch::new(d, k, batch_positions.len());
@@ -495,10 +549,14 @@ fn train_lehdc_impl(
                 config.grad_clip,
                 &pool,
                 &mut scratch,
+                rec,
+                &mut spans,
             )?;
             epoch_loss += loss;
             batches += 1;
+            epoch_samples += batch_positions.len();
         }
+        let train_ns = epoch_timer.elapsed_ns();
         let mean_loss = epoch_loss / batches.max(1) as f64;
         let lr = sched.observe(mean_loss, opt.learning_rate());
         opt.set_learning_rate(lr);
@@ -508,6 +566,7 @@ fn train_lehdc_impl(
         let mut stop = false;
         let mut val_accuracy = None;
 
+        let eval_timer = rec.start();
         if let Some(es) = early {
             let model = model_from_layer(&layer, k)?;
             let acc = accuracy_on(&model, &val_indices);
@@ -526,20 +585,79 @@ fn train_lehdc_impl(
             }
         }
 
-        if epoch % config.eval_every == 0 || last_epoch || stop {
+        let evaluated = if epoch % config.eval_every == 0 || last_epoch || stop {
             let model = model_from_layer(&layer, k)?;
+            let train_accuracy =
+                model.accuracy_threaded(train.hvs(), train.labels(), config.threads);
+            let test_accuracy =
+                test.map(|t| model.accuracy_threaded(t.hvs(), t.labels(), config.threads));
+            Some((train_accuracy, test_accuracy))
+        } else {
+            None
+        };
+        let eval_ns = eval_timer.elapsed_ns();
+        let epoch_ns = epoch_timer.elapsed_ns();
+        let samples_per_sec = if train_ns == 0 {
+            0.0
+        } else {
+            epoch_samples as f64 * 1e9 / train_ns as f64
+        };
+
+        let timing = rec.enabled().then(|| EpochTiming {
+            assembly_ns: spans.assembly_ns,
+            forward_ns: spans.forward_ns,
+            backward_ns: spans.backward_ns,
+            optimizer_ns: spans.optimizer_ns,
+            eval_ns,
+            epoch_ns,
+            samples_per_sec,
+        });
+        if rec.enabled() {
+            rec.observe_ns("train/epoch_ns", epoch_ns);
+            rec.observe_ns("train/assembly_ns", spans.assembly_ns);
+            rec.observe_ns("train/forward_ns", spans.forward_ns);
+            rec.observe_ns("train/backward_ns", spans.backward_ns);
+            rec.observe_ns("train/optimizer_ns", spans.optimizer_ns);
+            rec.observe_ns("train/eval_ns", eval_ns);
+            rec.add("train/epochs", 1);
+            rec.add("train/batches", batches as u64);
+            rec.add("train/samples", epoch_samples as u64);
+            rec.gauge("train/lr", f64::from(lr));
+            rec.gauge("train/samples_per_sec", samples_per_sec);
+            let mut fields = vec![
+                ("epoch", obs::Value::U64(epoch as u64)),
+                ("loss", obs::Value::F64(mean_loss)),
+                ("lr", obs::Value::F64(f64::from(lr))),
+                ("samples", obs::Value::U64(epoch_samples as u64)),
+                ("samples_per_sec", obs::Value::F64(samples_per_sec)),
+                ("assembly_ns", obs::Value::U64(spans.assembly_ns)),
+                ("forward_ns", obs::Value::U64(spans.forward_ns)),
+                ("backward_ns", obs::Value::U64(spans.backward_ns)),
+                ("optimizer_ns", obs::Value::U64(spans.optimizer_ns)),
+                ("eval_ns", obs::Value::U64(eval_ns)),
+                ("epoch_ns", obs::Value::U64(epoch_ns)),
+            ];
+            if let Some((train_acc, test_acc)) = &evaluated {
+                fields.push(("train_accuracy", obs::Value::F64(*train_acc)));
+                if let Some(test_acc) = test_acc {
+                    fields.push(("test_accuracy", obs::Value::F64(*test_acc)));
+                }
+            }
+            if let Some(val_acc) = val_accuracy {
+                fields.push(("validation_accuracy", obs::Value::F64(val_acc)));
+            }
+            rec.emit("train_epoch", &fields);
+        }
+
+        if let Some((train_accuracy, test_accuracy)) = evaluated {
             history.push(EpochRecord {
                 epoch,
-                train_accuracy: model.accuracy_threaded(
-                    train.hvs(),
-                    train.labels(),
-                    config.threads,
-                ),
-                test_accuracy: test
-                    .map(|t| model.accuracy_threaded(t.hvs(), t.labels(), config.threads)),
+                train_accuracy,
+                test_accuracy,
                 validation_accuracy: val_accuracy,
                 loss: Some(mean_loss),
                 learning_rate: Some(lr),
+                timing,
             });
         }
         if stop {
@@ -700,8 +818,9 @@ mod tests {
                 .with_seed(13)
                 .with_grad_clip(0.05)
                 .with_threads(threads);
-            let (reused, h_reused) = train_lehdc_impl(&train, None, &cfg, false).unwrap();
-            let (fresh, h_fresh) = train_lehdc_impl(&train, None, &cfg, true).unwrap();
+            let rec = obs::Recorder::disabled();
+            let (reused, h_reused) = train_lehdc_impl(&train, None, &cfg, false, &rec).unwrap();
+            let (fresh, h_fresh) = train_lehdc_impl(&train, None, &cfg, true, &rec).unwrap();
             assert_eq!(reused, fresh, "threads={threads}");
             assert_eq!(h_reused.records(), h_fresh.records());
         }
@@ -725,16 +844,18 @@ mod tests {
 
         let full: Vec<usize> = (0..32).collect();
         let partial: Vec<usize> = (32..39).collect();
+        let rec = obs::Recorder::disabled();
+        let mut spans = PhaseSpans::default();
         lehdc_batch_step(
             &train, &fit_indices, &full, &mut layer, &mut opt, &mut dropout, None, &pool,
-            &mut scratch,
+            &mut scratch, &rec, &mut spans,
         )
         .unwrap();
         let fp = scratch.fingerprint();
         for positions in [&partial, &full, &partial, &full] {
             lehdc_batch_step(
                 &train, &fit_indices, positions, &mut layer, &mut opt, &mut dropout, None,
-                &pool, &mut scratch,
+                &pool, &mut scratch, &rec, &mut spans,
             )
             .unwrap();
             assert_eq!(fp, scratch.fingerprint(), "scratch buffers must not move");

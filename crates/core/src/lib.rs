@@ -60,8 +60,9 @@ pub(crate) mod test_util;
 pub use adaptive::AdaptiveConfig;
 pub use encoded::EncodedDataset;
 pub use error::LehdcError;
-pub use history::{EpochRecord, TrainingHistory};
+pub use history::{EpochRecord, EpochTiming, TrainingHistory};
 pub use lehdc_trainer::{EarlyStopping, LehdcConfig};
+pub use lehdc_trainer::{train_lehdc, train_lehdc_recorded};
 pub use model::{HdcModel, NonBinaryModel};
 pub use multimodel::MultiModelConfig;
 pub use pipeline::{Outcome, Pipeline, PipelineBuilder, Strategy};

@@ -121,6 +121,44 @@ impl HdcModel {
         parts.concat()
     }
 
+    /// [`classify_all_threaded`](Self::classify_all_threaded) with inference
+    /// throughput metrics: records a `classify/corpus_ns` span and a
+    /// `classify/samples_per_sec` gauge and emits one `classify` event into
+    /// `rec`. Predictions are identical either way.
+    #[must_use]
+    pub fn classify_all_recorded(
+        &self,
+        queries: &[BinaryHv],
+        threads: usize,
+        rec: &obs::Recorder,
+    ) -> Vec<usize> {
+        let t = rec.start();
+        let predictions = self.classify_all_threaded(queries, threads);
+        if rec.enabled() {
+            let ns = rec.observe_since("classify/corpus_ns", &t);
+            let n = predictions.len() as u64;
+            rec.add("classify/samples", n);
+            let per_sec = if ns == 0 {
+                f64::INFINITY
+            } else {
+                n as f64 * 1e9 / ns as f64
+            };
+            rec.gauge("classify/samples_per_sec", per_sec);
+            rec.emit(
+                "classify",
+                &[
+                    ("samples", obs::Value::U64(n)),
+                    ("dim", obs::Value::U64(self.dim().get() as u64)),
+                    ("classes", obs::Value::U64(self.n_classes() as u64)),
+                    ("threads", obs::Value::U64(threads as u64)),
+                    ("wall_ns", obs::Value::U64(ns)),
+                    ("samples_per_sec", obs::Value::F64(per_sec)),
+                ],
+            );
+        }
+        predictions
+    }
+
     /// Classifies and reports the **margin**: the cosine-similarity gap
     /// between the winning class and the runner-up, in `[0, 2]`.
     ///

@@ -278,6 +278,7 @@ pub fn train_multimodel(
             validation_accuracy: None,
             loss: None,
             learning_rate: Some(config.flip_rate),
+            timing: None,
         });
     }
     Ok((model, history))

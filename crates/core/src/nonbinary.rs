@@ -100,6 +100,7 @@ pub fn train_nonbinary(
             validation_accuracy: None,
             loss: None,
             learning_rate: Some(alpha),
+            timing: None,
         });
     }
     Ok((NonBinaryModel::new(class_hvs)?, history))
@@ -174,6 +175,7 @@ pub fn train_lehdc_nonbinary(
                 validation_accuracy: None,
                 loss: Some(mean_loss),
                 learning_rate: Some(lr),
+                timing: None,
             });
         }
     }

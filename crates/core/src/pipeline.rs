@@ -9,7 +9,7 @@ use crate::encoded::EncodedDataset;
 use crate::enhanced::train_enhanced;
 use crate::error::LehdcError;
 use crate::history::TrainingHistory;
-use crate::lehdc_trainer::{train_lehdc, LehdcConfig};
+use crate::lehdc_trainer::{train_lehdc_recorded, LehdcConfig};
 use crate::model::HdcModel;
 use crate::multimodel::{train_multimodel, MultiModelConfig};
 use crate::nonbinary::train_nonbinary;
@@ -123,6 +123,7 @@ pub struct PipelineBuilder<'a> {
     seed: u64,
     threads: usize,
     normalize: bool,
+    recorder: obs::Recorder,
 }
 
 impl<'a> PipelineBuilder<'a> {
@@ -164,6 +165,17 @@ impl<'a> PipelineBuilder<'a> {
         self
     }
 
+    /// Attaches a metrics recorder: encode throughput at build time and
+    /// per-epoch training spans (for LeHDC runs) flow into it, and every
+    /// `run` emits a `strategy_run` event. The default disabled recorder
+    /// keeps the whole pipeline uninstrumented — and either way results are
+    /// bit-identical, since instrumentation never touches an RNG stream.
+    #[must_use]
+    pub fn recorder(mut self, recorder: obs::Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Normalizes, builds the encoder, and encodes both splits.
     ///
     /// # Errors
@@ -186,14 +198,17 @@ impl<'a> PipelineBuilder<'a> {
             .value_range(0.0, 1.0)
             .seed(self.seed)
             .build()?;
-        let encoded_train = EncodedDataset::encode(&train, &encoder, self.threads)?;
-        let encoded_test = EncodedDataset::encode(&test, &encoder, self.threads)?;
+        let encoded_train =
+            EncodedDataset::encode_recorded(&train, &encoder, self.threads, &self.recorder)?;
+        let encoded_test =
+            EncodedDataset::encode_recorded(&test, &encoder, self.threads, &self.recorder)?;
         Ok(Pipeline {
             encoder,
             normalizer,
             encoded_train,
             encoded_test,
             seed: self.seed,
+            recorder: self.recorder,
         })
     }
 }
@@ -225,6 +240,7 @@ pub struct Pipeline {
     encoded_train: EncodedDataset,
     encoded_test: EncodedDataset,
     seed: u64,
+    recorder: obs::Recorder,
 }
 
 impl Pipeline {
@@ -238,6 +254,7 @@ impl Pipeline {
             seed: 0,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             normalize: true,
+            recorder: obs::Recorder::disabled(),
         }
     }
 
@@ -269,6 +286,7 @@ impl Pipeline {
             encoded_train: train,
             encoded_test: test,
             seed,
+            recorder: obs::Recorder::disabled(),
         })
     }
 
@@ -276,6 +294,18 @@ impl Pipeline {
     #[must_use]
     pub fn encoder(&self) -> &RecordEncoder {
         &self.encoder
+    }
+
+    /// The metrics recorder attached at build time (disabled by default).
+    #[must_use]
+    pub fn recorder(&self) -> &obs::Recorder {
+        &self.recorder
+    }
+
+    /// Attaches a metrics recorder to an already-built pipeline (see
+    /// [`PipelineBuilder::recorder`]).
+    pub fn set_recorder(&mut self, recorder: obs::Recorder) {
+        self.recorder = recorder;
     }
 
     /// The feature normalizer fitted on the training split, if
@@ -311,6 +341,25 @@ impl Pipeline {
     ///
     /// Propagates configuration and training errors from the strategy.
     pub fn run(&self, strategy: Strategy) -> Result<Outcome, LehdcError> {
+        let run_timer = self.recorder.start();
+        let outcome = self.run_inner(strategy)?;
+        if self.recorder.enabled() {
+            let ns = self.recorder.observe_since("pipeline/run_ns", &run_timer);
+            self.recorder.emit(
+                "strategy_run",
+                &[
+                    ("strategy", obs::Value::Str(outcome.strategy)),
+                    ("train_accuracy", obs::Value::F64(outcome.train_accuracy)),
+                    ("test_accuracy", obs::Value::F64(outcome.test_accuracy)),
+                    ("epochs_recorded", obs::Value::U64(outcome.history.len() as u64)),
+                    ("wall_ns", obs::Value::U64(ns)),
+                ],
+            );
+        }
+        Ok(outcome)
+    }
+
+    fn run_inner(&self, strategy: Strategy) -> Result<Outcome, LehdcError> {
         let train = &self.encoded_train;
         let test = &self.encoded_test;
         let name = strategy.name();
@@ -336,7 +385,8 @@ impl Pipeline {
                     seed: hdc::rng::derive_seed(self.seed, cfg.seed),
                     ..cfg
                 };
-                let (model, history) = train_lehdc(train, Some(test), &cfg)?;
+                let (model, history) =
+                    train_lehdc_recorded(train, Some(test), &cfg, &self.recorder)?;
                 Ok(self.outcome_from_model(name, model, history))
             }
             Strategy::MultiModel(cfg) => {

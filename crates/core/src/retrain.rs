@@ -152,6 +152,7 @@ pub fn train_retraining(
             validation_accuracy: None,
             loss: None,
             learning_rate: Some(alpha),
+            timing: None,
         });
         if let Some(threshold) = config.convergence_threshold {
             // Never stop on the first (boosted-α) iteration.

@@ -9,7 +9,7 @@
 use hdc::{Dim, RecordEncoder};
 use hdc_datasets::SyntheticSpec;
 use lehdc::baseline::train_baseline;
-use lehdc::lehdc_trainer::train_lehdc;
+use lehdc::lehdc_trainer::{train_lehdc, train_lehdc_recorded};
 use lehdc::{EncodedDataset, HdcModel, LehdcConfig};
 
 fn train_once(seed: u64) -> (HdcModel, EncodedDataset) {
@@ -106,6 +106,63 @@ fn one_worker_set_serves_the_whole_pipeline_deterministically() {
         threadpool::spawned_workers() <= 7,
         "worker set must stay bounded by the widest pool ever used (8)"
     );
+}
+
+#[test]
+fn metrics_recorder_leaves_training_bit_identical() {
+    // The observability layer reads only the wall clock: with the recorder
+    // enabled (and the pool's runtime stats on), the trained class
+    // hypervectors and the non-timing history fields must be bit-identical
+    // to an uninstrumented run — at one thread and at four.
+    let (_, train) = train_once(9);
+    for threads in [1, 4] {
+        let cfg = LehdcConfig::quick()
+            .with_epochs(3)
+            .with_seed(9)
+            .with_threads(threads);
+        let (plain, h_plain) = train_lehdc(&train, None, &cfg).unwrap();
+
+        let rec = obs::Recorder::builder().build();
+        obs::set_runtime_stats(true);
+        let result = train_lehdc_recorded(&train, None, &cfg, &rec);
+        obs::set_runtime_stats(false);
+        let (recorded, h_rec) = result.unwrap();
+
+        assert_eq!(
+            plain.class_hvs(),
+            recorded.class_hvs(),
+            "threads={threads}: recorder must not change the trained model"
+        );
+        assert_eq!(h_plain.len(), h_rec.len());
+        for (a, b) in h_plain.records().iter().zip(h_rec.records()) {
+            assert_eq!(
+                *a,
+                b.without_timing(),
+                "threads={threads}: only timing may differ between runs"
+            );
+            assert!(
+                b.timing.is_some(),
+                "threads={threads}: instrumented records must carry timing"
+            );
+        }
+        // The recorder actually observed the training run.
+        let names: Vec<String> = rec.metrics().into_iter().map(|(n, _)| n).collect();
+        for expected in [
+            "train/epoch_ns",
+            "train/assembly_ns",
+            "train/forward_ns",
+            "train/backward_ns",
+            "train/optimizer_ns",
+            "train/eval_ns",
+            "train/lr",
+            "train/samples_per_sec",
+            "layer/forward_ns",
+            "layer/backward_ns",
+            "layer/fused_step_ns",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
 }
 
 #[test]

@@ -22,6 +22,7 @@ use lehdc_experiments::{Options, TextTable};
 
 fn main() {
     let opts = Options::from_env();
+    let rec = opts.recorder();
     let profile = if opts.full {
         BenchmarkProfile::fashion_mnist()
     } else {
@@ -39,6 +40,7 @@ fn main() {
     let pipeline = Pipeline::builder(&data)
         .dim(Dim::new(opts.dim))
         .seed(opts.seeds)
+        .recorder(rec.clone())
         .build()
         .expect("pipeline build");
     let base_cfg = LehdcConfig::quick().with_epochs(epochs);
@@ -73,6 +75,7 @@ fn main() {
             .dim(Dim::new(opts.dim))
             .levels(q)
             .seed(opts.seeds)
+            .recorder(rec.clone())
             .build()
             .expect("pipeline build");
         let base = pipeline.run(Strategy::Baseline).expect("baseline");
@@ -123,4 +126,5 @@ fn main() {
     }
     println!("Early-stopping ablation:");
     println!("{}", es_table.render());
+    lehdc_experiments::finish_metrics(&rec);
 }

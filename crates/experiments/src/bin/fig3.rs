@@ -18,6 +18,7 @@ use lehdc_experiments::{render_series, Options};
 
 fn main() {
     let opts = Options::from_env();
+    let rec = opts.recorder();
     let iterations = if opts.full { 150 } else { 50 };
     let profile = if opts.full {
         BenchmarkProfile::fashion_mnist()
@@ -40,6 +41,7 @@ fn main() {
     let pipeline = Pipeline::builder(&data)
         .dim(Dim::new(opts.dim))
         .seed(opts.seeds)
+        .recorder(rec.clone())
         .build()
         .expect("pipeline build");
     // The paper's α = 0.05 is calibrated against class sums over 6,000
@@ -92,4 +94,5 @@ fn main() {
         basic.late_oscillation(),
         enhanced.late_oscillation()
     );
+    lehdc_experiments::finish_metrics(&rec);
 }

@@ -17,6 +17,7 @@ use lehdc_experiments::{render_series, Options, TextTable};
 
 fn main() {
     let opts = Options::from_env();
+    let rec = opts.recorder();
     let profile = if opts.full {
         BenchmarkProfile::cifar10()
     } else {
@@ -53,6 +54,7 @@ fn main() {
     let pipeline = Pipeline::builder(&data)
         .dim(Dim::new(opts.dim))
         .seed(opts.seeds)
+        .recorder(rec.clone())
         .build()
         .expect("pipeline build");
 
@@ -97,4 +99,5 @@ fn main() {
          of the four arms but the HIGHEST final testing accuracy (overfitting\n\
          control, paper Fig. 5)."
     );
+    lehdc_experiments::finish_metrics(&rec);
 }

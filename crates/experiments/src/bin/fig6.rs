@@ -16,6 +16,7 @@ use lehdc_experiments::{render_series, Options};
 
 fn main() {
     let opts = Options::from_env();
+    let rec = opts.recorder();
     let dims: Vec<usize> = if opts.full {
         vec![500, 1000, 2000, 4000, 6000, 8000, 10_000]
     } else {
@@ -90,6 +91,7 @@ fn main() {
                 let pipeline = Pipeline::builder(&data)
                     .dim(Dim::new(d))
                     .seed(seed)
+                    .recorder(rec.clone())
                     .build()
                     .expect("pipeline build");
                 for (s_idx, (_, make)) in strategies.iter().enumerate() {
@@ -116,4 +118,5 @@ fn main() {
          D=2,000 vs D=10,000 observation); Multi-Model may trail the\n\
          Baseline on ISOLET."
     );
+    lehdc_experiments::finish_metrics(&rec);
 }

@@ -21,6 +21,7 @@ use lehdc_experiments::{Options, TextTable};
 
 fn main() {
     let opts = Options::from_env();
+    let rec = opts.recorder();
     let epochs = if opts.full { 100 } else { 30 };
     println!(
         "Footnote-1 extension — binary vs non-binary LeHDC, D={}, {epochs} epochs\n",
@@ -40,6 +41,7 @@ fn main() {
         let pipeline = Pipeline::builder(&data)
             .dim(Dim::new(opts.dim))
             .seed(opts.seeds)
+            .recorder(rec.clone())
             .build()
             .expect("pipeline build");
         let (train, test) = (pipeline.encoded_train(), pipeline.encoded_test());
@@ -65,4 +67,5 @@ fn main() {
          non-binary column should match or exceed its binary counterpart —\n\
          the accuracy/storage trade the paper's footnote 1 describes."
     );
+    lehdc_experiments::finish_metrics(&rec);
 }

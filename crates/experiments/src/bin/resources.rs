@@ -23,6 +23,7 @@ use lehdc_experiments::{Options, TextTable};
 
 fn main() {
     let opts = Options::from_env();
+    let rec = opts.recorder();
     let profile = if opts.full {
         BenchmarkProfile::ucihar()
     } else {
@@ -38,6 +39,7 @@ fn main() {
     let pipeline = Pipeline::builder(&data)
         .dim(Dim::new(opts.dim))
         .seed(opts.seeds)
+        .recorder(rec.clone())
         .build()
         .expect("pipeline build");
     let k = pipeline.encoded_train().n_classes();
@@ -126,4 +128,5 @@ fn main() {
          storage are identical (same artifact); Multi-Model pays ~16× both in\n\
          storage and per-query time; LeHDC's extra cost is all in training."
     );
+    lehdc_experiments::finish_metrics(&rec);
 }

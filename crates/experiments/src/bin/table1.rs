@@ -44,6 +44,7 @@ fn strategies_for(profile: &BenchmarkProfile, opts: &Options) -> Vec<Strategy> {
 
 fn main() {
     let opts = Options::from_env();
+    let rec = opts.recorder();
     let profiles: Vec<BenchmarkProfile> = BenchmarkProfile::all()
         .into_iter()
         .map(|p| if opts.full { p } else { p.quick() })
@@ -66,6 +67,7 @@ fn main() {
             let pipeline = Pipeline::builder(&data)
                 .dim(Dim::new(opts.dim))
                 .seed(seed)
+                .recorder(rec.clone())
                 .build()
                 .expect("pipeline build");
             for (s_idx, strategy) in strategies_for(profile, &opts).into_iter().enumerate() {
@@ -135,4 +137,5 @@ fn main() {
          few-samples/many-classes profiles (CIFAR-10, ISOLET) where it may\n\
          fall below the Baseline."
     );
+    lehdc_experiments::finish_metrics(&rec);
 }

@@ -42,6 +42,10 @@ pub struct Options {
     pub dim: usize,
     /// Run at full paper scale instead of the quick scale.
     pub full: bool,
+    /// Echo observability events (epoch spans, throughput) to stderr.
+    pub verbose: bool,
+    /// Write observability events as JSON lines to this path.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for Options {
@@ -50,6 +54,8 @@ impl Default for Options {
             seeds: 3,
             dim: 1024,
             full: false,
+            verbose: false,
+            metrics_out: None,
         }
     }
 }
@@ -86,13 +92,21 @@ impl Options {
                         return Err("--dim must be at least 1".into());
                     }
                 }
+                "--verbose" => opts.verbose = true,
+                "--metrics-out" => {
+                    let v = args.next().ok_or("--metrics-out needs a value")?;
+                    opts.metrics_out = Some(v);
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--quick|--full] [--seeds N] [--dim D]\n  \
-                         --quick  laptop scale (default)\n  \
-                         --full   paper scale (D=10,000 unless --dim given)\n  \
-                         --seeds  seeds to aggregate over (default 3)\n  \
-                         --dim    hypervector dimension (default 1024)"
+                        "usage: [--quick|--full] [--seeds N] [--dim D] \
+                         [--verbose] [--metrics-out <jsonl>]\n  \
+                         --quick        laptop scale (default)\n  \
+                         --full         paper scale (D=10,000 unless --dim given)\n  \
+                         --seeds        seeds to aggregate over (default 3)\n  \
+                         --dim          hypervector dimension (default 1024)\n  \
+                         --verbose      echo timing/throughput events to stderr\n  \
+                         --metrics-out  write observability events as JSON lines"
                             .into(),
                     );
                 }
@@ -112,6 +126,39 @@ impl Options {
                 std::process::exit(2);
             }
         }
+    }
+
+    /// Builds the recorder requested by `--verbose` / `--metrics-out`;
+    /// disabled (every probe a no-op) when neither flag was given. Exits
+    /// with a message if the metrics file cannot be created, mirroring
+    /// [`Options::from_env`].
+    #[must_use]
+    pub fn recorder(&self) -> obs::Recorder {
+        if !self.verbose && self.metrics_out.is_none() {
+            return obs::Recorder::disabled();
+        }
+        let mut builder = obs::Recorder::builder().verbose(self.verbose);
+        if let Some(path) = &self.metrics_out {
+            builder = match builder.jsonl_path(std::path::Path::new(path)) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot open --metrics-out {path:?}: {e}");
+                    std::process::exit(2);
+                }
+            };
+        }
+        obs::set_runtime_stats(true);
+        builder.build()
+    }
+}
+
+/// Emits end-of-run metric summaries and flushes the JSON-lines sink; a
+/// no-op for a disabled recorder. Call once at the end of an experiment
+/// binary's `main`.
+pub fn finish_metrics(rec: &obs::Recorder) {
+    if rec.enabled() {
+        rec.emit_metric_summaries();
+        rec.flush();
     }
 }
 
@@ -293,7 +340,20 @@ mod tests {
         assert!(parse(&["--seeds", "zero"]).is_err());
         assert!(parse(&["--seeds", "0"]).is_err());
         assert!(parse(&["--dim", "0"]).is_err());
+        assert!(parse(&["--metrics-out"]).is_err());
         assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse_and_default_to_disabled() {
+        let opts = parse(&[]).unwrap();
+        assert!(!opts.verbose);
+        assert!(opts.metrics_out.is_none());
+        assert!(!opts.recorder().enabled(), "no flags → disabled recorder");
+
+        let opts = parse(&["--verbose", "--metrics-out", "run.jsonl"]).unwrap();
+        assert!(opts.verbose);
+        assert_eq!(opts.metrics_out.as_deref(), Some("run.jsonl"));
     }
 
     #[test]

@@ -64,6 +64,48 @@ pub trait Encode: Sync {
         }
         Ok(all)
     }
+
+    /// [`encode_all`](Encode::encode_all) with corpus throughput metrics:
+    /// records an `encode/corpus_ns` span and an `encode/samples_per_sec`
+    /// gauge, and emits one `encode` event per call. A disabled recorder
+    /// makes this exactly `encode_all` (no clock reads), and the encoding
+    /// itself is untouched either way — instrumentation reads no RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureCountMismatch`] if the corpus length is not
+    /// a multiple of the feature count.
+    fn encode_all_recorded(
+        &self,
+        samples: &[f32],
+        threads: usize,
+        rec: &obs::Recorder,
+    ) -> Result<Vec<BinaryHv>, HdcError> {
+        let t = rec.start();
+        let all = self.encode_all(samples, threads)?;
+        if rec.enabled() {
+            let ns = rec.observe_since("encode/corpus_ns", &t);
+            let n_samples = all.len() as u64;
+            rec.add("encode/samples", n_samples);
+            let per_sec = if ns == 0 {
+                f64::INFINITY
+            } else {
+                n_samples as f64 * 1e9 / ns as f64
+            };
+            rec.gauge("encode/samples_per_sec", per_sec);
+            rec.emit(
+                "encode",
+                &[
+                    ("samples", obs::Value::U64(n_samples)),
+                    ("dim", obs::Value::U64(self.dim().get() as u64)),
+                    ("threads", obs::Value::U64(threads as u64)),
+                    ("wall_ns", obs::Value::U64(ns)),
+                    ("samples_per_sec", obs::Value::F64(per_sec)),
+                ],
+            );
+        }
+        Ok(all)
+    }
 }
 
 /// The record-based encoder of the paper's Eq. 1:
@@ -196,6 +238,26 @@ impl RecordEncoder {
         }
         let mut tie_rng = Xoshiro256pp::seed_from_u64(content_hash);
         Ok(acc.threshold(&mut tie_rng))
+    }
+
+    /// [`encode_pooled`](Self::encode_pooled) with single-sample latency
+    /// metrics: records each call into the `encode/sample_ns` histogram.
+    /// Bit-identical output; a disabled recorder reads no clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureCountMismatch`] if
+    /// `features.len() != self.n_features()`.
+    pub fn encode_pooled_recorded(
+        &self,
+        features: &[f32],
+        pool: &ThreadPool,
+        rec: &obs::Recorder,
+    ) -> Result<BinaryHv, HdcError> {
+        let t = rec.start();
+        let hv = self.encode_pooled(features, pool)?;
+        rec.observe_since("encode/sample_ns", &t);
+        Ok(hv)
     }
 }
 

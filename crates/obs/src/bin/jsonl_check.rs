@@ -1,0 +1,48 @@
+//! Validates JSON-lines metric captures produced by `--metrics-out`.
+//!
+//! Usage: `jsonl_check <file.jsonl>...` — checks every non-empty line of
+//! every file parses as a flat JSON object, prints a per-file summary, and
+//! exits non-zero on the first malformed line. Used by `scripts/check.sh`
+//! to gate the observability smoke run.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: jsonl_check <file.jsonl>...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("jsonl_check: {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut lines = 0usize;
+        let mut fields = 0usize;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match obs::validate_json_line(line) {
+                Ok(n) => {
+                    lines += 1;
+                    fields += n;
+                }
+                Err(err) => {
+                    eprintln!("jsonl_check: {path}:{}: {err}", lineno + 1);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if lines == 0 {
+            eprintln!("jsonl_check: {path}: no JSON lines found");
+            return ExitCode::FAILURE;
+        }
+        println!("jsonl_check: {path}: {lines} lines, {fields} fields ok");
+    }
+    ExitCode::SUCCESS
+}

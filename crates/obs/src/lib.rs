@@ -1,0 +1,761 @@
+//! Hermetic runtime observability for the LeHDC suite.
+//!
+//! Training and inference hot paths accept a [`Recorder`] handle. A disabled
+//! recorder (the default, [`Recorder::disabled`]) carries no allocation and
+//! every call on it — including [`Recorder::start`], which would otherwise
+//! read the monotonic clock — is a branch on a `None` and returns
+//! immediately, so instrumented code costs nothing measurable when metrics
+//! are off. An enabled recorder collects three metric kinds plus a stream of
+//! structured events:
+//!
+//! - **counters** ([`Recorder::add`]) — monotonically increasing `u64` totals
+//!   (samples trained, batches run);
+//! - **gauges** ([`Recorder::gauge`]) — last-written `f64` values (current
+//!   learning rate, samples/second);
+//! - **histograms** ([`Recorder::observe_ns`]) — fixed log2(ns) buckets with
+//!   exact count/sum/min/max, for latency distributions;
+//! - **events** ([`Recorder::emit`]) — one JSON object per line to an
+//!   optional sink (same hand-rolled JSON conventions as testkit's bench
+//!   emission: `"key": value`, strings escaped, non-finite floats as
+//!   `null`), echoed human-readably to stderr when verbose.
+//!
+//! Determinism contract: the recorder only reads the wall clock and writes
+//! to its own state/sink. It never touches an RNG stream, so instrumented
+//! runs stay bit-identical to uninstrumented ones (pinned by tests in
+//! `lehdc`).
+//!
+//! A process-global flag ([`set_runtime_stats`]/[`runtime_stats_enabled`])
+//! gates stat collection in code that has no recorder handle to thread
+//! through (the process-global worker pool in `threadpool`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of log2(ns) buckets in a latency histogram.
+///
+/// Bucket `i` holds observations with `floor(log2(ns)) == i` (bucket 0 also
+/// holds `0 ns`). 48 buckets cover ~1 ns through ~78 hours, far beyond any
+/// span recorded here.
+pub const HISTOGRAM_BUCKETS: usize = 48;
+
+static RUNTIME_STATS: AtomicBool = AtomicBool::new(false);
+
+/// Returns whether process-global runtime stat collection is enabled.
+///
+/// Checked by subsystems with no recorder handle in their call path, e.g.
+/// the `threadpool` crate's per-job dispatch stats.
+#[inline]
+pub fn runtime_stats_enabled() -> bool {
+    RUNTIME_STATS.load(Ordering::Relaxed)
+}
+
+/// Enables or disables process-global runtime stat collection.
+///
+/// Off by default; the CLI and experiment bins turn it on alongside an
+/// enabled [`Recorder`].
+pub fn set_runtime_stats(on: bool) {
+    RUNTIME_STATS.store(on, Ordering::Relaxed);
+}
+
+/// A field value in an emitted event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value<'a> {
+    /// Unsigned integer (counts, nanosecond spans).
+    U64(u64),
+    /// Float (rates, fractions). Non-finite values serialize as `null`.
+    F64(f64),
+    /// String (names, labels).
+    Str(&'a str),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl Value<'_> {
+    fn write_json(&self, out: &mut String) {
+        match *self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) if v.is_finite() => out.push_str(&v.to_string()),
+            Value::F64(_) => out.push_str("null"),
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&json_escape(s));
+                out.push('"');
+            }
+            Value::Bool(b) => out.push_str(if b { "true" } else { "false" }),
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal (testkit's
+/// bench-JSON convention: quote, backslash, and control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Snapshot of one latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values, in nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest observation, in nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Largest observation, in nanoseconds (0 when empty).
+    pub max_ns: u64,
+    /// Per-bucket counts; bucket `i` holds values with `floor(log2(ns)) == i`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_ns / self.count
+        }
+    }
+
+    /// Approximate quantile in nanoseconds: the upper bound of the bucket
+    /// containing the `q`-th observation (exact min/max at the extremes).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i + 1 >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric value, as returned by [`Recorder::metrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter total.
+    Counter(u64),
+    /// Last-written gauge value.
+    Gauge(f64),
+    /// Latency histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+struct Inner {
+    verbose: bool,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    sink: Option<Mutex<BufWriter<Box<dyn Write + Send>>>>,
+}
+
+/// Handle to the metrics pipeline.
+///
+/// Cheap to clone (an `Option<Arc>`); a disabled handle makes every method a
+/// no-op without reading the clock. Construct with [`Recorder::disabled`] or
+/// [`Recorder::builder`].
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Recorder(disabled)"),
+            Some(inner) => write!(
+                f,
+                "Recorder(enabled, verbose={}, sink={})",
+                inner.verbose,
+                inner.sink.is_some()
+            ),
+        }
+    }
+}
+
+/// Recorders compare equal when they are the same underlying pipeline
+/// (same `Arc`) or both disabled. This exists so structs that hold a
+/// recorder can still derive `PartialEq`.
+impl PartialEq for Recorder {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Recorder {
+    /// A recorder that records nothing; every method is a no-op.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Starts building an enabled recorder.
+    pub fn builder() -> RecorderBuilder {
+        RecorderBuilder { verbose: false, sink: None }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `n` to the counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut metrics = inner.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += n,
+            other => *other = Metric::Counter(n),
+        }
+    }
+
+    /// Sets the gauge `name` to `v` (last write wins).
+    pub fn gauge(&self, name: &str, v: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut metrics = inner.metrics.lock().unwrap();
+        *metrics.entry(name.to_string()).or_insert(Metric::Gauge(v)) = Metric::Gauge(v);
+    }
+
+    /// Records `ns` into the latency histogram `name`.
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut metrics = inner.metrics.lock().unwrap();
+        let metric = metrics.entry(name.to_string()).or_insert_with(|| {
+            Metric::Histogram(HistogramSnapshot {
+                count: 0,
+                sum_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+                buckets: [0; HISTOGRAM_BUCKETS],
+            })
+        });
+        let h = match metric {
+            Metric::Histogram(h) => h,
+            other => {
+                *other = Metric::Histogram(HistogramSnapshot {
+                    count: 0,
+                    sum_ns: 0,
+                    min_ns: u64::MAX,
+                    max_ns: 0,
+                    buckets: [0; HISTOGRAM_BUCKETS],
+                });
+                match other {
+                    Metric::Histogram(h) => h,
+                    _ => unreachable!(),
+                }
+            }
+        };
+        let bucket = if ns <= 1 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        h.count += 1;
+        h.sum_ns += ns;
+        h.min_ns = h.min_ns.min(ns);
+        h.max_ns = h.max_ns.max(ns);
+        h.buckets[bucket] += 1;
+    }
+
+    /// Starts a timer. Disabled recorders return a timer that never read the
+    /// clock and always reports 0 elapsed nanoseconds.
+    #[inline]
+    pub fn start(&self) -> Timer {
+        Timer(self.inner.as_ref().map(|_| Instant::now()))
+    }
+
+    /// Records the elapsed time of `timer` into histogram `name` and
+    /// returns the elapsed nanoseconds (0 when disabled).
+    pub fn observe_since(&self, name: &str, timer: &Timer) -> u64 {
+        let ns = timer.elapsed_ns();
+        if self.enabled() {
+            self.observe_ns(name, ns);
+        }
+        ns
+    }
+
+    /// Emits one structured event: a JSON object
+    /// `{"event": "<event>", <fields>...}` on its own line to the sink (if
+    /// any), and a `key=value` echo to stderr when verbose.
+    pub fn emit(&self, event: &str, fields: &[(&str, Value<'_>)]) {
+        let Some(inner) = &self.inner else { return };
+        if inner.verbose {
+            let mut line = String::with_capacity(64);
+            line.push_str(event);
+            for (key, value) in fields {
+                line.push(' ');
+                line.push_str(key);
+                line.push('=');
+                match value {
+                    Value::U64(ns) if key.ends_with("_ns") => {
+                        line.push_str(&format_ns(*ns));
+                    }
+                    Value::U64(v) => line.push_str(&v.to_string()),
+                    Value::F64(v) if v.is_finite() => line.push_str(&format!("{v:.3}")),
+                    Value::F64(_) => line.push_str("nan"),
+                    Value::Str(s) => line.push_str(s),
+                    Value::Bool(b) => line.push_str(if *b { "true" } else { "false" }),
+                }
+            }
+            eprintln!("[obs] {line}");
+        }
+        if let Some(sink) = &inner.sink {
+            let mut line = String::with_capacity(96);
+            line.push_str("{\"event\": \"");
+            line.push_str(&json_escape(event));
+            line.push('"');
+            for (key, value) in fields {
+                line.push_str(", \"");
+                line.push_str(&json_escape(key));
+                line.push_str("\": ");
+                value.write_json(&mut line);
+            }
+            line.push_str("}\n");
+            let mut w = sink.lock().unwrap();
+            let _ = w.write_all(line.as_bytes());
+        }
+    }
+
+    /// Returns a snapshot of every metric, sorted by name.
+    pub fn metrics(&self) -> Vec<(String, MetricValue)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let metrics = inner.metrics.lock().unwrap();
+        metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(*c),
+                    Metric::Gauge(g) => MetricValue::Gauge(*g),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.clone()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Emits one `metric` event per recorded metric — the end-of-run summary
+    /// record in a JSON-lines capture.
+    pub fn emit_metric_summaries(&self) {
+        if !self.enabled() {
+            return;
+        }
+        for (name, value) in self.metrics() {
+            match value {
+                MetricValue::Counter(c) => self.emit(
+                    "metric",
+                    &[
+                        ("name", Value::Str(&name)),
+                        ("kind", Value::Str("counter")),
+                        ("total", Value::U64(c)),
+                    ],
+                ),
+                MetricValue::Gauge(g) => self.emit(
+                    "metric",
+                    &[
+                        ("name", Value::Str(&name)),
+                        ("kind", Value::Str("gauge")),
+                        ("value", Value::F64(g)),
+                    ],
+                ),
+                MetricValue::Histogram(h) => self.emit(
+                    "metric",
+                    &[
+                        ("name", Value::Str(&name)),
+                        ("kind", Value::Str("histogram")),
+                        ("count", Value::U64(h.count)),
+                        ("sum_ns", Value::U64(h.sum_ns)),
+                        ("mean_ns", Value::U64(h.mean_ns())),
+                        ("min_ns", Value::U64(h.min_ns)),
+                        ("p50_ns", Value::U64(h.quantile_ns(0.5))),
+                        ("p99_ns", Value::U64(h.quantile_ns(0.99))),
+                        ("max_ns", Value::U64(h.max_ns)),
+                    ],
+                ),
+            }
+        }
+    }
+
+    /// Flushes the JSON-lines sink, if any.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            if let Some(sink) = &inner.sink {
+                let _ = sink.lock().unwrap().flush();
+            }
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if let Some(sink) = &self.sink {
+            let _ = sink.lock().unwrap().flush();
+        }
+    }
+}
+
+/// Builder for an enabled [`Recorder`].
+pub struct RecorderBuilder {
+    verbose: bool,
+    sink: Option<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for RecorderBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RecorderBuilder(verbose={}, sink={})",
+            self.verbose,
+            self.sink.is_some()
+        )
+    }
+}
+
+impl RecorderBuilder {
+    /// Echo emitted events human-readably to stderr.
+    pub fn verbose(mut self, on: bool) -> Self {
+        self.verbose = on;
+        self
+    }
+
+    /// Stream emitted events as JSON lines to `writer`.
+    pub fn jsonl_writer(mut self, writer: Box<dyn Write + Send>) -> Self {
+        self.sink = Some(writer);
+        self
+    }
+
+    /// Stream emitted events as JSON lines to a file at `path` (truncated).
+    pub fn jsonl_path(self, path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(self.jsonl_writer(Box::new(file)))
+    }
+
+    /// Builds the enabled recorder.
+    pub fn build(self) -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                verbose: self.verbose,
+                metrics: Mutex::new(BTreeMap::new()),
+                sink: self.sink.map(|w| Mutex::new(BufWriter::new(w))),
+            })),
+        }
+    }
+}
+
+/// A monotonic span timer handed out by [`Recorder::start`].
+///
+/// Holds `None` (and reports 0) when the recorder was disabled, so disabled
+/// instrumentation never reads the clock.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer(Option<Instant>);
+
+impl Timer {
+    /// Nanoseconds since [`Recorder::start`] (0 for a disabled recorder).
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        match self.0 {
+            Some(t) => t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            None => 0,
+        }
+    }
+
+    /// Whether this timer is live (recorder was enabled).
+    #[inline]
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Validates that `line` is one well-formed JSON object of scalar fields, as
+/// emitted by [`Recorder::emit`]: `{"key": value, ...}` with string, number,
+/// boolean, or null values. Returns the number of fields on success.
+///
+/// This is a deliberately small verifier for the event schema (flat objects,
+/// no nesting), used by tests and `scripts/check.sh` to check that captured
+/// JSON-lines output parses — not a general JSON parser.
+pub fn validate_json_line(line: &str) -> Result<usize, String> {
+    let s = line.trim();
+    let body = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not an object: {s:?}"))?;
+    let mut chars = body.chars().peekable();
+    let mut fields = 0usize;
+    loop {
+        skip_ws(&mut chars);
+        if chars.peek().is_none() {
+            if fields == 0 {
+                return Ok(0);
+            }
+            return Err("trailing comma".to_string());
+        }
+        parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err("expected ':' after key".to_string());
+        }
+        skip_ws(&mut chars);
+        parse_scalar(&mut chars)?;
+        fields += 1;
+        skip_ws(&mut chars);
+        match chars.next() {
+            None => return Ok(fields),
+            Some(',') => continue,
+            Some(c) => return Err(format!("unexpected character {c:?} after value")),
+        }
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(' ' | '\t')) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<(), String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".to_string());
+    }
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some('\\') => {
+                match chars.next() {
+                    Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => {}
+                    Some('u') => {
+                        for _ in 0..4 {
+                            match chars.next() {
+                                Some(c) if c.is_ascii_hexdigit() => {}
+                                _ => return Err("bad \\u escape".to_string()),
+                            }
+                        }
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+            }
+            Some('"') => return Ok(()),
+            Some(_) => {}
+        }
+    }
+}
+
+fn parse_scalar(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<(), String> {
+    match chars.peek() {
+        Some('"') => parse_string(chars),
+        Some(c) if c.is_ascii_digit() || *c == '-' => {
+            let mut seen = false;
+            while matches!(
+                chars.peek(),
+                Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+            ) {
+                seen = true;
+                chars.next();
+            }
+            if seen {
+                Ok(())
+            } else {
+                Err("empty number".to_string())
+            }
+        }
+        Some(_) => {
+            let mut word = String::new();
+            while matches!(chars.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                word.push(chars.next().unwrap());
+            }
+            match word.as_str() {
+                "true" | "false" | "null" => Ok(()),
+                other => Err(format!("unexpected token {other:?}")),
+            }
+        }
+        None => Err("expected value".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.enabled());
+        rec.add("a", 3);
+        rec.gauge("b", 1.5);
+        rec.observe_ns("c", 100);
+        let t = rec.start();
+        assert!(!t.is_live());
+        assert_eq!(t.elapsed_ns(), 0);
+        rec.emit("e", &[("x", Value::U64(1))]);
+        assert!(rec.metrics().is_empty());
+        assert_eq!(rec, Recorder::default());
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let rec = Recorder::builder().build();
+        rec.add("train/samples", 10);
+        rec.add("train/samples", 5);
+        rec.gauge("train/lr", 0.01);
+        rec.gauge("train/lr", 0.005);
+        let metrics = rec.metrics();
+        assert_eq!(
+            metrics,
+            vec![
+                ("train/lr".to_string(), MetricValue::Gauge(0.005)),
+                ("train/samples".to_string(), MetricValue::Counter(15)),
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_tracks_buckets_and_quantiles() {
+        let rec = Recorder::builder().build();
+        for ns in [1u64, 2, 3, 1000, 1_000_000] {
+            rec.observe_ns("lat", ns);
+        }
+        let metrics = rec.metrics();
+        let MetricValue::Histogram(h) = &metrics[0].1 else {
+            panic!("expected histogram")
+        };
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum_ns, 1_001_006);
+        assert_eq!(h.min_ns, 1);
+        assert_eq!(h.max_ns, 1_000_000);
+        assert_eq!(h.buckets[0], 1); // ns=1
+        assert_eq!(h.buckets[1], 2); // ns=2, ns=3
+        assert_eq!(h.mean_ns(), 200_201);
+        assert_eq!(h.quantile_ns(0.0), 1);
+        assert_eq!(h.quantile_ns(1.0), 1_000_000);
+        assert!(h.quantile_ns(0.5) >= 3);
+    }
+
+    #[test]
+    fn timer_measures_and_observe_since_records() {
+        let rec = Recorder::builder().build();
+        let t = rec.start();
+        assert!(t.is_live());
+        let ns = rec.observe_since("span", &t);
+        let metrics = rec.metrics();
+        let MetricValue::Histogram(h) = &metrics[0].1 else {
+            panic!("expected histogram")
+        };
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum_ns, ns);
+    }
+
+    #[test]
+    fn emit_writes_parseable_json_lines() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let rec = Recorder::builder()
+            .jsonl_writer(Box::new(Shared(Arc::clone(&buf))))
+            .build();
+        rec.emit(
+            "train_epoch",
+            &[
+                ("epoch", Value::U64(3)),
+                ("loss", Value::F64(0.25)),
+                ("nanf", Value::F64(f64::NAN)),
+                ("label", Value::Str("a \"b\" \\ c")),
+                ("done", Value::Bool(true)),
+            ],
+        );
+        rec.add("n", 1);
+        rec.emit_metric_summaries();
+        rec.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"event\": \"train_epoch\", \"epoch\": 3, \"loss\": 0.25, \
+             \"nanf\": null, \"label\": \"a \\\"b\\\" \\\\ c\", \"done\": true}"
+        );
+        for line in &lines {
+            let fields = validate_json_line(line).expect("line should parse");
+            assert!(fields >= 2);
+        }
+        assert!(lines[1].contains("\"name\": \"n\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_json_line("{\"a\": 1}").is_ok());
+        assert_eq!(validate_json_line("{}").unwrap(), 0);
+        assert!(validate_json_line("not json").is_err());
+        assert!(validate_json_line("{\"a\": }").is_err());
+        assert!(validate_json_line("{\"a\" 1}").is_err());
+        assert!(validate_json_line("{\"a\": 1,}").is_err());
+        assert!(validate_json_line("{\"a\": nul}").is_err());
+        assert!(validate_json_line("{\"a\": \"unterminated}").is_err());
+    }
+
+    #[test]
+    fn runtime_stats_flag_toggles() {
+        // Other tests do not touch the flag, so this is race-free in practice.
+        assert!(!runtime_stats_enabled());
+        set_runtime_stats(true);
+        assert!(runtime_stats_enabled());
+        set_runtime_stats(false);
+        assert!(!runtime_stats_enabled());
+    }
+}

@@ -53,6 +53,15 @@
 //! let total: u64 = partials.into_iter().sum();
 //! assert_eq!(total, (0..1000u64).map(|i| i * i).sum());
 //! ```
+//!
+//! # Observability
+//!
+//! Besides the free-running [`spawned_workers`]/[`dispatched_jobs`]
+//! counters, the pool keeps per-width job statistics — dispatch latency,
+//! job wall-clock, and submitter-vs-worker chunk balance (see [`JobStats`]).
+//! Collection is gated on the process-global [`obs::runtime_stats_enabled`]
+//! flag so the dispatch path never reads the clock unless a metrics run
+//! asked for it; read the table with [`job_stats`].
 
 use std::any::Any;
 use std::cell::Cell;
@@ -60,6 +69,7 @@ use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
 use std::thread;
+use std::time::Instant;
 
 /// A fixed-width handle onto the process-wide parked-worker set.
 ///
@@ -347,6 +357,99 @@ pub fn dispatched_jobs() -> u64 {
     CORE.state.lock().expect("pool state poisoned").epoch
 }
 
+/// Dispatch/utilization statistics for all jobs of one fan-out width.
+///
+/// Collected only while [`obs::runtime_stats_enabled`] is on (off by
+/// default), so the hot path never reads the clock in normal runs. One entry
+/// exists per distinct `n_chunks` seen; widths are how the pool's callers
+/// differ (a 4-thread trainer dispatches width-4 jobs), so per-width rows
+/// separate, say, batch-assembly jobs from classify jobs at another width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobStats {
+    /// Fan-out width (`n_chunks`) this row aggregates.
+    pub width: usize,
+    /// Jobs dispatched at this width.
+    pub jobs: u64,
+    /// Total submitter-side dispatch overhead: slot wait + lazy spawn +
+    /// publish + worker wakeup, summed over jobs, in nanoseconds.
+    pub dispatch_ns_total: u64,
+    /// Worst single-job dispatch overhead, in nanoseconds.
+    pub dispatch_ns_max: u64,
+    /// Total wall-clock from publish to join, summed over jobs, in
+    /// nanoseconds.
+    pub job_ns_total: u64,
+    /// Chunks the submitting thread claimed and ran itself.
+    pub submitter_chunks: u64,
+    /// Chunks run by parked helper workers.
+    pub worker_chunks: u64,
+}
+
+impl JobStats {
+    /// Mean dispatch overhead per job, in nanoseconds (0 when no jobs).
+    #[must_use]
+    pub fn dispatch_ns_mean(&self) -> u64 {
+        if self.jobs == 0 {
+            0
+        } else {
+            self.dispatch_ns_total / self.jobs
+        }
+    }
+
+    /// Chunk-balance gauge: fraction of chunks run by helper workers.
+    ///
+    /// `0.0` means the submitter drained every cursor itself (workers never
+    /// won a claim — expected on a single core); the ideal on idle cores is
+    /// `(width − 1) / width`.
+    #[must_use]
+    pub fn worker_share(&self) -> f64 {
+        let total = self.submitter_chunks + self.worker_chunks;
+        if total == 0 {
+            0.0
+        } else {
+            self.worker_chunks as f64 / total as f64
+        }
+    }
+}
+
+/// Per-width job statistics, gated on [`obs::runtime_stats_enabled`].
+static JOB_STATS: Mutex<Vec<JobStats>> = Mutex::new(Vec::new());
+
+/// Returns the per-width job statistics collected so far, sorted by width.
+///
+/// Empty unless [`obs::set_runtime_stats`]`(true)` was called before the
+/// jobs ran.
+#[must_use]
+pub fn job_stats() -> Vec<JobStats> {
+    let mut stats = JOB_STATS.lock().expect("job stats poisoned").clone();
+    stats.sort_by_key(|s| s.width);
+    stats
+}
+
+/// Clears the per-width job statistics (for test isolation).
+pub fn reset_job_stats() {
+    JOB_STATS.lock().expect("job stats poisoned").clear();
+}
+
+fn record_job_stats(width: usize, dispatch_ns: u64, job_ns: u64, submitter_chunks: u64) {
+    let mut stats = JOB_STATS.lock().expect("job stats poisoned");
+    let row = match stats.iter_mut().find(|s| s.width == width) {
+        Some(row) => row,
+        None => {
+            stats.push(JobStats {
+                width,
+                ..JobStats::default()
+            });
+            stats.last_mut().expect("just pushed")
+        }
+    };
+    row.jobs += 1;
+    row.dispatch_ns_total += dispatch_ns;
+    row.dispatch_ns_max = row.dispatch_ns_max.max(dispatch_ns);
+    row.job_ns_total += job_ns;
+    row.submitter_chunks += submitter_chunks;
+    row.worker_chunks += width as u64 - submitter_chunks;
+}
+
 /// Publishes a `n_chunks`-chunk job to the shared worker set, helps run it,
 /// and joins it; re-raises the first chunk panic after the join.
 fn fan_out(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
@@ -359,6 +462,13 @@ fn fan_out(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
         }
         return;
     }
+    // Stat collection is opt-in; when off (the default) this path never
+    // reads the clock.
+    let job_start = if obs::runtime_stats_enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    };
     // Safety: workers only dereference this pointer between claiming a chunk
     // and marking it complete, and this function does not return or unwind
     // until `completed == n_chunks` — so the borrow outlives every use.
@@ -388,9 +498,11 @@ fn fan_out(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
     for _ in 0..helpers {
         CORE.work_cv.notify_one();
     }
+    let dispatch_ns = job_start.map(|t| t.elapsed().as_nanos() as u64);
     // Claim chunks alongside the woken workers; on a single-core host the
     // submitter typically drains the whole cursor itself.
     IN_POOL.set(true);
+    let mut submitter_chunks = 0u64;
     loop {
         let idx = {
             let mut state = CORE.state.lock().expect("pool state poisoned");
@@ -403,6 +515,7 @@ fn fan_out(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
             idx
         };
         run_chunk(task, idx);
+        submitter_chunks += 1;
     }
     IN_POOL.set(false);
     // Join: wait for stragglers, free the slot, hand it to the next queued
@@ -419,6 +532,14 @@ fn fan_out(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
         state.job.take().expect("submitter owns the job slot")
     };
     CORE.done_cv.notify_all();
+    if let (Some(start), Some(dispatch_ns)) = (job_start, dispatch_ns) {
+        record_job_stats(
+            n_chunks,
+            dispatch_ns,
+            start.elapsed().as_nanos() as u64,
+            submitter_chunks,
+        );
+    }
     if let Some(payload) = finished.panic {
         panic::resume_unwind(payload);
     }
@@ -694,5 +815,55 @@ mod tests {
         for (t, sum) in results {
             assert_eq!(sum, (0..1000).map(|i| i + t).sum::<usize>(), "submitter {t}");
         }
+    }
+
+    #[test]
+    fn job_stats_track_dispatch_and_chunk_balance_per_width() {
+        let pool = ThreadPool::new(6);
+        // Stats are off by default: these jobs must leave no width-6 row
+        // beyond whatever an enabled phase below records.
+        reset_job_stats();
+        pool.run_chunks(600, |r| r.len());
+        assert!(
+            job_stats().iter().all(|s| s.width != 6),
+            "stats must not collect while the runtime flag is off"
+        );
+
+        obs::set_runtime_stats(true);
+        const JOBS: u64 = 20;
+        for _ in 0..JOBS {
+            let total: usize = pool.run_chunks(600, |r| r.len()).into_iter().sum();
+            assert_eq!(total, 600);
+        }
+        obs::set_runtime_stats(false);
+
+        let stats = job_stats();
+        let row = stats
+            .iter()
+            .find(|s| s.width == 6)
+            .expect("width-6 jobs were dispatched with stats on");
+        // Concurrent tests may add width-6 jobs of their own; assert lower
+        // bounds and internal consistency rather than exact counts.
+        assert!(row.jobs >= JOBS, "saw {} jobs", row.jobs);
+        assert_eq!(
+            row.submitter_chunks + row.worker_chunks,
+            6 * row.jobs,
+            "every chunk is claimed by the submitter or a worker"
+        );
+        assert!(row.dispatch_ns_max <= row.dispatch_ns_total);
+        assert!(row.dispatch_ns_mean() <= row.dispatch_ns_max);
+        assert!(
+            row.job_ns_total >= row.dispatch_ns_total,
+            "a job lasts at least as long as its dispatch"
+        );
+        let share = row.worker_share();
+        assert!((0.0..=1.0).contains(&share), "share {share} out of range");
+
+        // Single-chunk and nested fan-outs run inline and never count.
+        reset_job_stats();
+        obs::set_runtime_stats(true);
+        ThreadPool::new(1).run_chunks(100, |r| r.len());
+        obs::set_runtime_stats(false);
+        assert!(job_stats().iter().all(|s| s.width != 1));
     }
 }

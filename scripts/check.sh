@@ -12,6 +12,28 @@ cargo build --release --offline --workspace --all-targets
 echo "== offline test suite =="
 cargo test -q --offline --workspace
 
+echo "== observability crate =="
+cargo test -q --offline -p obs
+
+echo "== metrics smoke: train --metrics-out emits valid JSON lines =="
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+awk 'BEGIN {
+    for (i = 0; i < 90; i++) {
+        l = i % 3; b = l * 0.8; j = ((i * 7919) % 100) / 1000.0
+        printf "%d,%.4f,%.4f,%.4f,%.4f\n", l, b+j, b+0.1-j, 2.0-b+j, b*0.5+j
+    }
+}' > "$smoke_dir/train.csv"
+./target/release/lehdc_cli train \
+    --data "$smoke_dir/train.csv" --out "$smoke_dir/model.lehdc" \
+    --dim 256 --epochs 3 --threads 2 --verbose \
+    --metrics-out "$smoke_dir/run.jsonl" > "$smoke_dir/stdout.txt"
+./target/release/jsonl_check "$smoke_dir/run.jsonl"
+for event in train_epoch encode strategy_run pool pool_totals metric; do
+    grep -q "\"event\": \"$event\"" "$smoke_dir/run.jsonl" \
+        || { echo "ERROR: no \"$event\" event in run.jsonl" >&2; exit 1; }
+done
+
 echo "== bench smoke (quick mode, one iteration per benchmark) =="
 TESTKIT_BENCH_QUICK=1 cargo bench -q --offline --workspace
 

@@ -1,30 +1,39 @@
 //! `lehdc-cli`: train, evaluate, and deploy LeHDC classifiers on CSV data.
 //!
 //! ```text
-//! lehdc_cli train   --data train.csv --out model.lehdc [--strategy lehdc]
+//! lehdc_cli train   --data train.csv --out model.lehdc
+//!                   [--strategy lehdc|baseline|retraining|enhanced|adaptive|multimodel]
 //!                   [--dim 2048] [--levels 32] [--epochs 30] [--seed 0]
-//!                   [--label-col first|last] [--holdout 0.25]
+//!                   [--label-col first|last] [--holdout 0.25] [--threads 1]
+//!                   [--verbose] [--metrics-out run.jsonl]
 //! lehdc_cli eval    --model model.lehdc --data test.csv [--label-col first|last]
+//!                   [--threads 1] [--verbose] [--metrics-out run.jsonl]
 //! lehdc_cli predict --model model.lehdc --data features.csv
 //! lehdc_cli info    --model model.lehdc
 //! ```
 //!
 //! `train` fits a model on a labeled CSV (holding out a fraction for a test
-//! report) and writes a self-contained bundle (model + encoder seed).
+//! report) and writes a self-contained bundle (model + encoder seed). The
+//! `multimodel` strategy is accepted for parity with the library but rejected
+//! at save time: it trains an ensemble with no single-model artifact.
 //! `predict` reads label-free CSV rows (features only) and prints one
 //! predicted class per line.
+//!
+//! `--verbose` echoes per-epoch timing and throughput to stderr;
+//! `--metrics-out <path>` additionally writes every observability event as
+//! one JSON object per line (see the `obs` crate for the schema). Neither
+//! flag perturbs training: the recorder only reads the wall clock.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use lehdc_suite::datasets::loader::csv::{load_csv, LabelColumn};
 use lehdc_suite::datasets::TrainTest;
 use lehdc_suite::hdc::{Dim, Encode};
 use lehdc_suite::lehdc::io::{load_bundle, save_bundle, ModelBundle};
-use lehdc_suite::lehdc::{
-    AdaptiveConfig, LehdcConfig, MultiModelConfig, Pipeline, RetrainConfig, Strategy,
-};
+use lehdc_suite::lehdc::{AdaptiveConfig, LehdcConfig, Pipeline, RetrainConfig, Strategy};
+use lehdc_suite::{obs, threadpool};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,26 +58,102 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: lehdc_cli <train|eval|predict|info> [options]
-  train   --data <csv> --out <file> [--strategy lehdc|baseline|retraining|enhanced|adaptive]
-          [--dim D] [--levels Q] [--epochs N] [--seed S] [--label-col first|last] [--holdout F]
-  eval    --model <file> --data <csv> [--label-col first|last]
+  train   --data <csv> --out <file>
+          [--strategy lehdc|baseline|retraining|enhanced|adaptive|multimodel]
+          [--dim D] [--levels Q] [--epochs N] [--seed S] [--label-col first|last]
+          [--holdout F] [--threads T] [--verbose] [--metrics-out <jsonl>]
+  eval    --model <file> --data <csv> [--label-col first|last] [--threads T]
+          [--verbose] [--metrics-out <jsonl>]
   predict --model <file> --data <csv-of-features>
   info    --model <file>";
 
-/// Parses `--key value` pairs.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Parses `--key value` pairs (and bare `--flag` booleans), rejecting any
+/// flag the subcommand does not recognize.
+fn parse_flags(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected a --flag, found {key:?}"));
         };
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
-        flags.insert(name.to_string(), value.clone());
+        if bool_flags.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+        } else if value_flags.contains(&name) {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            let known: Vec<String> = value_flags
+                .iter()
+                .chain(bool_flags)
+                .map(|f| format!("--{f}"))
+                .collect();
+            return Err(format!(
+                "unknown flag --{name} (expected one of: {})",
+                known.join(", ")
+            ));
+        }
     }
     Ok(flags)
+}
+
+/// Builds a recorder from `--verbose` / `--metrics-out`. With neither flag
+/// present the recorder stays disabled and every probe is a no-op.
+fn build_recorder(flags: &HashMap<String, String>) -> Result<obs::Recorder, String> {
+    let verbose = flags.contains_key("verbose");
+    let metrics_out = flags.get("metrics-out");
+    if !verbose && metrics_out.is_none() {
+        return Ok(obs::Recorder::disabled());
+    }
+    let mut builder = obs::Recorder::builder().verbose(verbose);
+    if let Some(path) = metrics_out {
+        builder = builder
+            .jsonl_path(Path::new(path))
+            .map_err(|e| format!("cannot open --metrics-out {path:?}: {e}"))?;
+    }
+    obs::set_runtime_stats(true);
+    Ok(builder.build())
+}
+
+/// Emits per-width thread-pool dispatch stats, overall pool totals, and one
+/// summary line per metric, then flushes the JSON-lines sink.
+fn finish_metrics(rec: &obs::Recorder) {
+    if !rec.enabled() {
+        return;
+    }
+    for s in threadpool::job_stats() {
+        rec.emit(
+            "pool",
+            &[
+                ("width", obs::Value::U64(s.width as u64)),
+                ("jobs", obs::Value::U64(s.jobs)),
+                ("dispatch_ns_mean", obs::Value::U64(s.dispatch_ns_mean())),
+                ("dispatch_ns_max", obs::Value::U64(s.dispatch_ns_max)),
+                ("job_ns_total", obs::Value::U64(s.job_ns_total)),
+                ("worker_share", obs::Value::F64(s.worker_share())),
+            ],
+        );
+    }
+    rec.emit(
+        "pool_totals",
+        &[
+            (
+                "spawned_workers",
+                obs::Value::U64(threadpool::spawned_workers() as u64),
+            ),
+            (
+                "dispatched_jobs",
+                obs::Value::U64(threadpool::dispatched_jobs()),
+            ),
+        ],
+    );
+    rec.emit_metric_summaries();
+    rec.flush();
 }
 
 fn required(flags: &HashMap<String, String>, name: &str) -> Result<String, String> {
@@ -94,17 +179,35 @@ fn label_column(flags: &HashMap<String, String>) -> Result<LabelColumn, String> 
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags(
+        args,
+        &[
+            "data",
+            "out",
+            "strategy",
+            "dim",
+            "levels",
+            "epochs",
+            "seed",
+            "label-col",
+            "holdout",
+            "threads",
+            "metrics-out",
+        ],
+        &["verbose"],
+    )?;
     let data_path = PathBuf::from(required(&flags, "data")?);
     let out_path = PathBuf::from(required(&flags, "out")?);
     let dim = parse_num(&flags, "dim", 2048usize)?;
     let levels = parse_num(&flags, "levels", 32usize)?;
     let epochs = parse_num(&flags, "epochs", 30usize)?;
     let seed = parse_num(&flags, "seed", 0u64)?;
+    let threads = parse_num(&flags, "threads", 1usize)?;
     let holdout = parse_num(&flags, "holdout", 0.25f64)?;
     if !(0.0..1.0).contains(&holdout) {
         return Err(format!("--holdout must be in [0, 1), got {holdout}"));
     }
+    let rec = build_recorder(&flags)?;
 
     let dataset = load_csv(&data_path, label_column(&flags)?, None).map_err(|e| e.to_string())?;
     println!(
@@ -115,21 +218,30 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         dataset.n_classes()
     );
 
-    // Deterministic interleaved holdout split so class balance survives.
+    // Deterministic evenly-spread holdout split so class balance survives
+    // interleaved labels: exactly `n_test` indices, honoring the requested
+    // fraction, with at least one sample on each side.
     let n = dataset.len();
-    let n_test = ((n as f64 * holdout) as usize).min(n.saturating_sub(1));
-    let stride = if n_test == 0 { n + 1 } else { n.div_ceil(n_test) };
+    if n < 2 {
+        return Err(format!(
+            "need at least 2 samples to hold out a test split, got {n}"
+        ));
+    }
+    let n_test = ((n as f64 * holdout).round() as usize).clamp(1, n - 1);
     let (mut train_idx, mut test_idx) = (Vec::new(), Vec::new());
     for i in 0..n {
-        if n_test > 0 && i % stride == stride - 1 {
+        // Index i is a test sample iff the running quota i*n_test/n steps up.
+        if (i + 1) * n_test / n > i * n_test / n {
             test_idx.push(i);
         } else {
             train_idx.push(i);
         }
     }
-    if test_idx.is_empty() {
-        test_idx.push(n - 1);
-    }
+    println!(
+        "holdout split: {} train / {} test samples",
+        train_idx.len(),
+        test_idx.len()
+    );
     let data = TrainTest::new(
         dataset.subset(&train_idx).map_err(|e| e.to_string())?,
         dataset.subset(&test_idx).map_err(|e| e.to_string())?,
@@ -137,7 +249,11 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     let strategy = match flags.get("strategy").map(String::as_str) {
-        None | Some("lehdc") => Strategy::Lehdc(LehdcConfig::quick().with_epochs(epochs)),
+        None | Some("lehdc") => Strategy::Lehdc(
+            LehdcConfig::quick()
+                .with_epochs(epochs)
+                .with_threads(threads),
+        ),
         Some("baseline") => Strategy::Baseline,
         Some("retraining") => Strategy::Retraining(RetrainConfig {
             iterations: epochs,
@@ -151,22 +267,26 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             iterations: epochs,
             ..AdaptiveConfig::default()
         }),
-        Some("multimodel") => Strategy::MultiModel(MultiModelConfig {
-            iterations: epochs.min(30),
-            ..MultiModelConfig::quick()
-        }),
-        Some(other) => return Err(format!("unknown --strategy {other:?}")),
+        Some("multimodel") => {
+            return Err("--strategy multimodel trains an ensemble with no \
+                        single-model artifact to save; use it via the library \
+                        API (Strategy::MultiModel)"
+                .into())
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown --strategy {other:?} (expected \
+                 lehdc|baseline|retraining|enhanced|adaptive|multimodel)"
+            ))
+        }
     };
-    if matches!(strategy, Strategy::MultiModel(_)) {
-        return Err("multimodel produces no single-model artifact to save; \
-                    use it via the library API"
-            .into());
-    }
 
     let pipeline = Pipeline::builder(&data)
         .dim(Dim::new(dim))
         .levels(levels)
         .seed(seed)
+        .threads(threads)
+        .recorder(rec.clone())
         .build()
         .map_err(|e| e.to_string())?;
     let name = strategy.name();
@@ -187,11 +307,18 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     };
     save_bundle(&bundle, &out_path).map_err(|e| e.to_string())?;
     println!("saved bundle to {}", out_path.display());
+    finish_metrics(&rec);
     Ok(())
 }
 
 fn cmd_eval(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags(
+        args,
+        &["model", "data", "label-col", "threads", "metrics-out"],
+        &["verbose"],
+    )?;
+    let threads = parse_num(&flags, "threads", 1usize)?;
+    let rec = build_recorder(&flags)?;
     let bundle = load_bundle(&PathBuf::from(required(&flags, "model")?))
         .map_err(|e| e.to_string())?;
     let dataset = load_csv(
@@ -207,10 +334,29 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
             bundle.encoder.n_features()
         ));
     }
+    // Normalize + encode every row up front, then classify the whole batch
+    // through the instrumented bulk path so throughput is observable.
+    let encode_timer = rec.start();
+    let mut hvs = Vec::with_capacity(dataset.len());
+    for i in 0..dataset.len() {
+        let row = dataset.row(i);
+        let hv = match &bundle.normalizer {
+            Some(norm) => {
+                let mut scaled = row.to_vec();
+                norm.apply_row(&mut scaled);
+                bundle.encoder.encode(&scaled)
+            }
+            None => bundle.encoder.encode(row),
+        }
+        .map_err(|e| e.to_string())?;
+        hvs.push(hv);
+    }
+    rec.observe_since("encode/corpus_ns", &encode_timer);
+    rec.add("encode/samples", dataset.len() as u64);
+    let predictions = bundle.model.classify_all_recorded(&hvs, threads, &rec);
     let mut correct = 0usize;
     let mut confusion = binnet::ConfusionMatrix::new(bundle.model.n_classes());
-    for i in 0..dataset.len() {
-        let predicted = bundle.classify(dataset.row(i)).map_err(|e| e.to_string())?;
+    for (i, &predicted) in predictions.iter().enumerate() {
         confusion.record(dataset.label(i), predicted);
         if predicted == dataset.label(i) {
             correct += 1;
@@ -222,11 +368,12 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
         dataset.len()
     );
     println!("{confusion}");
+    finish_metrics(&rec);
     Ok(())
 }
 
 fn cmd_predict(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags(args, &["model", "data"], &[])?;
     let bundle = load_bundle(&PathBuf::from(required(&flags, "model")?))
         .map_err(|e| e.to_string())?;
     let text = std::fs::read_to_string(PathBuf::from(required(&flags, "data")?))
@@ -248,7 +395,7 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags(args, &["model"], &[])?;
     let path = PathBuf::from(required(&flags, "model")?);
     let bundle = load_bundle(&path).map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);

@@ -14,6 +14,9 @@
 //! - [`threadpool`] — the zero-dependency persistent parked-worker pool
 //!   behind every parallel hot path (workers are spawned once and reused;
 //!   deterministic: results are bit-identical at any thread count).
+//! - [`obs`] — the hermetic observability layer: counters, gauges, latency
+//!   histograms, and a JSON-lines event sink behind a recorder handle that
+//!   is a no-op when disabled (see [`obs::Recorder`]).
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@ pub use binnet;
 pub use hdc;
 pub use hdc_datasets as datasets;
 pub use lehdc;
+pub use obs;
 pub use threadpool;
 
 pub use threadpool::{chunk_ranges, dispatched_jobs, spawned_workers, ThreadPool};
