@@ -79,7 +79,7 @@ fn bench_threshold(c: &mut Bench) {
 
 fn bench_rotate(c: &mut Bench) {
     let mut group = c.benchmark_group("rotate");
-    for &d in &[1024usize, 4096] {
+    for &d in DIMS {
         let (a, _) = random_pair(d);
         group.throughput(Throughput::Elements(d as u64));
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bencher, _| {
@@ -249,6 +249,39 @@ fn bench_classify_threads(c: &mut Bench) {
     group.finish();
 }
 
+/// Query-blocked batch classification across block sizes at the paper's
+/// `D = 10,000`: block 1 is the old stream-every-class-per-query access
+/// pattern; [`QUERY_BLOCK`](hdc::kernels::QUERY_BLOCK)-sized and larger
+/// blocks stream each class row once per block. Results are bit-identical
+/// across all of them (see `core/tests/classify_blocked.rs`); only the
+/// memory traffic differs.
+fn bench_classify_blocked(c: &mut Bench) {
+    let mut group = c.benchmark_group("classify_blocked");
+    let d = 10_000;
+    let mut rng = Xoshiro256pp::seed_from_u64(0xC2);
+    let dim = Dim::new(d);
+    let class_hvs: Vec<hdc::BinaryHv> = (0..FWD_CLASSES)
+        .map(|_| hdc::BinaryHv::random(dim, &mut rng))
+        .collect();
+    let model = lehdc::HdcModel::new(class_hvs).unwrap();
+    let queries: Vec<hdc::BinaryHv> = (0..256)
+        .map(|_| hdc::BinaryHv::random(dim, &mut rng))
+        .collect();
+    for &block in &[1usize, 8, hdc::kernels::QUERY_BLOCK, 256] {
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("block{block}"), d),
+            &d,
+            |bencher, _| {
+                bencher.iter(|| {
+                    black_box(model.classify_all_blocked(black_box(&queries), block, 1))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// The trainer's per-batch hot path, zero-alloc variant: the packed
 /// backward product, the fused Adam + rebinarize + incremental-repack
 /// update, and the full fused step (forward → loss → backward → update),
@@ -352,6 +385,7 @@ testkit::bench_main!(
     bench_backward_threads,
     bench_encode_threads,
     bench_classify_threads,
+    bench_classify_blocked,
     bench_train_step,
     bench_pool_dispatch,
 );

@@ -192,6 +192,12 @@ impl BinaryLinear {
     /// Forward pass on an already-packed bipolar batch: exact integer logits
     /// `D − 2·popcount(x_b XOR c_k)` as `f32`.
     ///
+    /// Runs on the query-blocked, kernel-tier-dispatched product
+    /// ([`packed_matmul_into`](crate::packed_matmul_into)): each packed
+    /// weight row streams once per block of batch rows, on the AVX2 popcount
+    /// tier where available. Logits are bit-identical across tiers and block
+    /// sizes.
+    ///
     /// # Panics
     ///
     /// Panics if `x.cols() != d_in`.

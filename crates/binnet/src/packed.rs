@@ -38,7 +38,7 @@
 //!
 //! [`BinaryHv`]: hdc::BinaryHv
 
-use hdc::kernels::{dots_into, masked_dot_words};
+use hdc::kernels::{dot_words, masked_dot_words, QUERY_BLOCK};
 use threadpool::ThreadPool;
 
 use crate::dropout::DropMask;
@@ -438,6 +438,14 @@ pub fn packed_matmul(
 /// [`packed_matmul`] writing into a caller-owned `B×K` output buffer —
 /// identical results with zero allocation per call.
 ///
+/// The kernel is query-blocked: within each pool chunk the batch rows are
+/// walked in blocks of [`hdc::kernels::QUERY_BLOCK`], and inside a block
+/// each packed weight row is loaded **once** and scored against every batch
+/// row of the block (weight-outer / batch-inner), instead of re-streaming
+/// the whole `K × D` weight set per batch row. Each `out[b][k]` is still one
+/// independent exact-integer dot, so the result is bit-identical at any
+/// block size, thread count, or kernel tier.
+///
 /// # Errors
 ///
 /// Returns [`BinnetError::ShapeMismatch`] if `x.cols() != w.cols()`.
@@ -466,14 +474,17 @@ pub fn packed_matmul_into(
         "output buffer must be B×K"
     );
     pool.for_each_chunk_mut(out.as_mut_slice(), x.rows, k_out, |batch_rows, chunk| {
-        for (local, b) in batch_rows.enumerate() {
-            let out_row = &mut chunk[local * k_out..(local + 1) * k_out];
-            dots_into(
-                d,
-                x.row_words(b),
-                (0..k_out).map(|k| w.row_words(k)),
-                out_row,
-            );
+        let first = batch_rows.start;
+        let mut b0 = batch_rows.start;
+        while b0 < batch_rows.end {
+            let b1 = batch_rows.end.min(b0 + QUERY_BLOCK);
+            for k in 0..k_out {
+                let wk = w.row_words(k);
+                for b in b0..b1 {
+                    chunk[(b - first) * k_out + k] = dot_words(d, x.row_words(b), wk) as f32;
+                }
+            }
+            b0 = b1;
         }
     });
     Ok(())
@@ -506,7 +517,9 @@ pub fn packed_matmul_masked(
 }
 
 /// [`packed_matmul_masked`] writing into a caller-owned `B×K` output buffer —
-/// identical results with zero allocation per call.
+/// identical results with zero allocation per call. Query-blocked like
+/// [`packed_matmul_into`]: the mask and each weight row stay resident while
+/// a block of batch rows streams against them.
 ///
 /// # Errors
 ///
@@ -539,12 +552,18 @@ pub fn packed_matmul_masked_into(
         "output buffer must be B×K"
     );
     pool.for_each_chunk_mut(out.as_mut_slice(), x.rows, k_out, |batch_rows, chunk| {
-        for (local, b) in batch_rows.enumerate() {
-            let xb = x.row_words(b);
-            let out_row = &mut chunk[local * k_out..(local + 1) * k_out];
-            for (k, slot) in out_row.iter_mut().enumerate() {
-                *slot = masked_dot_words(kept, xb, w.row_words(k), m) as f32;
+        let first = batch_rows.start;
+        let mut b0 = batch_rows.start;
+        while b0 < batch_rows.end {
+            let b1 = batch_rows.end.min(b0 + QUERY_BLOCK);
+            for k in 0..k_out {
+                let wk = w.row_words(k);
+                for b in b0..b1 {
+                    chunk[(b - first) * k_out + k] =
+                        masked_dot_words(kept, x.row_words(b), wk, m) as f32;
+                }
             }
+            b0 = b1;
         }
     });
     Ok(())

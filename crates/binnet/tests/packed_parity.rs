@@ -210,3 +210,46 @@ fn into_variants_match_allocating_variants_and_reuse_buffers() {
         );
     }
 }
+
+#[test]
+fn blocked_forward_matches_dense_at_batches_crossing_query_blocks() {
+    // The forward kernel walks batch rows in blocks of QUERY_BLOCK (64)
+    // queries, weight-outer inside a block. Batch sizes below, on, and past
+    // the block boundary — and past it again after thread chunking splits
+    // the batch — must be exactly equal to the dense reference.
+    let mut rng = Xoshiro256pp::seed_from_u64(23);
+    let (d, k) = (300, 3);
+    let w = binnet::layer::random_sign_matrix(d, k, &mut rng);
+    let pw = PackedMatrix::from_sign_columns(&w);
+    for batch in [1usize, 7, 63, 64, 65, 128, 130] {
+        let x = binnet::layer::random_sign_matrix(batch, d, &mut rng);
+        let expect = x.matmul(&w).unwrap();
+        let px = x.pack_bipolar().unwrap();
+        let mut dropout = Dropout::new(0.4, batch as u64).unwrap();
+        let mask = dropout.sample_mask(d).unwrap();
+        let mut x_ref = x.clone();
+        mask.apply_to_matrix(&mut x_ref);
+        let expect_masked = x_ref.matmul(&w).unwrap();
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let got = packed_matmul(&px, &pw, &pool).unwrap();
+            assert_eq!(got, expect, "batch={batch} threads={threads}");
+            let got_masked = packed_matmul_masked(&px, &pw, &mask, &pool).unwrap();
+            assert_eq!(got_masked, expect_masked, "masked batch={batch} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn layer_forward_is_blocked_identically_to_dense_for_large_batches() {
+    // End-to-end through BinaryLinear: a batch wider than one query block
+    // still produces dense-exact logits from the layer's packed path.
+    let mut rng = Xoshiro256pp::seed_from_u64(24);
+    let (batch, d, k) = (97, 257, 5);
+    let x = binnet::layer::random_sign_matrix(batch, d, &mut rng);
+    let layer = BinaryLinear::new(d, k, 77).with_threads(2);
+    let expect = x.matmul(layer.binary()).unwrap();
+    let px = x.pack_bipolar().unwrap();
+    assert_eq!(layer.forward_packed(&px), expect);
+    assert_eq!(layer.forward(&x), expect);
+}

@@ -111,12 +111,50 @@ impl HdcModel {
     /// workers (dispatch costs microseconds — see the `threadpool` crate).
     ///
     /// Queries are chunked contiguously and results spliced back in query
-    /// order, so the output is identical at any thread count.
+    /// order, so the output is identical at any thread count. Within each
+    /// chunk the query-blocked kernel runs with the default block size
+    /// [`hdc::kernels::QUERY_BLOCK`].
     #[must_use]
     pub fn classify_all_threaded(&self, queries: &[BinaryHv], threads: usize) -> Vec<usize> {
+        self.classify_all_blocked(queries, hdc::kernels::QUERY_BLOCK, threads)
+    }
+
+    /// Query-blocked batch classification: each packed class hypervector is
+    /// streamed once against a block of `block` queries instead of once per
+    /// query, so at the paper's `D = 10,000` the class set stays
+    /// cache-resident while a whole block is scored.
+    ///
+    /// The argmax scan keeps the first minimum-distance class, so the
+    /// predictions are bit-identical to per-query [`HdcModel::classify`] for
+    /// every block size, thread count, and kernel tier (see
+    /// `hdc::kernels::argmax_dot_blocked_into`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero or any query dimension differs from the
+    /// model's.
+    #[must_use]
+    pub fn classify_all_blocked(
+        &self,
+        queries: &[BinaryHv],
+        block: usize,
+        threads: usize,
+    ) -> Vec<usize> {
+        if let Some(bad) = queries.iter().find(|q| q.dim() != self.dim) {
+            panic!(
+                "query dimension must match the model: {} vs {}",
+                bad.dim(),
+                self.dim
+            );
+        }
+        let rows: Vec<&[u64]> = self.class_hvs.iter().map(BinaryHv::as_words).collect();
         let pool = threadpool::ThreadPool::new(threads);
         let parts = pool.run_chunks(queries.len(), |range| {
-            queries[range].iter().map(|q| self.classify(q)).collect::<Vec<usize>>()
+            let chunk_queries: Vec<&[u64]> =
+                queries[range].iter().map(BinaryHv::as_words).collect();
+            let mut preds = vec![0usize; chunk_queries.len()];
+            hdc::kernels::argmax_dot_blocked_into(&chunk_queries, &rows, block, &mut preds);
+            preds
         });
         parts.concat()
     }
@@ -239,9 +277,10 @@ impl HdcModel {
         self.accuracy_threaded(queries, labels, 1)
     }
 
-    /// [`HdcModel::accuracy`] fanned out over `threads` pool workers. The
-    /// correct-count sum is exact (integer), so the result is identical at
-    /// any thread count.
+    /// [`HdcModel::accuracy`] fanned out over `threads` pool workers, on the
+    /// query-blocked classification path. The correct-count sum is exact
+    /// (integer) and the blocked predictions are identical to per-query
+    /// classification, so the result is identical at any thread count.
     ///
     /// # Panics
     ///
@@ -250,10 +289,8 @@ impl HdcModel {
     pub fn accuracy_threaded(&self, queries: &[BinaryHv], labels: &[usize], threads: usize) -> f64 {
         assert_eq!(queries.len(), labels.len(), "one label per query required");
         assert!(!queries.is_empty(), "empty query set has no accuracy");
-        let pool = threadpool::ThreadPool::new(threads);
-        let correct = pool.sum_indices(queries.len(), |i| {
-            usize::from(self.classify(&queries[i]) == labels[i])
-        });
+        let preds = self.classify_all_blocked(queries, hdc::kernels::QUERY_BLOCK, threads);
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
         correct as f64 / queries.len() as f64
     }
 }

@@ -26,24 +26,174 @@
 //! Callers guarantee equal slice lengths; the kernels `debug_assert` it and
 //! truncate to the shorter slice in release builds (the behaviour of `zip`).
 //!
+//! # Kernel tiers
+//!
+//! Each popcount-shaped kernel exists in two tiers: the portable scalar
+//! reference (`*_scalar`, plain `u64::count_ones` loops) and an explicit
+//! AVX2 implementation ([`avx2`], Harley–Seal CSA tree + `vpshufb` nibble
+//! LUT). The un-suffixed entry points dispatch on [`active_tier`], which is
+//! resolved **once** per process: the `LEHDC_KERNEL` env var (`scalar` or
+//! `avx2`) wins if set, otherwise `is_x86_feature_detected!("avx2")`
+//! decides. Both tiers compute exact integer popcounts, so their results are
+//! bit-identical — enforced by the differential parity suite in
+//! `tests/kernel_parity.rs`.
+//!
 //! [`BinaryHv`]: crate::BinaryHv
 
-/// Number of set bits across a packed slice.
+use std::sync::OnceLock;
+
+#[cfg(target_arch = "x86_64")]
+pub mod avx2;
+
+/// Env var that forces a kernel tier: `scalar` or `avx2` (case-insensitive).
+///
+/// Unset means auto-detect. Forcing `avx2` on a CPU without AVX2 falls back
+/// to scalar with a one-time warning on stderr rather than crashing, so test
+/// suites can force both tiers unconditionally and skip gracefully.
+pub const KERNEL_ENV: &str = "LEHDC_KERNEL";
+
+/// A compute tier the popcount kernels can run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Portable `u64::count_ones` loops — the always-compiled reference.
+    Scalar,
+    /// Explicit AVX2 Harley–Seal popcount (see [`avx2`]); x86-64 with
+    /// runtime AVX2 support only.
+    Avx2,
+}
+
+impl KernelTier {
+    /// The tier's name as accepted by [`KERNEL_ENV`].
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Whether the AVX2 tier can run on this host (x86-64 with runtime AVX2).
+#[must_use]
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        avx2::available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+static ACTIVE_TIER: OnceLock<KernelTier> = OnceLock::new();
+
+/// The tier the un-suffixed kernels dispatch to, resolved once per process
+/// (see the module docs for the `LEHDC_KERNEL` override semantics).
+///
+/// # Panics
+///
+/// Panics if `LEHDC_KERNEL` is set to anything other than `scalar` or
+/// `avx2`.
+#[inline]
+pub fn active_tier() -> KernelTier {
+    *ACTIVE_TIER.get_or_init(detect_tier)
+}
+
+fn detect_tier() -> KernelTier {
+    match std::env::var(KERNEL_ENV) {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "scalar" => KernelTier::Scalar,
+            "avx2" => {
+                if avx2_available() {
+                    KernelTier::Avx2
+                } else {
+                    eprintln!(
+                        "{KERNEL_ENV}=avx2 requested but this CPU lacks AVX2; \
+                         falling back to the scalar kernels"
+                    );
+                    KernelTier::Scalar
+                }
+            }
+            other => panic!("{KERNEL_ENV} must be `scalar` or `avx2`, got `{other}`"),
+        },
+        Err(_) => {
+            if avx2_available() {
+                KernelTier::Avx2
+            } else {
+                KernelTier::Scalar
+            }
+        }
+    }
+}
+
+/// Number of set bits across a packed slice (dispatches on [`active_tier`]).
 #[inline]
 #[must_use]
 pub fn popcount_words(a: &[u64]) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if active_tier() == KernelTier::Avx2 {
+        // SAFETY: the Avx2 tier is only selected on CPUs with AVX2.
+        return unsafe { avx2::popcount_words(a) };
+    }
+    popcount_words_scalar(a)
+}
+
+/// Scalar reference tier of [`popcount_words`].
+#[inline]
+#[must_use]
+pub fn popcount_words_scalar(a: &[u64]) -> usize {
     a.iter().map(|w| w.count_ones() as usize).sum()
 }
 
-/// Hamming distance between two packed vectors: `popcount(a XOR b)`.
+/// [`popcount_words`] forced onto the AVX2 tier, for differential testing.
+///
+/// # Panics
+///
+/// Panics if AVX2 is unavailable — check [`avx2_available`] first.
+#[cfg(target_arch = "x86_64")]
+#[must_use]
+pub fn popcount_words_avx2(a: &[u64]) -> usize {
+    assert!(avx2_available(), "the AVX2 kernels need an AVX2-capable CPU");
+    // SAFETY: availability checked above.
+    unsafe { avx2::popcount_words(a) }
+}
+
+/// Hamming distance between two packed vectors: `popcount(a XOR b)`
+/// (dispatches on [`active_tier`]).
 #[inline]
 #[must_use]
 pub fn hamming_words(a: &[u64], b: &[u64]) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if active_tier() == KernelTier::Avx2 {
+        // SAFETY: the Avx2 tier is only selected on CPUs with AVX2.
+        return unsafe { avx2::hamming_words(a, b) };
+    }
+    hamming_words_scalar(a, b)
+}
+
+/// Scalar reference tier of [`hamming_words`].
+#[inline]
+#[must_use]
+pub fn hamming_words_scalar(a: &[u64], b: &[u64]) -> usize {
     debug_assert_eq!(a.len(), b.len(), "word slices must have equal length");
     a.iter()
         .zip(b)
         .map(|(x, y)| (x ^ y).count_ones() as usize)
         .sum()
+}
+
+/// [`hamming_words`] forced onto the AVX2 tier, for differential testing.
+///
+/// # Panics
+///
+/// Panics if AVX2 is unavailable — check [`avx2_available`] first.
+#[cfg(target_arch = "x86_64")]
+#[must_use]
+pub fn hamming_words_avx2(a: &[u64], b: &[u64]) -> usize {
+    assert!(avx2_available(), "the AVX2 kernels need an AVX2-capable CPU");
+    // SAFETY: availability checked above.
+    unsafe { avx2::hamming_words(a, b) }
 }
 
 /// Bipolar dot product `d − 2·hamming` of two packed `d`-dimensional
@@ -55,10 +205,22 @@ pub fn dot_words(d: usize, a: &[u64], b: &[u64]) -> i64 {
 }
 
 /// Hamming distance restricted to the coordinates kept by `mask`:
-/// `popcount((a XOR b) AND mask)`.
+/// `popcount((a XOR b) AND mask)` (dispatches on [`active_tier`]).
 #[inline]
 #[must_use]
 pub fn masked_hamming_words(a: &[u64], b: &[u64], mask: &[u64]) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if active_tier() == KernelTier::Avx2 {
+        // SAFETY: the Avx2 tier is only selected on CPUs with AVX2.
+        return unsafe { avx2::masked_hamming_words(a, b, mask) };
+    }
+    masked_hamming_words_scalar(a, b, mask)
+}
+
+/// Scalar reference tier of [`masked_hamming_words`].
+#[inline]
+#[must_use]
+pub fn masked_hamming_words_scalar(a: &[u64], b: &[u64], mask: &[u64]) -> usize {
     debug_assert_eq!(a.len(), b.len(), "word slices must have equal length");
     debug_assert_eq!(a.len(), mask.len(), "mask must match the word slices");
     a.iter()
@@ -66,6 +228,20 @@ pub fn masked_hamming_words(a: &[u64], b: &[u64], mask: &[u64]) -> usize {
         .zip(mask)
         .map(|((x, y), m)| ((x ^ y) & m).count_ones() as usize)
         .sum()
+}
+
+/// [`masked_hamming_words`] forced onto the AVX2 tier, for differential
+/// testing.
+///
+/// # Panics
+///
+/// Panics if AVX2 is unavailable — check [`avx2_available`] first.
+#[cfg(target_arch = "x86_64")]
+#[must_use]
+pub fn masked_hamming_words_avx2(a: &[u64], b: &[u64], mask: &[u64]) -> usize {
+    assert!(avx2_available(), "the AVX2 kernels need an AVX2-capable CPU");
+    // SAFETY: availability checked above.
+    unsafe { avx2::masked_hamming_words(a, b, mask) }
 }
 
 /// Masked bipolar dot product `kept − 2·popcount((a XOR b) AND mask)`,
@@ -116,6 +292,52 @@ where
         }
     }
     best.map(|(_, k)| k)
+}
+
+/// Default query-block size for [`argmax_dot_blocked_into`] and the packed
+/// forward products: 64 packed 10k-bit queries are ~78 KB, which stays
+/// cache-resident while each class row streams against the whole block.
+pub const QUERY_BLOCK: usize = 64;
+
+/// Query-blocked batch argmax kernel: `out[i]` is the index of the packed
+/// row with the largest dot product against `queries[i]`.
+///
+/// Instead of streaming every row per query (the [`argmax_dot`] access
+/// pattern, which re-reads the whole `K × D` row set once per query), the
+/// queries are processed in blocks of `block`: each row is loaded once per
+/// block and compared against all queries in it. Within a block the row
+/// index `k` ascends and a candidate wins only on a strictly smaller
+/// Hamming distance, so ties resolve to the lowest row index — the result
+/// is identical to per-query [`argmax_dot`] for **every** block size, kernel
+/// tier, and caller-side chunking.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty, `block` is zero, or `out.len()` differs from
+/// `queries.len()`.
+pub fn argmax_dot_blocked_into(
+    queries: &[&[u64]],
+    rows: &[&[u64]],
+    block: usize,
+    out: &mut [usize],
+) {
+    assert!(!rows.is_empty(), "argmax over an empty row set");
+    assert!(block > 0, "query block size must be non-zero");
+    assert_eq!(queries.len(), out.len(), "one output slot per query");
+    let mut best_h = vec![usize::MAX; block.min(queries.len())];
+    for (q_blk, out_blk) in queries.chunks(block).zip(out.chunks_mut(block)) {
+        let best = &mut best_h[..q_blk.len()];
+        best.fill(usize::MAX);
+        for (k, row) in rows.iter().enumerate() {
+            for ((q, h_best), slot) in q_blk.iter().zip(best.iter_mut()).zip(out_blk.iter_mut()) {
+                let h = hamming_words(q, row);
+                if h < *h_best {
+                    *h_best = h;
+                    *slot = k;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -217,5 +439,81 @@ mod tests {
             Some(0)
         );
         assert_eq!(argmax_dot::<[&[u64]; 0]>(rows[0].as_words(), []), None);
+    }
+
+    #[test]
+    fn blocked_argmax_matches_per_query_argmax_at_any_block() {
+        let d = 700;
+        let mut rng = crate::rng::rng_for(10, 3);
+        let dim = Dim::new(d);
+        let rows: Vec<BinaryHv> = (0..6).map(|_| BinaryHv::random(dim, &mut rng)).collect();
+        // duplicate a row so ties are actually exercised
+        let mut rows = rows;
+        rows.push(rows[1].clone());
+        let queries: Vec<BinaryHv> = (0..37).map(|_| BinaryHv::random(dim, &mut rng)).collect();
+        let row_words: Vec<&[u64]> = rows.iter().map(BinaryHv::as_words).collect();
+        let query_words: Vec<&[u64]> = queries.iter().map(BinaryHv::as_words).collect();
+        let expect: Vec<usize> = queries
+            .iter()
+            .map(|q| argmax_dot(q.as_words(), row_words.iter().copied()).unwrap())
+            .collect();
+        for block in [1usize, 2, 7, 37, 64, usize::MAX] {
+            let mut out = vec![usize::MAX; queries.len()];
+            argmax_dot_blocked_into(&query_words, &row_words, block, &mut out);
+            assert_eq!(out, expect, "block={block}");
+        }
+        // queries tying two duplicate rows resolve to the lower index
+        let mut out = [usize::MAX; 1];
+        argmax_dot_blocked_into(&[rows[1].as_words()], &row_words, 4, &mut out);
+        assert_eq!(out, [1]);
+    }
+
+    #[test]
+    fn blocked_argmax_handles_empty_query_set() {
+        let (a, _) = pair(64);
+        argmax_dot_blocked_into(&[], &[a.as_words()], 8, &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty row set")]
+    fn blocked_argmax_rejects_empty_rows() {
+        let (a, _) = pair(64);
+        argmax_dot_blocked_into(&[a.as_words()], &[], 8, &mut [0]);
+    }
+
+    #[test]
+    fn tier_names_and_detection_are_consistent() {
+        assert_eq!(KernelTier::Scalar.name(), "scalar");
+        assert_eq!(KernelTier::Avx2.name(), "avx2");
+        let tier = active_tier();
+        if tier == KernelTier::Avx2 {
+            assert!(avx2_available(), "Avx2 tier requires AVX2 hardware");
+        }
+        // the active tier is stable across calls (resolved once)
+        assert_eq!(active_tier(), tier);
+    }
+
+    #[test]
+    fn dispatched_kernels_match_scalar_reference() {
+        // whatever tier is active, results must equal the scalar reference
+        for d in [1usize, 63, 64, 65, 255, 256, 257, 1024, 10_000] {
+            let (a, b) = pair(d);
+            let mask = BinaryHv::from_fn(Dim::new(d), |i| i % 5 != 0);
+            assert_eq!(
+                popcount_words(a.as_words()),
+                popcount_words_scalar(a.as_words()),
+                "popcount d={d}"
+            );
+            assert_eq!(
+                hamming_words(a.as_words(), b.as_words()),
+                hamming_words_scalar(a.as_words(), b.as_words()),
+                "hamming d={d}"
+            );
+            assert_eq!(
+                masked_hamming_words(a.as_words(), b.as_words(), mask.as_words()),
+                masked_hamming_words_scalar(a.as_words(), b.as_words(), mask.as_words()),
+                "masked d={d}"
+            );
+        }
     }
 }

@@ -65,7 +65,10 @@ pub use dim::Dim;
 pub use encoder::{Encode, NgramEncoder, RecordEncoder, RecordEncoderBuilder};
 pub use error::HdcError;
 pub use item_memory::{LevelMemory, PositionMemory};
-pub use kernels::{dot_words, hamming_words, masked_dot_words, masked_hamming_words};
+pub use kernels::{
+    active_tier, avx2_available, dot_words, hamming_words, masked_dot_words,
+    masked_hamming_words, KernelTier,
+};
 pub use permutation::Permutation;
 pub use quantize::Quantizer;
 pub use realhv::RealHv;
