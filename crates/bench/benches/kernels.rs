@@ -223,6 +223,53 @@ fn bench_encode_threads(c: &mut Bench) {
     group.finish();
 }
 
+/// Single-sample record encoding (paper Eq. 1) at the MNIST-shaped
+/// `D = 10,000 × 784` features — the per-request cost of the serve path.
+/// This is the group the bit-sliced bundling acceptance criterion gates:
+/// one encode is `n_features` fused bind-accumulates plus one majority
+/// threshold, so its cost tracks `Accumulator::add_bound` directly.
+fn bench_record_encode(c: &mut Bench) {
+    let mut group = c.benchmark_group("record_encode");
+    group.sample_size(10);
+    for &(d, n) in &[(10_000usize, 784usize), (1024, 64)] {
+        let (encoder, sample) = lehdc_bench::encoder_and_sample(d, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("D{d}_N{n}")),
+            &d,
+            |bencher, _| {
+                use hdc::Encode;
+                bencher.iter(|| black_box(encoder.encode(black_box(&sample)).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Feature-parallel single-sample encoding across pool widths: the chunks
+/// bind+bundle into partial accumulators that merge in fixed order, so the
+/// output is bit-identical at every width — only the latency moves.
+fn bench_encode_pooled(c: &mut Bench) {
+    let mut group = c.benchmark_group("encode_pooled");
+    group.sample_size(10);
+    let (d, n) = (10_000usize, 784usize);
+    let (encoder, sample) = lehdc_bench::encoder_and_sample(d, n);
+    for &threads in SCALING_THREADS {
+        let pool = ThreadPool::new(threads);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads{threads}"), d),
+            &d,
+            |bencher, _| {
+                bencher.iter(|| {
+                    black_box(encoder.encode_pooled(black_box(&sample), &pool).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Batch classification across pool widths.
 fn bench_classify_threads(c: &mut Bench) {
     let mut group = c.benchmark_group("classify_all");
@@ -384,6 +431,8 @@ testkit::bench_main!(
     bench_transpose_threads,
     bench_backward_threads,
     bench_encode_threads,
+    bench_record_encode,
+    bench_encode_pooled,
     bench_classify_threads,
     bench_classify_blocked,
     bench_train_step,

@@ -40,6 +40,13 @@ pub struct EncodedDataset {
 impl EncodedDataset {
     /// Encodes a dataset with the given encoder, using `threads` OS threads.
     ///
+    /// Rows are chunked across workers and each worker reuses one encode
+    /// scratch (bit-sliced bundle accumulator) for its whole chunk, so the
+    /// corpus pass allocates nothing per sample beyond the output
+    /// hypervectors. Per-dimension vote counts are exact integers and each
+    /// sample's tie-break stream is self-seeded, so the assembled dataset is
+    /// bit-identical at any thread count or chunking.
+    ///
     /// # Errors
     ///
     /// Returns [`LehdcError::Hdc`] if the dataset's feature count does not
@@ -365,6 +372,22 @@ mod tests {
         let (expect, expect_labels) = e.packed_batch_pooled(&[1, 2], &pool);
         assert_eq!(x, expect);
         assert_eq!(labels, expect_labels);
+    }
+
+    #[test]
+    fn encode_is_bit_identical_across_thread_counts() {
+        let data = hdc_datasets::BenchmarkProfile::pamap()
+            .with_features(16)
+            .with_samples(24, 10)
+            .generate(5)
+            .unwrap();
+        let enc = RecordEncoder::builder(Dim::new(517), 16).seed(9).build().unwrap();
+        let reference = EncodedDataset::encode(&data.train, &enc, 1).unwrap();
+        for threads in [2, 4] {
+            let parallel = EncodedDataset::encode(&data.train, &enc, threads).unwrap();
+            assert_eq!(parallel.hvs(), reference.hvs(), "threads={threads}");
+            assert_eq!(parallel.labels(), reference.labels());
+        }
     }
 
     #[test]

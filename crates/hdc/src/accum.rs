@@ -1,10 +1,12 @@
-//! Per-dimension counters for bundling binary hypervectors.
+//! Per-dimension counters for bundling binary hypervectors, stored as
+//! bit-sliced vertical planes.
 
 use testkit::Rng;
 
 use crate::bitvec::BinaryHv;
 use crate::dim::Dim;
 use crate::error::HdcError;
+use crate::kernels;
 
 /// Bundles binary hypervectors by counting `+1` votes per dimension.
 ///
@@ -13,14 +15,30 @@ use crate::error::HdcError;
 /// [`threshold`](Accumulator::threshold) takes the majority, breaking exact
 /// ties randomly — the paper assumes `sgn(0)` is assigned `±1` at random.
 ///
-/// Internally only the count of `+1` votes is stored (`ones[d]`); the bipolar
-/// sum at dimension `d` is `2·ones[d] − n` for `n` added vectors.
+/// # Representation
+///
+/// Only the count of `+1` votes is stored (`ones[d]`; the bipolar sum at
+/// dimension `d` is `2·ones[d] − n` for `n` added vectors), and it is stored
+/// **vertically**: plane `p` packs bit `p` of all `D` counters, 64 counters
+/// per word, so `⌈log₂(n+1)⌉` planes of `⌈D/64⌉` words hold the exact
+/// counters. Adding a packed hypervector is a word-parallel carry-save
+/// ripple up the planes (`t = plane ∧ c; plane ⊕= c; c = t` per plane — the
+/// Harley–Seal idea applied to accumulation), which costs `O(D/64)` word ops
+/// per plane touched and touches ~2 planes amortized per add, instead of the
+/// `O(popcount)` scalar counter increments of a horizontal `u32` layout.
+/// The majority threshold is likewise a word-parallel bit-sliced comparison
+/// of the counters against `n/2` ([`kernels::bitsliced_cmp_words`]).
+///
+/// Counters stay exact integers, so bundling in chunks and
+/// [`merge`](Accumulator::merge)-ing partials in any grouping is
+/// bit-identical to one sequential pass, and the threshold tie-break RNG
+/// stream is unchanged from the horizontal-counter implementation.
 ///
 /// # Examples
 ///
 /// ```
 /// use hdc::{Accumulator, BinaryHv, Dim};
-/// ///
+///
 /// let d = Dim::new(256);
 /// let mut rng = testkit::Xoshiro256pp::seed_from_u64(3);
 /// let proto = BinaryHv::random(d, &mut rng);
@@ -32,19 +50,45 @@ use crate::error::HdcError;
 /// // An odd-count bundle of identical vectors thresholds back to itself.
 /// assert_eq!(acc.threshold(&mut rng), proto);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Accumulator {
-    ones: Vec<u32>,
+    /// Plane-major bit-sliced counters: plane `p` is
+    /// `planes[p·W..(p+1)·W]` for `W = dim.words()`, least significant
+    /// plane first. Tail bits above `D` are zero in every plane.
+    planes: Vec<u64>,
+    /// Carry scratch (`W` words) reused by every add/merge ripple and as the
+    /// tie-mask buffer of [`threshold_into`](Accumulator::threshold_into).
+    carry: Vec<u64>,
     n: u32,
     dim: Dim,
 }
+
+impl PartialEq for Accumulator {
+    /// Logical counter equality: two accumulators are equal when their
+    /// dimension, count, and per-dimension counters agree (the carry scratch
+    /// is working memory, not state).
+    fn eq(&self, other: &Self) -> bool {
+        if self.dim != other.dim || self.n != other.n {
+            return false;
+        }
+        let (short, long) = if self.planes.len() <= other.planes.len() {
+            (&self.planes, &other.planes)
+        } else {
+            (&other.planes, &self.planes)
+        };
+        short == &long[..short.len()] && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for Accumulator {}
 
 impl Accumulator {
     /// Creates an empty accumulator of dimension `D`.
     #[must_use]
     pub fn new(dim: Dim) -> Self {
         Accumulator {
-            ones: vec![0; dim.get()],
+            planes: Vec::new(),
+            carry: vec![0; dim.words()],
             n: 0,
             dim,
         }
@@ -66,6 +110,42 @@ impl Accumulator {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// Number of bit-planes currently held (`⌈log₂(max counter + 1)⌉`).
+    #[must_use]
+    pub fn n_planes(&self) -> usize {
+        let words = self.dim.words();
+        if words == 0 {
+            0
+        } else {
+            self.planes.len() / words
+        }
+    }
+
+    /// Materializes plane 0 so the entry-step kernels always have a target.
+    fn ensure_first_plane(&mut self) {
+        if self.planes.is_empty() {
+            self.planes.resize(self.dim.words(), 0);
+        }
+    }
+
+    /// Continues a carry ripple from plane `start` with the carry (and its
+    /// OR, `or`) already in `self.carry`, growing a new top plane if the
+    /// carry survives past the last one.
+    fn ripple_from(&mut self, start: usize, mut or: u64) {
+        let words = self.dim.words();
+        let mut q = start;
+        while or != 0 {
+            if q * words == self.planes.len() {
+                // A fresh top plane absorbs the whole carry: plane = carry.
+                self.planes.extend_from_slice(&self.carry);
+                return;
+            }
+            let Accumulator { planes, carry, .. } = self;
+            or = kernels::csa_step_words(&mut planes[q * words..(q + 1) * words], carry);
+            q += 1;
+        }
     }
 
     /// Adds one hypervector to the bundle.
@@ -90,18 +170,37 @@ impl Accumulator {
                 right: hv.dim().get(),
             });
         }
-        for (w, word) in hv.as_words().iter().enumerate() {
-            let base = w * 64;
-            let mut bits = *word;
-            // Only set bits contribute; iterate them sparsely.
-            while bits != 0 {
-                let k = bits.trailing_zeros() as usize;
-                self.ones[base + k] += 1;
-                bits &= bits - 1;
-            }
-        }
+        self.ensure_first_plane();
+        let words = self.dim.words();
+        let Accumulator { planes, carry, .. } = self;
+        let or = kernels::csa_input_step_words(&mut planes[..words], hv.as_words(), carry);
+        self.ripple_from(1, or);
         self.n += 1;
         Ok(())
+    }
+
+    /// Adds the bind (bipolar Hadamard product, bit-wise XNOR) of two packed
+    /// hypervectors without materializing it: the XNOR feeds the carry-save
+    /// ladder directly ([`kernels::csa_bind_step_words`]). This is the
+    /// position∘level bind-and-bundle of the paper's Eq. 1, fused — exactly
+    /// equivalent to `add(&a.bind(&b))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice is not exactly `dim.words()` words. Callers
+    /// pass [`BinaryHv::as_words`] of same-dimension hypervectors.
+    pub fn add_bound(&mut self, a: &[u64], b: &[u64]) {
+        let words = self.dim.words();
+        assert_eq!(a.len(), words, "left operand must span dim words");
+        assert_eq!(b.len(), words, "right operand must span dim words");
+        self.ensure_first_plane();
+        let Accumulator { planes, carry, .. } = self;
+        let or = kernels::csa_bind_step_words(&mut planes[..words], a, b, carry);
+        // The XNOR sets the tail bits above D; the entry plane absorbed them
+        // (the outgoing carry is tail-clean because the old plane was).
+        planes[words - 1] &= self.dim.last_word_mask();
+        self.ripple_from(1, or);
+        self.n += 1;
     }
 
     /// The bipolar coordinate sum at dimension `i`: `Σ hvⱼ[i] ∈ [-n, n]`.
@@ -111,7 +210,34 @@ impl Accumulator {
     /// Panics if `i >= D`.
     #[must_use]
     pub fn sum(&self, i: usize) -> i64 {
-        2 * i64::from(self.ones[i]) - i64::from(self.n)
+        assert!(i < self.dim.get(), "dimension index out of range");
+        let words = self.dim.words();
+        let (w, b) = (i / 64, i % 64);
+        let mut ones: u64 = 0;
+        for p in 0..self.n_planes() {
+            ones |= ((self.planes[p * words + w] >> b) & 1) << p;
+        }
+        2 * ones as i64 - i64::from(self.n)
+    }
+
+    /// Computes the strict-majority and exact-tie masks for every dimension:
+    /// after the call, bit `i` of `gt` is set iff `2·ones[i] > n` and bit
+    /// `i` of `ties` iff `2·ones[i] == n`. Both comparisons reduce to the
+    /// bit-sliced compare of the counters against `k = ⌊n/2⌋`: `C > k` is
+    /// strict majority for either parity, and `C == k` is a tie exactly when
+    /// `n` is even.
+    fn majority_ties_into(&self, gt: &mut [u64], ties: &mut [u64]) {
+        let words = self.dim.words();
+        debug_assert_eq!(gt.len(), words);
+        debug_assert_eq!(ties.len(), words);
+        gt.fill(0);
+        ties.fill(u64::MAX);
+        ties[words - 1] = self.dim.last_word_mask();
+        kernels::bitsliced_cmp_words(&self.planes, words, u64::from(self.n / 2), gt, ties);
+        if self.n % 2 == 1 {
+            // Odd counts cannot tie; `eq` lanes hold 2C == n − 1 < n.
+            ties.fill(0);
+        }
     }
 
     /// Majority-thresholds the bundle into a binary hypervector, breaking
@@ -119,60 +245,92 @@ impl Accumulator {
     ///
     /// Ties can only occur when an even number of hypervectors was added.
     ///
-    /// The majority comparison runs as a branch-free word-building loop; RNG
-    /// draws happen in a separate sparse pass over a per-word tie mask. Ties
-    /// are visited in ascending dimension order, so the tie-break stream is
+    /// The majority comparison is a word-parallel bit-sliced compare; RNG
+    /// draws happen in a separate sparse pass over the tie mask. Ties are
+    /// visited in ascending dimension order, so the tie-break stream is
     /// identical to a per-bit scan and golden vectors are unaffected.
+    ///
+    /// Allocates the output and two mask buffers; the hot encode loops use
+    /// [`threshold_into`](Self::threshold_into), which reuses caller and
+    /// internal scratch instead.
     #[must_use]
     pub fn threshold<R: Rng + ?Sized>(&self, rng: &mut R) -> BinaryHv {
-        let n = self.n; // compare 2*ones vs n  ⇔  bipolar sum vs 0
-        let d = self.dim.get();
-        let mut words = Vec::with_capacity(self.dim.words());
-        for base in (0..d).step_by(64) {
-            let top = (d - base).min(64);
-            let mut majority = 0u64;
-            let mut ties = 0u64;
-            for b in 0..top {
-                let twice = 2 * self.ones[base + b];
-                majority |= u64::from(twice > n) << b;
-                ties |= u64::from(twice == n) << b;
-            }
-            while ties != 0 {
-                let b = ties.trailing_zeros();
-                majority |= u64::from(rng.random::<bool>()) << b;
-                ties &= ties - 1;
-            }
-            words.push(majority);
+        let words = self.dim.words();
+        let mut gt = vec![0u64; words];
+        let mut ties = vec![0u64; words];
+        self.majority_ties_into(&mut gt, &mut ties);
+        Self::break_ties(&mut gt, &ties, rng);
+        BinaryHv::from_raw_words(gt, self.dim)
+    }
+
+    /// [`threshold`](Self::threshold) writing into a caller-owned
+    /// hypervector, with the tie mask held in the accumulator's own carry
+    /// scratch — no allocation. Identical output and tie-break RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has a different dimension.
+    pub fn threshold_into<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut BinaryHv) {
+        assert_eq!(
+            out.dim(),
+            self.dim,
+            "threshold output must match the accumulator dimension"
+        );
+        let Accumulator {
+            planes,
+            carry,
+            n,
+            dim,
+        } = self;
+        let words = dim.words();
+        let gt = out.as_mut_words();
+        gt.fill(0);
+        carry.fill(u64::MAX);
+        carry[words - 1] = dim.last_word_mask();
+        kernels::bitsliced_cmp_words(planes, words, u64::from(*n / 2), gt, carry);
+        if *n % 2 == 1 {
+            carry.fill(0);
         }
-        BinaryHv::from_raw_words(words, self.dim)
+        Self::break_ties(gt, carry, rng);
+    }
+
+    /// The sparse tie pass: flips a fair coin for every tie bit, ascending
+    /// dimension order — the draw sequence every golden vector is pinned to.
+    fn break_ties<R: Rng + ?Sized>(out: &mut [u64], ties: &[u64], rng: &mut R) {
+        for (word, &tie_word) in out.iter_mut().zip(ties) {
+            let mut ties_left = tie_word;
+            while ties_left != 0 {
+                let b = ties_left.trailing_zeros();
+                *word |= u64::from(rng.random::<bool>()) << b;
+                ties_left &= ties_left - 1;
+            }
+        }
     }
 
     /// Deterministic threshold: `sgn(0)` resolves to `+1` (the convention of
     /// the paper's Eq. 8).
     #[must_use]
     pub fn threshold_deterministic(&self) -> BinaryHv {
-        let n = self.n;
-        let d = self.dim.get();
-        let mut words = Vec::with_capacity(self.dim.words());
-        for base in (0..d).step_by(64) {
-            let top = (d - base).min(64);
-            let mut majority = 0u64;
-            for b in 0..top {
-                majority |= u64::from(2 * self.ones[base + b] >= n) << b;
-            }
-            words.push(majority);
+        let words = self.dim.words();
+        let mut gt = vec![0u64; words];
+        let mut ties = vec![0u64; words];
+        self.majority_ties_into(&mut gt, &mut ties);
+        for (word, &tie_word) in gt.iter_mut().zip(&ties) {
+            *word |= tie_word;
         }
-        BinaryHv::from_raw_words(words, self.dim)
+        BinaryHv::from_raw_words(gt, self.dim)
     }
 
     /// Merges another bundle into this one, exactly as if every hypervector
     /// added to `other` had been [`add`](Self::add)ed here instead.
     ///
-    /// Per-dimension vote counts are `u32` sums, so merging is associative
-    /// and commutative with no rounding: bundling a corpus in chunks and
-    /// merging the partials in any grouping yields the same accumulator as
-    /// one sequential pass. This is what makes the feature-parallel encoder
-    /// path bit-identical to the sequential one.
+    /// Per-dimension vote counts are exact integer sums, so merging is
+    /// associative and commutative with no rounding: bundling a corpus in
+    /// chunks and merging the partials in any grouping yields the same
+    /// accumulator as one sequential pass. This is what makes the
+    /// feature-parallel encoder path bit-identical to the sequential one.
+    /// Each of `other`'s planes ripples in at its own weight, so the merge
+    /// costs `O(D/64 · planes)` word ops, not a counter-by-counter sum.
     ///
     /// # Panics
     ///
@@ -194,16 +352,27 @@ impl Accumulator {
                 right: other.dim.get(),
             });
         }
-        for (mine, theirs) in self.ones.iter_mut().zip(&other.ones) {
-            *mine += theirs;
+        let words = self.dim.words();
+        while self.planes.len() < other.planes.len() {
+            let len = self.planes.len();
+            self.planes.resize(len + words, 0);
+        }
+        for p in 0..other.n_planes() {
+            let src = &other.planes[p * words..(p + 1) * words];
+            let or = {
+                let Accumulator { planes, carry, .. } = self;
+                kernels::csa_input_step_words(&mut planes[p * words..(p + 1) * words], src, carry)
+            };
+            self.ripple_from(p + 1, or);
         }
         self.n += other.n;
         Ok(())
     }
 
-    /// Clears the accumulator for reuse without reallocating.
+    /// Clears the accumulator for reuse without releasing its plane or
+    /// scratch capacity — the reset of the zero-alloc encode loops.
     pub fn clear(&mut self) {
-        self.ones.fill(0);
+        self.planes.clear();
         self.n = 0;
     }
 }
@@ -222,6 +391,7 @@ mod tests {
         let acc = Accumulator::new(Dim::new(10));
         assert!(acc.is_empty());
         assert_eq!(acc.len(), 0);
+        assert_eq!(acc.n_planes(), 0);
     }
 
     #[test]
@@ -235,6 +405,8 @@ mod tests {
         }
         assert_eq!(acc.threshold(&mut r), hv);
         assert_eq!(acc.threshold_deterministic(), hv);
+        // counters reach 7 on set dims: three planes
+        assert_eq!(acc.n_planes(), 3);
     }
 
     #[test]
@@ -293,6 +465,7 @@ mod tests {
         acc.clear();
         assert!(acc.is_empty());
         assert_eq!(acc.sum(0), 0);
+        assert_eq!(acc, Accumulator::new(d));
     }
 
     #[test]
@@ -354,6 +527,51 @@ mod tests {
                 "deterministic D={}",
                 d.get()
             );
+        }
+    }
+
+    #[test]
+    fn threshold_into_matches_threshold() {
+        let d = Dim::new(517);
+        let mut r = rng();
+        let mut acc = Accumulator::new(d);
+        for _ in 0..6 {
+            acc.add(&BinaryHv::random(d, &mut r));
+        }
+        let mut rng_a = Xoshiro256pp::seed_from_u64(7);
+        let mut rng_b = rng_a.clone();
+        let fresh = acc.threshold(&mut rng_a);
+        let mut reused = BinaryHv::ones(d); // stale contents must be overwritten
+        acc.threshold_into(&mut rng_b, &mut reused);
+        assert_eq!(fresh, reused);
+        assert_eq!(rng_a.random::<u64>(), rng_b.random::<u64>(), "stream align");
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the accumulator dimension")]
+    fn threshold_into_rejects_dim_mismatch() {
+        let mut acc = Accumulator::new(Dim::new(64));
+        let mut out = BinaryHv::zeros(Dim::new(65));
+        acc.threshold_into(&mut rng(), &mut out);
+    }
+
+    #[test]
+    fn add_bound_equals_add_of_bind() {
+        let mut r = rng();
+        for d in [Dim::new(63), Dim::new(64), Dim::new(517)] {
+            let pairs: Vec<(BinaryHv, BinaryHv)> = (0..5)
+                .map(|_| (BinaryHv::random(d, &mut r), BinaryHv::random(d, &mut r)))
+                .collect();
+            let mut fused = Accumulator::new(d);
+            let mut reference = Accumulator::new(d);
+            for (a, b) in &pairs {
+                fused.add_bound(a.as_words(), b.as_words());
+                reference.add(&a.bind(b));
+            }
+            assert_eq!(fused, reference, "D={}", d.get());
+            for i in 0..d.get() {
+                assert_eq!(fused.sum(i), reference.sum(i), "D={} dim {i}", d.get());
+            }
         }
     }
 

@@ -136,6 +136,13 @@ impl BinaryHv {
         &self.words
     }
 
+    /// Mutably borrows the packed words for in-place kernel output
+    /// (e.g. [`crate::Accumulator::threshold_into`]). Crate-internal: callers
+    /// must preserve the zero-tail invariant above `D`.
+    pub(crate) fn as_mut_words(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Returns the bit at dimension `i` (`true` ≡ bipolar `+1`).
     ///
     /// # Panics

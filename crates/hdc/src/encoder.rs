@@ -108,6 +108,33 @@ pub trait Encode: Sync {
     }
 }
 
+/// Reusable working memory for [`RecordEncoder::encode_into`].
+///
+/// Holds the bundle accumulator (bit-sliced counter planes plus carry
+/// scratch) across encode calls, so a loop over many samples performs no
+/// per-sample heap allocation beyond each output hypervector — the encoder
+/// analogue of the trainer's `TrainScratch`.
+#[derive(Debug, Clone)]
+pub struct EncodeScratch {
+    acc: Accumulator,
+}
+
+impl EncodeScratch {
+    /// Creates scratch for encoders of dimensionality `dim`.
+    #[must_use]
+    pub fn new(dim: Dim) -> Self {
+        EncodeScratch {
+            acc: Accumulator::new(dim),
+        }
+    }
+
+    /// The dimensionality this scratch was sized for.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.acc.dim()
+    }
+}
+
 /// The record-based encoder of the paper's Eq. 1:
 /// `En(x) = sgn( Σᵢ 𝓕ᵢ ∘ 𝓥_{fᵢ} )`.
 ///
@@ -185,6 +212,58 @@ impl RecordEncoder {
         self.seed
     }
 
+    /// [`encode`](Encode::encode) into a caller-owned output hypervector,
+    /// reusing `scratch` across calls — the zero-alloc per-sample path.
+    ///
+    /// One fused pass per feature chains the tie-break content hash and feeds
+    /// the position∘level bind straight into the bit-sliced accumulator
+    /// ([`Accumulator::add_bound`]) without materializing any intermediate
+    /// hypervector; the majority threshold then writes directly into `out`
+    /// ([`Accumulator::threshold_into`]). Output is bit-identical to
+    /// [`encode`](Encode::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureCountMismatch`] if
+    /// `features.len() != self.n_features()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` or `out` was sized for a different dimension.
+    pub fn encode_into(
+        &self,
+        features: &[f32],
+        scratch: &mut EncodeScratch,
+        out: &mut BinaryHv,
+    ) -> Result<(), HdcError> {
+        let n = self.n_features();
+        if features.len() != n {
+            return Err(HdcError::FeatureCountMismatch {
+                expected: n,
+                actual: features.len(),
+            });
+        }
+        assert_eq!(
+            scratch.dim(),
+            self.dim(),
+            "encode scratch must match the encoder dimension"
+        );
+        let acc = &mut scratch.acc;
+        acc.clear();
+        let mut content_hash = self.seed;
+        for (i, &value) in features.iter().enumerate() {
+            let level = self.quantizer.level(value);
+            content_hash = splitmix64(content_hash ^ (level as u64).wrapping_mul(i as u64 + 1));
+            acc.add_bound(
+                self.positions.hv(i).as_words(),
+                self.levels.hv(level).as_words(),
+            );
+        }
+        let mut tie_rng = Xoshiro256pp::seed_from_u64(content_hash);
+        acc.threshold_into(&mut tie_rng, out);
+        Ok(())
+    }
+
     /// [`encode`](Encode::encode) with the bundle-accumulate loop fanned out
     /// over `pool`: the features are chunked, every chunk binds and bundles
     /// into its own partial [`Accumulator`], and the partials merge in fixed
@@ -223,12 +302,12 @@ impl RecordEncoder {
         }
         let parts = pool.run_chunks(n, |range| {
             let mut acc = Accumulator::new(self.dim());
-            let mut buf = BinaryHv::zeros(self.dim());
             for i in range {
                 let level = self.quantizer.level(features[i]);
-                buf.clone_from(self.positions.hv(i));
-                buf.bind_assign(self.levels.hv(level));
-                acc.add(&buf);
+                acc.add_bound(
+                    self.positions.hv(i).as_words(),
+                    self.levels.hv(level).as_words(),
+                );
             }
             acc
         });
@@ -237,7 +316,9 @@ impl RecordEncoder {
             acc.merge(part);
         }
         let mut tie_rng = Xoshiro256pp::seed_from_u64(content_hash);
-        Ok(acc.threshold(&mut tie_rng))
+        let mut out = BinaryHv::zeros(self.dim());
+        acc.threshold_into(&mut tie_rng, &mut out);
+        Ok(out)
     }
 
     /// [`encode_pooled`](Self::encode_pooled) with single-sample latency
@@ -271,9 +352,41 @@ impl Encode for RecordEncoder {
     }
 
     fn encode(&self, features: &[f32]) -> Result<BinaryHv, HdcError> {
-        // A 1-wide pool runs the single chunk inline on this thread, so the
-        // sequential encode is just the pooled one with no dispatch.
-        self.encode_pooled(features, &ThreadPool::new(1))
+        let mut scratch = EncodeScratch::new(self.dim());
+        let mut out = BinaryHv::zeros(self.dim());
+        self.encode_into(features, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Corpus encode with one [`EncodeScratch`] per pool chunk: the bundle
+    /// accumulator is reset and reused row to row, so the hot loop allocates
+    /// nothing but the output hypervectors.
+    fn encode_all(&self, samples: &[f32], threads: usize) -> Result<Vec<BinaryHv>, HdcError> {
+        let n = self.n_features();
+        if !samples.len().is_multiple_of(n) {
+            return Err(HdcError::FeatureCountMismatch {
+                expected: n,
+                actual: samples.len() % n,
+            });
+        }
+        let n_samples = samples.len() / n;
+        let pool = ThreadPool::new(threads);
+        let parts = pool.run_chunks(n_samples, |rows| {
+            let mut scratch = EncodeScratch::new(self.dim());
+            samples[rows.start * n..rows.end * n]
+                .chunks(n)
+                .map(|row| {
+                    let mut out = BinaryHv::zeros(self.dim());
+                    self.encode_into(row, &mut scratch, &mut out)?;
+                    Ok(out)
+                })
+                .collect::<Result<Vec<BinaryHv>, HdcError>>()
+        });
+        let mut all = Vec::with_capacity(n_samples);
+        for part in parts {
+            all.extend(part?);
+        }
+        Ok(all)
     }
 }
 
@@ -361,6 +474,10 @@ impl RecordEncoderBuilder {
 #[derive(Debug, Clone)]
 pub struct NgramEncoder {
     levels: LevelMemory,
+    /// Every rotation a window can need, precomputed at construction:
+    /// `rotated[r · Q + q] = ρʳ(V_q)` for `r ∈ 0..n`. Trades `n·Q·D/8`
+    /// bytes for windows that never rotate in the encode loop.
+    rotated: Vec<BinaryHv>,
     quantizer: Quantizer,
     n_features: usize,
     n: usize,
@@ -393,8 +510,12 @@ impl NgramEncoder {
         }
         let quantizer = Quantizer::new(value_range.0, value_range.1, n_levels)?;
         let levels = LevelMemory::new(dim, n_levels, seed)?;
+        let rotated = (0..n)
+            .flat_map(|r| (0..n_levels).map(|q| levels.hv(q).rotated(r)).collect::<Vec<_>>())
+            .collect();
         Ok(NgramEncoder {
             levels,
+            rotated,
             quantizer,
             n_features,
             n,
@@ -406,6 +527,11 @@ impl NgramEncoder {
     #[must_use]
     pub fn window(&self) -> usize {
         self.n
+    }
+
+    /// `ρʳ(V_level)` from the precomputed rotation table.
+    fn rot(&self, r: usize, level: usize) -> &BinaryHv {
+        &self.rotated[r * self.levels.n_levels() + level]
     }
 }
 
@@ -430,16 +556,30 @@ impl Encode for NgramEncoder {
         for (i, &l) in levels.iter().enumerate() {
             content_hash = splitmix64(content_hash ^ (l as u64).wrapping_mul(i as u64 + 1));
         }
+        // All rotations come from the precomputed table, and the window's
+        // final bind is fused into the bundle add, so the loop performs no
+        // rotation work and materializes no per-window hypervector. Binding
+        // (XNOR) is associative and commutative, so folding the last factor
+        // into `add_bound` is bit-identical to binding the full gram first.
         let mut acc = Accumulator::new(self.dim());
-        for window in levels.windows(self.n) {
-            let mut gram = self.levels.hv(window[0]).rotated(self.n - 1);
-            for (j, &l) in window.iter().enumerate().skip(1) {
-                gram.bind_assign(&self.levels.hv(l).rotated(self.n - 1 - j));
+        if self.n == 1 {
+            for &l in &levels {
+                acc.add(self.rot(0, l));
             }
-            acc.add(&gram);
+        } else {
+            let mut gram = BinaryHv::zeros(self.dim());
+            for window in levels.windows(self.n) {
+                gram.clone_from(self.rot(self.n - 1, window[0]));
+                for (j, &l) in window.iter().enumerate().take(self.n - 1).skip(1) {
+                    gram.bind_assign(self.rot(self.n - 1 - j, l));
+                }
+                acc.add_bound(gram.as_words(), self.rot(0, window[self.n - 1]).as_words());
+            }
         }
         let mut tie_rng = Xoshiro256pp::seed_from_u64(content_hash);
-        Ok(acc.threshold(&mut tie_rng))
+        let mut out = BinaryHv::zeros(self.dim());
+        acc.threshold_into(&mut tie_rng, &mut out);
+        Ok(out)
     }
 }
 

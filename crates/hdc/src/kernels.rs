@@ -244,6 +244,235 @@ pub fn masked_hamming_words_avx2(a: &[u64], b: &[u64], mask: &[u64]) -> usize {
     unsafe { avx2::masked_hamming_words(a, b, mask) }
 }
 
+// ---------------------------------------------------------------------------
+// Bit-sliced carry-save accumulation kernels
+//
+// `Accumulator` stores per-dimension bundle counters vertically: bit-plane
+// `p` holds bit `p` of all `D` counters, packed 64 per word. Adding one
+// packed hypervector is then a word-parallel ripple-carry ladder — each step
+// is `t = plane & carry; plane ^= carry; carry = t` — and the majority
+// threshold is a word-parallel bit-sliced comparison against `n/2`. These
+// kernels are the rungs of that ladder; they follow the same
+// dispatch / `_scalar` / `_avx2` tier pattern as the popcount kernels above
+// and compute exact integers, so tiers are bit-identical.
+// ---------------------------------------------------------------------------
+
+/// One carry-save ripple step: `t = plane AND carry; plane ^= carry;
+/// carry = t`, word-parallel. Returns the OR of the outgoing carry so
+/// callers can stop rippling as soon as it dies (amortized O(1) planes per
+/// add). Dispatches on [`active_tier`].
+#[inline]
+pub fn csa_step_words(plane: &mut [u64], carry: &mut [u64]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if active_tier() == KernelTier::Avx2 {
+        // SAFETY: the Avx2 tier is only selected on CPUs with AVX2.
+        return unsafe { avx2::csa_step_words(plane, carry) };
+    }
+    csa_step_words_scalar(plane, carry)
+}
+
+/// Scalar reference tier of [`csa_step_words`].
+#[inline]
+pub fn csa_step_words_scalar(plane: &mut [u64], carry: &mut [u64]) -> u64 {
+    debug_assert_eq!(plane.len(), carry.len(), "plane and carry must match");
+    let mut or = 0u64;
+    for (p, c) in plane.iter_mut().zip(carry.iter_mut()) {
+        let t = *p & *c;
+        *p ^= *c;
+        *c = t;
+        or |= t;
+    }
+    or
+}
+
+/// [`csa_step_words`] forced onto the AVX2 tier, for differential testing.
+///
+/// # Panics
+///
+/// Panics if AVX2 is unavailable — check [`avx2_available`] first.
+#[cfg(target_arch = "x86_64")]
+pub fn csa_step_words_avx2(plane: &mut [u64], carry: &mut [u64]) -> u64 {
+    assert!(avx2_available(), "the AVX2 kernels need an AVX2-capable CPU");
+    // SAFETY: availability checked above.
+    unsafe { avx2::csa_step_words(plane, carry) }
+}
+
+/// First ripple step with the incoming hypervector as the carry:
+/// `carry = plane AND input; plane ^= input`, word-parallel, returning the
+/// OR of the outgoing carry. This is how an add enters the plane ladder
+/// without first copying `input` into a scratch buffer. Dispatches on
+/// [`active_tier`].
+#[inline]
+pub fn csa_input_step_words(plane: &mut [u64], input: &[u64], carry: &mut [u64]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if active_tier() == KernelTier::Avx2 {
+        // SAFETY: the Avx2 tier is only selected on CPUs with AVX2.
+        return unsafe { avx2::csa_input_step_words(plane, input, carry) };
+    }
+    csa_input_step_words_scalar(plane, input, carry)
+}
+
+/// Scalar reference tier of [`csa_input_step_words`].
+#[inline]
+pub fn csa_input_step_words_scalar(plane: &mut [u64], input: &[u64], carry: &mut [u64]) -> u64 {
+    debug_assert_eq!(plane.len(), input.len(), "plane and input must match");
+    debug_assert_eq!(plane.len(), carry.len(), "plane and carry must match");
+    let mut or = 0u64;
+    for ((p, &x), c) in plane.iter_mut().zip(input).zip(carry.iter_mut()) {
+        let t = *p & x;
+        *p ^= x;
+        *c = t;
+        or |= t;
+    }
+    or
+}
+
+/// [`csa_input_step_words`] forced onto the AVX2 tier, for differential
+/// testing.
+///
+/// # Panics
+///
+/// Panics if AVX2 is unavailable — check [`avx2_available`] first.
+#[cfg(target_arch = "x86_64")]
+pub fn csa_input_step_words_avx2(plane: &mut [u64], input: &[u64], carry: &mut [u64]) -> u64 {
+    assert!(avx2_available(), "the AVX2 kernels need an AVX2-capable CPU");
+    // SAFETY: availability checked above.
+    unsafe { avx2::csa_input_step_words(plane, input, carry) }
+}
+
+/// Fused bind-and-add entry step: the XNOR bind `x = NOT (a XOR b)` (the
+/// bipolar Hadamard product under the [`BinaryHv`] bit convention) feeds the
+/// plane ladder directly — `carry = plane AND x; plane ^= x` — so bundling a
+/// bound pair never materializes the bound hypervector. Returns the OR of
+/// the outgoing carry. Dispatches on [`active_tier`].
+///
+/// The XNOR of two tail-clean operands has its tail bits **set**; callers
+/// must mask the final word of `plane` afterwards (the outgoing carry is
+/// tail-clean because the incoming plane was).
+#[inline]
+pub fn csa_bind_step_words(plane: &mut [u64], a: &[u64], b: &[u64], carry: &mut [u64]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if active_tier() == KernelTier::Avx2 {
+        // SAFETY: the Avx2 tier is only selected on CPUs with AVX2.
+        return unsafe { avx2::csa_bind_step_words(plane, a, b, carry) };
+    }
+    csa_bind_step_words_scalar(plane, a, b, carry)
+}
+
+/// Scalar reference tier of [`csa_bind_step_words`].
+#[inline]
+pub fn csa_bind_step_words_scalar(
+    plane: &mut [u64],
+    a: &[u64],
+    b: &[u64],
+    carry: &mut [u64],
+) -> u64 {
+    debug_assert_eq!(a.len(), b.len(), "operand slices must match");
+    debug_assert_eq!(plane.len(), a.len(), "plane and operands must match");
+    debug_assert_eq!(plane.len(), carry.len(), "plane and carry must match");
+    let mut or = 0u64;
+    for (((p, &x), &y), c) in plane.iter_mut().zip(a).zip(b).zip(carry.iter_mut()) {
+        let bound = !(x ^ y);
+        let t = *p & bound;
+        *p ^= bound;
+        *c = t;
+        or |= t;
+    }
+    or
+}
+
+/// [`csa_bind_step_words`] forced onto the AVX2 tier, for differential
+/// testing.
+///
+/// # Panics
+///
+/// Panics if AVX2 is unavailable — check [`avx2_available`] first.
+#[cfg(target_arch = "x86_64")]
+pub fn csa_bind_step_words_avx2(
+    plane: &mut [u64],
+    a: &[u64],
+    b: &[u64],
+    carry: &mut [u64],
+) -> u64 {
+    assert!(avx2_available(), "the AVX2 kernels need an AVX2-capable CPU");
+    // SAFETY: availability checked above.
+    unsafe { avx2::csa_bind_step_words(plane, a, b, carry) }
+}
+
+/// Word-parallel comparison of bit-sliced counters against the constant `k`:
+/// on return, bit `i` of `gt` is set iff counter `i > k` and bit `i` of `eq`
+/// iff counter `i == k`, restricted to the bits set in `eq` on entry (the
+/// caller initializes `gt` to zero and `eq` to the valid-dimension mask).
+///
+/// `planes` is the plane-major concatenation of `planes.len() / words`
+/// bit-planes of `words` words each, least-significant plane first — the
+/// [`Accumulator`](crate::Accumulator) storage layout. The classic MSB-first
+/// ladder runs entirely in registers per word: at plane `p`, lanes still
+/// equal so far move to `gt` when `k`'s bit is 0 and the counter bit is 1,
+/// and drop out of `eq` whenever the bits disagree. Dispatches on
+/// [`active_tier`].
+#[inline]
+pub fn bitsliced_cmp_words(planes: &[u64], words: usize, k: u64, gt: &mut [u64], eq: &mut [u64]) {
+    #[cfg(target_arch = "x86_64")]
+    if active_tier() == KernelTier::Avx2 {
+        // SAFETY: the Avx2 tier is only selected on CPUs with AVX2.
+        return unsafe { avx2::bitsliced_cmp_words(planes, words, k, gt, eq) };
+    }
+    bitsliced_cmp_words_scalar(planes, words, k, gt, eq);
+}
+
+/// Scalar reference tier of [`bitsliced_cmp_words`].
+pub fn bitsliced_cmp_words_scalar(
+    planes: &[u64],
+    words: usize,
+    k: u64,
+    gt: &mut [u64],
+    eq: &mut [u64],
+) {
+    let n_planes = if words == 0 { 0 } else { planes.len() / words };
+    debug_assert_eq!(planes.len(), n_planes * words, "planes must be rectangular");
+    debug_assert_eq!(gt.len(), words, "gt must span the dimension words");
+    debug_assert_eq!(eq.len(), words, "eq must span the dimension words");
+    if n_planes < 64 && (k >> n_planes) != 0 {
+        // Every counter is below 2^planes ≤ k: nothing greater, nothing equal.
+        gt.fill(0);
+        eq.fill(0);
+        return;
+    }
+    for p in (0..n_planes).rev() {
+        let plane = &planes[p * words..(p + 1) * words];
+        if (k >> p) & 1 == 1 {
+            for (e, &pl) in eq.iter_mut().zip(plane) {
+                *e &= pl;
+            }
+        } else {
+            for ((g, e), &pl) in gt.iter_mut().zip(eq.iter_mut()).zip(plane) {
+                *g |= *e & pl;
+                *e &= !pl;
+            }
+        }
+    }
+}
+
+/// [`bitsliced_cmp_words`] forced onto the AVX2 tier, for differential
+/// testing.
+///
+/// # Panics
+///
+/// Panics if AVX2 is unavailable — check [`avx2_available`] first.
+#[cfg(target_arch = "x86_64")]
+pub fn bitsliced_cmp_words_avx2(
+    planes: &[u64],
+    words: usize,
+    k: u64,
+    gt: &mut [u64],
+    eq: &mut [u64],
+) {
+    assert!(avx2_available(), "the AVX2 kernels need an AVX2-capable CPU");
+    // SAFETY: availability checked above.
+    unsafe { avx2::bitsliced_cmp_words(planes, words, k, gt, eq) }
+}
+
 /// Masked bipolar dot product `kept − 2·popcount((a XOR b) AND mask)`,
 /// where `kept = popcount(mask)` is passed in so batch loops hoist it.
 ///

@@ -32,10 +32,10 @@
 //! wrappers in [`kernels`](crate::kernels) check [`available`] first.
 
 use core::arch::x86_64::{
-    __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_extract_epi64,
-    _mm256_loadu_si256, _mm256_or_si256, _mm256_sad_epu8, _mm256_set1_epi8, _mm256_setr_epi8,
-    _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_slli_epi64, _mm256_srli_epi32,
-    _mm256_xor_si256,
+    __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_andnot_si256,
+    _mm256_extract_epi64, _mm256_loadu_si256, _mm256_or_si256, _mm256_sad_epu8, _mm256_set1_epi8,
+    _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_slli_epi64,
+    _mm256_srli_epi32, _mm256_storeu_si256, _mm256_xor_si256,
 };
 
 /// Whether the running CPU supports these kernels.
@@ -158,6 +158,211 @@ where
             sum += word_at(i).count_ones() as usize;
         }
         sum
+    }
+}
+
+/// Unaligned 256-bit store of four packed words.
+#[inline(always)]
+unsafe fn store(ptr: *mut u64, v: __m256i) {
+    unsafe { _mm256_storeu_si256(ptr.cast(), v) }
+}
+
+/// OR of the four 64-bit lanes of a vector.
+#[inline(always)]
+unsafe fn lane_or(v: __m256i) -> u64 {
+    unsafe {
+        (_mm256_extract_epi64::<0>(v)
+            | _mm256_extract_epi64::<1>(v)
+            | _mm256_extract_epi64::<2>(v)
+            | _mm256_extract_epi64::<3>(v)) as u64
+    }
+}
+
+/// AVX2 tier of [`csa_step_words`](crate::kernels::csa_step_words):
+/// `t = plane AND carry; plane ^= carry; carry = t`, four words per lane op,
+/// returning the OR of the outgoing carry.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 (check [`available`]).
+#[target_feature(enable = "avx2")]
+pub unsafe fn csa_step_words(plane: &mut [u64], carry: &mut [u64]) -> u64 {
+    debug_assert_eq!(plane.len(), carry.len(), "plane and carry must match");
+    let n = plane.len().min(carry.len());
+    let n_vecs = n / WORDS_PER_VEC;
+    let (pp, pc) = (plane.as_mut_ptr(), carry.as_mut_ptr());
+    unsafe {
+        let mut orv = _mm256_setzero_si256();
+        for v in 0..n_vecs {
+            let o = v * WORDS_PER_VEC;
+            let p = load(pp.add(o));
+            let c = load(pc.add(o));
+            let t = _mm256_and_si256(p, c);
+            store(pp.add(o), _mm256_xor_si256(p, c));
+            store(pc.add(o), t);
+            orv = _mm256_or_si256(orv, t);
+        }
+        let mut or = lane_or(orv);
+        for i in (n_vecs * WORDS_PER_VEC)..n {
+            let t = *pp.add(i) & *pc.add(i);
+            *pp.add(i) ^= *pc.add(i);
+            *pc.add(i) = t;
+            or |= t;
+        }
+        or
+    }
+}
+
+/// AVX2 tier of
+/// [`csa_input_step_words`](crate::kernels::csa_input_step_words):
+/// `carry = plane AND input; plane ^= input`, returning the OR of the
+/// outgoing carry.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 (check [`available`]).
+#[target_feature(enable = "avx2")]
+pub unsafe fn csa_input_step_words(plane: &mut [u64], input: &[u64], carry: &mut [u64]) -> u64 {
+    debug_assert_eq!(plane.len(), input.len(), "plane and input must match");
+    debug_assert_eq!(plane.len(), carry.len(), "plane and carry must match");
+    let n = plane.len().min(input.len()).min(carry.len());
+    let n_vecs = n / WORDS_PER_VEC;
+    let (pp, px, pc) = (plane.as_mut_ptr(), input.as_ptr(), carry.as_mut_ptr());
+    unsafe {
+        let mut orv = _mm256_setzero_si256();
+        for v in 0..n_vecs {
+            let o = v * WORDS_PER_VEC;
+            let p = load(pp.add(o));
+            let x = load(px.add(o));
+            let t = _mm256_and_si256(p, x);
+            store(pp.add(o), _mm256_xor_si256(p, x));
+            store(pc.add(o), t);
+            orv = _mm256_or_si256(orv, t);
+        }
+        let mut or = lane_or(orv);
+        for i in (n_vecs * WORDS_PER_VEC)..n {
+            let x = *px.add(i);
+            let t = *pp.add(i) & x;
+            *pp.add(i) ^= x;
+            *pc.add(i) = t;
+            or |= t;
+        }
+        or
+    }
+}
+
+/// AVX2 tier of
+/// [`csa_bind_step_words`](crate::kernels::csa_bind_step_words): the XNOR
+/// bind is fused into the ladder entry, mirroring how `hamming` fuses its
+/// XOR into the popcount load stage.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 (check [`available`]).
+#[target_feature(enable = "avx2")]
+pub unsafe fn csa_bind_step_words(
+    plane: &mut [u64],
+    a: &[u64],
+    b: &[u64],
+    carry: &mut [u64],
+) -> u64 {
+    debug_assert_eq!(a.len(), b.len(), "operand slices must match");
+    debug_assert_eq!(plane.len(), a.len(), "plane and operands must match");
+    debug_assert_eq!(plane.len(), carry.len(), "plane and carry must match");
+    let n = plane.len().min(a.len()).min(b.len()).min(carry.len());
+    let n_vecs = n / WORDS_PER_VEC;
+    let (pp, pa, pb, pc) = (
+        plane.as_mut_ptr(),
+        a.as_ptr(),
+        b.as_ptr(),
+        carry.as_mut_ptr(),
+    );
+    unsafe {
+        let ones = _mm256_set1_epi8(-1);
+        let mut orv = _mm256_setzero_si256();
+        for v in 0..n_vecs {
+            let o = v * WORDS_PER_VEC;
+            let bound = _mm256_xor_si256(
+                _mm256_xor_si256(load(pa.add(o)), load(pb.add(o))),
+                ones,
+            );
+            let p = load(pp.add(o));
+            let t = _mm256_and_si256(p, bound);
+            store(pp.add(o), _mm256_xor_si256(p, bound));
+            store(pc.add(o), t);
+            orv = _mm256_or_si256(orv, t);
+        }
+        let mut or = lane_or(orv);
+        for i in (n_vecs * WORDS_PER_VEC)..n {
+            let bound = !(*pa.add(i) ^ *pb.add(i));
+            let t = *pp.add(i) & bound;
+            *pp.add(i) ^= bound;
+            *pc.add(i) = t;
+            or |= t;
+        }
+        or
+    }
+}
+
+/// AVX2 tier of
+/// [`bitsliced_cmp_words`](crate::kernels::bitsliced_cmp_words): the
+/// MSB-first compare ladder runs with `gt`/`eq` held in registers per
+/// 4-word block while the planes stream through strided loads.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 (check [`available`]).
+#[target_feature(enable = "avx2")]
+pub unsafe fn bitsliced_cmp_words(
+    planes: &[u64],
+    words: usize,
+    k: u64,
+    gt: &mut [u64],
+    eq: &mut [u64],
+) {
+    let n_planes = if words == 0 { 0 } else { planes.len() / words };
+    debug_assert_eq!(planes.len(), n_planes * words, "planes must be rectangular");
+    debug_assert_eq!(gt.len(), words, "gt must span the dimension words");
+    debug_assert_eq!(eq.len(), words, "eq must span the dimension words");
+    if n_planes < 64 && (k >> n_planes) != 0 {
+        gt.fill(0);
+        eq.fill(0);
+        return;
+    }
+    let n_vecs = words / WORDS_PER_VEC;
+    let (pg, pe, ppl) = (gt.as_mut_ptr(), eq.as_mut_ptr(), planes.as_ptr());
+    unsafe {
+        for v in 0..n_vecs {
+            let o = v * WORDS_PER_VEC;
+            let mut g = load(pg.add(o));
+            let mut e = load(pe.add(o));
+            for p in (0..n_planes).rev() {
+                let pl = load(ppl.add(p * words + o));
+                if (k >> p) & 1 == 1 {
+                    e = _mm256_and_si256(e, pl);
+                } else {
+                    g = _mm256_or_si256(g, _mm256_and_si256(e, pl));
+                    e = _mm256_andnot_si256(pl, e);
+                }
+            }
+            store(pg.add(o), g);
+            store(pe.add(o), e);
+        }
+        for w in (n_vecs * WORDS_PER_VEC)..words {
+            let mut g = *pg.add(w);
+            let mut e = *pe.add(w);
+            for p in (0..n_planes).rev() {
+                let pl = *ppl.add(p * words + w);
+                if (k >> p) & 1 == 1 {
+                    e &= pl;
+                } else {
+                    g |= e & pl;
+                    e &= !pl;
+                }
+            }
+            *pg.add(w) = g;
+            *pe.add(w) = e;
+        }
     }
 }
 

@@ -62,7 +62,7 @@ pub mod similarity;
 pub use accum::Accumulator;
 pub use bitvec::BinaryHv;
 pub use dim::Dim;
-pub use encoder::{Encode, NgramEncoder, RecordEncoder, RecordEncoderBuilder};
+pub use encoder::{Encode, EncodeScratch, NgramEncoder, RecordEncoder, RecordEncoderBuilder};
 pub use error::HdcError;
 pub use item_memory::{LevelMemory, PositionMemory};
 pub use kernels::{

@@ -12,9 +12,14 @@ cargo build --release --offline --workspace --all-targets
 echo "== offline test suite (kernel tier: scalar forced) =="
 LEHDC_KERNEL=scalar cargo test -q --offline --workspace
 
+echo "== accumulator/encoder parity suite (kernel tier: scalar forced) =="
+LEHDC_KERNEL=scalar cargo test -q --offline -p hdc --test accum_parity
+
 if grep -q '\bavx2\b' /proc/cpuinfo 2>/dev/null; then
     echo "== offline test suite (kernel tier: avx2 forced) =="
     LEHDC_KERNEL=avx2 cargo test -q --offline --workspace
+    echo "== accumulator/encoder parity suite (kernel tier: avx2 forced) =="
+    LEHDC_KERNEL=avx2 cargo test -q --offline -p hdc --test accum_parity
 else
     echo "== offline test suite (avx2 pass skipped: CPU lacks AVX2) =="
 fi
@@ -51,7 +56,7 @@ if [ "${CHECK_BENCH_COMPARE:-0}" != "0" ]; then
     echo "== bench regression gate (opt-in via CHECK_BENCH_COMPARE=1) =="
     # Compares the run above against the committed snapshot for the groups
     # whose scaling the thread pool is responsible for.
-    ./scripts/bench_compare.sh --rerun classify_all classify_blocked transpose_matmul backward encode train_step
+    ./scripts/bench_compare.sh --rerun classify_all classify_blocked transpose_matmul backward encode record_encode encode_pooled train_step
 fi
 
 echo "== manifest hermeticity check =="
