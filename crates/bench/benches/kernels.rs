@@ -403,6 +403,189 @@ fn bench_train_step(c: &mut Bench) {
     group.finish();
 }
 
+/// A noisy multi-class corpus of packed hypervectors for the strategy-epoch
+/// benches: ~30% bit noise over one prototype per class, so a meaningful
+/// fraction of samples misclassify and the update paths do real work.
+fn epoch_corpus(d: usize, classes: usize, samples: usize) -> lehdc::EncodedDataset {
+    let dim = Dim::new(d);
+    let mut rng = Xoshiro256pp::seed_from_u64(0xE9 + d as u64);
+    let protos: Vec<hdc::BinaryHv> = (0..classes)
+        .map(|_| hdc::BinaryHv::random(dim, &mut rng))
+        .collect();
+    let mut hvs = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let class = i % classes;
+        let mut hv = protos[class].clone();
+        for _ in 0..(3 * d) / 10 {
+            hv.flip(rng.random_range(0..d));
+        }
+        hvs.push(hv);
+        // Deterministically mislabel ~14% of samples: random prototypes at
+        // large D are fully separable, so without label noise the frozen
+        // model misses nothing and the update arms of the epoch benches
+        // would measure an empty code path.
+        let label = if i % 7 == 3 { (class + 1) % classes } else { class };
+        labels.push(label);
+    }
+    lehdc::EncodedDataset::from_parts(hvs, labels, classes).unwrap()
+}
+
+/// One QuantHD retraining iteration at the paper's `D = 10,000`: the
+/// historical per-sample path (one scalar classify plus one f32 update pair
+/// per miss) against the batched engine (one blocked thread-chunked
+/// classification plus one integer-vote application). This group carries the
+/// per-iteration speedup target of the batched epoch engine.
+fn bench_retrain_epoch(c: &mut Bench) {
+    use hdc::RealHv;
+    use lehdc::{EpochEngine, VoteLedger};
+
+    let mut group = c.benchmark_group("retrain_epoch");
+    group.sample_size(10);
+    let d = 10_000usize;
+    let (classes, samples) = (10usize, 2048usize);
+    let train = epoch_corpus(d, classes, samples);
+    let nonbinary: Vec<RealHv> = lehdc::baseline::accumulate_class_sums(&train).unwrap();
+    let model =
+        lehdc::HdcModel::new(nonbinary.iter().map(RealHv::sign).collect::<Vec<_>>()).unwrap();
+    let alpha = 0.05f32;
+
+    group.throughput(Throughput::Elements(samples as u64));
+    group.bench_with_input(BenchmarkId::new("serial", d), &d, |bencher, _| {
+        bencher.iter(|| {
+            let mut nb = nonbinary.clone();
+            let mut correct = 0usize;
+            for i in 0..train.len() {
+                let (hv, label) = train.sample(i);
+                let predicted = model.classify(hv);
+                if predicted == label {
+                    correct += 1;
+                } else {
+                    nb[label].add_scaled(hv, alpha);
+                    nb[predicted].add_scaled(hv, -alpha);
+                }
+            }
+            let updated =
+                lehdc::HdcModel::new(nb.iter().map(RealHv::sign).collect::<Vec<_>>()).unwrap();
+            black_box((correct, updated))
+        });
+    });
+    for &threads in SCALING_THREADS {
+        let engine = EpochEngine::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new(format!("batched/threads{threads}"), d),
+            &d,
+            |bencher, _| {
+                bencher.iter(|| {
+                    let mut nb = nonbinary.clone();
+                    let mut ledger = VoteLedger::new(classes, train.dim());
+                    let predictions = engine.classify_epoch(&model, train.hvs());
+                    let mut correct = 0usize;
+                    for (i, &predicted) in predictions.iter().enumerate() {
+                        let (hv, label) = train.sample(i);
+                        if predicted == label {
+                            correct += 1;
+                        } else {
+                            ledger.record(hv, label, predicted);
+                        }
+                    }
+                    ledger.apply(&mut nb, alpha, engine.pool());
+                    let updated =
+                        lehdc::HdcModel::new(nb.iter().map(RealHv::sign).collect::<Vec<_>>())
+                            .unwrap();
+                    black_box((correct, updated))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The enhanced strategy's per-iteration logit matrix at `D = 10,000`: the
+/// historical one-`similarities`-call-per-sample loop against the engine's
+/// blocked thread-chunked `similarities_epoch` fan-out (exact same integer
+/// dots, row-major).
+fn bench_enhanced_epoch(c: &mut Bench) {
+    use lehdc::EpochEngine;
+
+    let mut group = c.benchmark_group("enhanced_epoch");
+    group.sample_size(10);
+    let d = 10_000usize;
+    let (classes, samples) = (10usize, 1024usize);
+    let train = epoch_corpus(d, classes, samples);
+    let nonbinary = lehdc::baseline::accumulate_class_sums(&train).unwrap();
+    let model = lehdc::HdcModel::new(nonbinary.iter().map(hdc::RealHv::sign).collect::<Vec<_>>())
+        .unwrap();
+
+    group.throughput(Throughput::Elements(samples as u64));
+    group.bench_with_input(BenchmarkId::new("serial", d), &d, |bencher, _| {
+        bencher.iter(|| {
+            let mut acc = 0i64;
+            for hv in train.hvs() {
+                let sims = model.similarities(black_box(hv));
+                acc = acc.wrapping_add(sims[0]);
+            }
+            black_box(acc)
+        });
+    });
+    for &threads in SCALING_THREADS {
+        let engine = EpochEngine::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new(format!("batched/threads{threads}"), d),
+            &d,
+            |bencher, _| {
+                bencher.iter(|| black_box(engine.similarities_epoch(&model, train.hvs())));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Multi-model (SearcHD) batch classification at `D = 10,000`: the serial
+/// per-query nested argmax against the flat class-major blocked kernel
+/// across pool widths. Predictions are bit-identical (first-win tie-break
+/// over the same visit order).
+fn bench_multimodel_classify(c: &mut Bench) {
+    let mut group = c.benchmark_group("multimodel_classify");
+    group.sample_size(10);
+    let d = 10_000usize;
+    let train = epoch_corpus(d, 10, 256);
+    let cfg = lehdc::MultiModelConfig {
+        models_per_class: 16,
+        iterations: 1,
+        ..lehdc::MultiModelConfig::quick()
+    };
+    let (mm, _) = lehdc::multimodel::train_multimodel(&train, None, &cfg).unwrap();
+    let queries = train.hvs();
+
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_with_input(BenchmarkId::new("serial", d), &d, |bencher, _| {
+        bencher.iter(|| {
+            let mut acc = 0usize;
+            for q in queries {
+                acc = acc.wrapping_add(mm.classify(black_box(q)));
+            }
+            black_box(acc)
+        });
+    });
+    for &threads in SCALING_THREADS {
+        group.bench_with_input(
+            BenchmarkId::new(format!("blocked/threads{threads}"), d),
+            &d,
+            |bencher, _| {
+                bencher.iter(|| {
+                    black_box(mm.classify_all_blocked(
+                        black_box(queries),
+                        hdc::kernels::QUERY_BLOCK,
+                        threads,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Bare dispatch cost of the persistent pool: an empty fan-out, so the
 /// measured time is entirely publish + wake + claim + join. With the old
 /// spawn-per-call pool this was ~100 µs of thread creation; parked workers
@@ -436,5 +619,8 @@ testkit::bench_main!(
     bench_classify_threads,
     bench_classify_blocked,
     bench_train_step,
+    bench_retrain_epoch,
+    bench_enhanced_epoch,
+    bench_multimodel_classify,
     bench_pool_dispatch,
 );

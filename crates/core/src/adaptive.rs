@@ -15,8 +15,9 @@
 
 use hdc::RealHv;
 
-use crate::baseline::accumulate_class_sums;
+use crate::baseline::accumulate_class_sums_pooled;
 use crate::encoded::EncodedDataset;
+use crate::engine::{record_strategy_epoch, EpochEngine, StrategySpans};
 use crate::error::LehdcError;
 use crate::history::{EpochRecord, TrainingHistory};
 use crate::model::HdcModel;
@@ -80,6 +81,13 @@ impl AdaptiveConfig {
 
 /// Trains with adaptive-rate retraining.
 ///
+/// The per-sample gap-scaled updates stay sequential, but each iteration's
+/// similarity matrix against the frozen model comes from one batched
+/// blocked forward (exact integer dots — identical update arithmetic to
+/// the per-sample loop). The predicted class breaks ties toward the
+/// **lowest** index, matching `model.classify` and every argmax kernel
+/// (the historical `Iterator::max_by_key` scan kept the *last* maximum).
+///
 /// # Errors
 ///
 /// Returns [`LehdcError::InvalidConfig`] for an invalid configuration or a
@@ -89,11 +97,32 @@ pub fn train_adaptive(
     test: Option<&EncodedDataset>,
     config: &AdaptiveConfig,
 ) -> Result<(HdcModel, TrainingHistory), LehdcError> {
+    train_adaptive_recorded(train, test, config, 1, &obs::Recorder::disabled())
+}
+
+/// [`train_adaptive`] fanned out over `threads` pool workers, with
+/// per-iteration classify/update/binarize/eval spans recorded into `rec`
+/// (and into [`EpochRecord::timing`]) when it is enabled.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] for an invalid configuration or a
+/// class with no training samples.
+pub fn train_adaptive_recorded(
+    train: &EncodedDataset,
+    test: Option<&EncodedDataset>,
+    config: &AdaptiveConfig,
+    threads: usize,
+    rec: &obs::Recorder,
+) -> Result<(HdcModel, TrainingHistory), LehdcError> {
     config.validate()?;
-    let mut nonbinary: Vec<RealHv> = accumulate_class_sums(train)?;
+    let engine = EpochEngine::new(threads);
+    let mut nonbinary: Vec<RealHv> = accumulate_class_sums_pooled(train, threads)?;
     let mut model = binarize(&nonbinary)?;
     let mut history = TrainingHistory::new();
     let d = train.dim().get() as f64;
+    let k = train.n_classes();
+    let mut touched = vec![false; k];
     let mut prev_error = 1.0f64; // start at the maximum rate
 
     for iter in 0..config.iterations {
@@ -102,37 +131,71 @@ pub fn train_adaptive(
         } else {
             1.0
         };
+        let epoch_timer = rec.start();
+
+        let t = rec.start();
+        let sims = engine.similarities_epoch(&model, train.hvs());
+        let classify_ns = t.elapsed_ns();
+
+        let t = rec.start();
+        touched.fill(false);
         let mut correct = 0usize;
         for i in 0..train.len() {
             let (hv, label) = train.sample(i);
-            let sims = model.similarities(hv);
-            let predicted = sims
-                .iter()
-                .enumerate()
-                .max_by_key(|&(_, &dot)| dot)
-                .map(|(k, _)| k)
-                .unwrap_or(0);
+            let row = &sims[i * k..(i + 1) * k];
+            let mut predicted = 0usize;
+            for c in 1..k {
+                if row[c] > row[predicted] {
+                    predicted = c;
+                }
+            }
             if predicted == label {
                 correct += 1;
                 continue;
             }
             // cosine = dot / D; gap ∈ (0, 2]
-            let gap = ((sims[predicted] - sims[label]) as f64 / d) as f32;
+            let gap = ((row[predicted] - row[label]) as f64 / d) as f32;
             let data_scale = if config.data_dependent { gap / 2.0 } else { 1.0 };
             let alpha = config.max_alpha * iter_scale * data_scale;
             nonbinary[label].add_scaled(hv, alpha);
             nonbinary[predicted].add_scaled(hv, -alpha);
+            touched[label] = true;
+            touched[predicted] = true;
         }
+        let update_ns = t.elapsed_ns();
         prev_error = 1.0 - correct as f64 / train.len() as f64;
-        model = binarize(&nonbinary)?;
+
+        let t = rec.start();
+        // Re-sign exactly the classes this pass updated; untouched rows are
+        // bit-unchanged, so this equals a full rebinarize.
+        for (c, _) in touched.iter().enumerate().filter(|(_, &t)| t) {
+            model.resign_class(c, &nonbinary[c]);
+        }
+        let binarize_ns = t.elapsed_ns();
+
+        let t = rec.start();
+        let train_accuracy = correct as f64 / train.len() as f64;
+        let test_accuracy = test.map(|ts| engine.accuracy(&model, ts.hvs(), ts.labels()));
+        let eval_ns = t.elapsed_ns();
+
+        let spans = StrategySpans {
+            classify_ns,
+            update_ns,
+            binarize_ns,
+            eval_ns,
+            epoch_ns: epoch_timer.elapsed_ns(),
+            samples: train.len(),
+        };
+        let timing =
+            record_strategy_epoch(rec, "adaptive", iter, &spans, train_accuracy, test_accuracy);
         history.push(EpochRecord {
             epoch: iter,
-            train_accuracy: correct as f64 / train.len() as f64,
-            test_accuracy: test.map(|t| model.accuracy(t.hvs(), t.labels())),
+            train_accuracy,
+            test_accuracy,
             validation_accuracy: None,
             loss: None,
             learning_rate: Some(config.max_alpha * iter_scale),
-            timing: None,
+            timing,
         });
     }
     Ok((model, history))

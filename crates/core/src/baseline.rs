@@ -38,23 +38,63 @@ use crate::model::HdcModel;
 /// # }
 /// ```
 pub fn train_baseline(train: &EncodedDataset, seed: u64) -> Result<HdcModel, LehdcError> {
-    let k = train.n_classes();
-    let mut accumulators: Vec<Accumulator> = (0..k).map(|_| Accumulator::new(train.dim())).collect();
-    for i in 0..train.len() {
-        let (hv, label) = train.sample(i);
-        accumulators[label].add(hv);
-    }
-    if let Some(empty) = accumulators.iter().position(Accumulator::is_empty) {
-        return Err(LehdcError::InvalidConfig(format!(
-            "class {empty} has no training samples"
-        )));
-    }
+    train_baseline_threaded(train, seed, 1)
+}
+
+/// [`train_baseline`] with the per-class bundling fanned out over `threads`
+/// pool workers.
+///
+/// Each chunk bundles its samples into per-class bit-sliced accumulators and
+/// the partials merge in chunk order; counts are exact integers, so the
+/// merged accumulators — and the thresholded model, whose tie-break RNG
+/// stream depends only on the final counters — are bit-identical to the
+/// sequential pass at any thread count.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] if some class has no samples.
+pub fn train_baseline_threaded(
+    train: &EncodedDataset,
+    seed: u64,
+    threads: usize,
+) -> Result<HdcModel, LehdcError> {
+    let accumulators = class_accumulators_pooled(train, threads)?;
     let mut rng = rng_for(seed, 0xBA5E);
     let class_hvs = accumulators
         .iter()
         .map(|acc| acc.threshold(&mut rng))
         .collect();
     HdcModel::new(class_hvs)
+}
+
+/// Bundles the corpus into one exact bit-sliced [`Accumulator`] per class,
+/// chunked across the pool and merged in chunk order.
+fn class_accumulators_pooled(
+    train: &EncodedDataset,
+    threads: usize,
+) -> Result<Vec<Accumulator>, LehdcError> {
+    let k = train.n_classes();
+    let pool = threadpool::ThreadPool::new(threads);
+    let parts = pool.run_chunks(train.len(), |range| {
+        let mut accs: Vec<Accumulator> = (0..k).map(|_| Accumulator::new(train.dim())).collect();
+        for i in range {
+            let (hv, label) = train.sample(i);
+            accs[label].add(hv);
+        }
+        accs
+    });
+    let mut accumulators: Vec<Accumulator> = (0..k).map(|_| Accumulator::new(train.dim())).collect();
+    for part in &parts {
+        for (acc, partial) in accumulators.iter_mut().zip(part) {
+            acc.merge(partial);
+        }
+    }
+    if let Some(empty) = accumulators.iter().position(Accumulator::is_empty) {
+        return Err(LehdcError::InvalidConfig(format!(
+            "class {empty} has no training samples"
+        )));
+    }
+    Ok(accumulators)
 }
 
 /// Accumulates the *non-binary* class hypervectors (the raw bipolar sums of
@@ -65,20 +105,39 @@ pub fn train_baseline(train: &EncodedDataset, seed: u64) -> Result<HdcModel, Leh
 ///
 /// Returns [`LehdcError::InvalidConfig`] if some class has no samples.
 pub fn accumulate_class_sums(train: &EncodedDataset) -> Result<Vec<RealHv>, LehdcError> {
-    let k = train.n_classes();
-    let mut sums: Vec<RealHv> = (0..k).map(|_| RealHv::zeros(train.dim())).collect();
-    let mut counts = vec![0usize; k];
-    for i in 0..train.len() {
-        let (hv, label) = train.sample(i);
-        sums[label].add_scaled(hv, 1.0);
-        counts[label] += 1;
-    }
-    if let Some(empty) = counts.iter().position(|&c| c == 0) {
-        return Err(LehdcError::InvalidConfig(format!(
-            "class {empty} has no training samples"
-        )));
-    }
-    Ok(sums)
+    accumulate_class_sums_pooled(train, 1)
+}
+
+/// [`accumulate_class_sums`] fanned out over `threads` pool workers via
+/// per-chunk bit-sliced accumulators.
+///
+/// The per-dimension sums are integers with magnitude below `2²⁴` for any
+/// realistic corpus, so converting the exact counters to `f32` yields
+/// bit-identical values to the sequential `±1.0` accumulation at any thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] if some class has no samples.
+pub fn accumulate_class_sums_pooled(
+    train: &EncodedDataset,
+    threads: usize,
+) -> Result<Vec<RealHv>, LehdcError> {
+    let accumulators = class_accumulators_pooled(train, threads)?;
+    let mut counts = vec![0u32; train.dim().get()];
+    Ok(accumulators
+        .iter()
+        .map(|acc| {
+            acc.counts_into(&mut counts);
+            let n = acc.len() as i64;
+            RealHv::from_values(
+                counts
+                    .iter()
+                    .map(|&c| (2 * i64::from(c) - n) as f32)
+                    .collect(),
+            )
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -148,6 +207,25 @@ mod tests {
                 &sum.sign(),
                 &model.class_hvs()[c],
                 "sum sign must equal the baseline hypervector for class {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_accumulation_matches_serial_at_any_thread_count() {
+        let (train, _) = clustered_corpus(3, 11, 517, 40, 4);
+        let serial_sums = accumulate_class_sums(&train).unwrap();
+        let serial_model = train_baseline(&train, 9).unwrap();
+        for threads in [2, 4] {
+            assert_eq!(
+                accumulate_class_sums_pooled(&train, threads).unwrap(),
+                serial_sums,
+                "sums threads={threads}"
+            );
+            assert_eq!(
+                train_baseline_threaded(&train, 9, threads).unwrap(),
+                serial_model,
+                "model threads={threads}"
             );
         }
     }

@@ -14,8 +14,9 @@
 
 use hdc::RealHv;
 
-use crate::baseline::accumulate_class_sums;
+use crate::baseline::accumulate_class_sums_pooled;
 use crate::encoded::EncodedDataset;
+use crate::engine::{record_strategy_epoch, EpochEngine, StrategySpans};
 use crate::error::LehdcError;
 use crate::history::{EpochRecord, TrainingHistory};
 use crate::model::HdcModel;
@@ -27,6 +28,15 @@ use crate::retrain::{binarize, RetrainConfig};
 /// by the per-class similarity gap, so effective steps shrink as training
 /// converges — which is what stabilizes the Fig. 3 trajectory.
 ///
+/// The per-sample scaled updates stay sequential (each update depends on
+/// its own similarity row), but the dominant cost — the full per-class
+/// logit matrix against the frozen model — comes from one batched blocked
+/// forward per iteration. The dots are exact integers, so the update
+/// arithmetic is bit-identical to the historical per-sample
+/// `model.similarities` loop. The predicted class breaks ties toward the
+/// **lowest** index, matching `model.classify` and every argmax kernel
+/// (the historical `Iterator::min_by` scan kept the *last* minimum).
+///
 /// # Errors
 ///
 /// Returns [`LehdcError::InvalidConfig`] for an invalid configuration or a
@@ -36,11 +46,33 @@ pub fn train_enhanced(
     test: Option<&EncodedDataset>,
     config: &RetrainConfig,
 ) -> Result<(HdcModel, TrainingHistory), LehdcError> {
+    train_enhanced_recorded(train, test, config, 1, &obs::Recorder::disabled())
+}
+
+/// [`train_enhanced`] fanned out over `threads` pool workers, with
+/// per-iteration classify/update/binarize/eval spans recorded into `rec`
+/// (and into [`EpochRecord::timing`]) when it is enabled.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] for an invalid configuration or a
+/// class with no training samples.
+pub fn train_enhanced_recorded(
+    train: &EncodedDataset,
+    test: Option<&EncodedDataset>,
+    config: &RetrainConfig,
+    threads: usize,
+    rec: &obs::Recorder,
+) -> Result<(HdcModel, TrainingHistory), LehdcError> {
     config.validate()?;
-    let mut nonbinary: Vec<RealHv> = accumulate_class_sums(train)?;
+    let engine = EpochEngine::new(threads);
+    let mut nonbinary: Vec<RealHv> = accumulate_class_sums_pooled(train, threads)?;
     let mut model = binarize(&nonbinary)?;
     let mut history = TrainingHistory::new();
     let d = train.dim().get() as f64;
+    let k = train.n_classes();
+    let mut hamm = vec![0f64; k];
+    let mut touched = vec![false; k];
 
     for iter in 0..config.iterations {
         let alpha = if iter == 0 {
@@ -48,15 +80,28 @@ pub fn train_enhanced(
         } else {
             config.alpha
         };
+        let epoch_timer = rec.start();
+
+        let t = rec.start();
+        let sims = engine.similarities_epoch(&model, train.hvs());
+        let classify_ns = t.elapsed_ns();
+
+        let t = rec.start();
+        touched.fill(false);
         let mut correct = 0usize;
         for i in 0..train.len() {
             let (hv, label) = train.sample(i);
             // Normalized Hamming distances to every class: h = (D - dot)/2D.
-            let sims = model.similarities(hv);
-            let hamm: Vec<f64> = sims.iter().map(|&dot| (d - dot as f64) / (2.0 * d)).collect();
-            let predicted = (0..hamm.len())
-                .min_by(|&a, &b| hamm[a].partial_cmp(&hamm[b]).unwrap())
-                .unwrap_or(0);
+            let row = &sims[i * k..(i + 1) * k];
+            for (h, &dot) in hamm.iter_mut().zip(row) {
+                *h = (d - dot as f64) / (2.0 * d);
+            }
+            let mut predicted = 0usize;
+            for c in 1..k {
+                if hamm[c] < hamm[predicted] {
+                    predicted = c;
+                }
+            }
             if predicted == label {
                 correct += 1;
                 continue;
@@ -65,24 +110,50 @@ pub fn train_enhanced(
             // sits from the ideal distance 0.
             let pull = alpha * hamm[label] as f32;
             nonbinary[label].add_scaled(hv, pull);
+            touched[label] = true;
             // Push away EVERY wrong class at least as similar as the true
             // class, scaled by its gap from the ideal distance 0.5.
-            for (k, &h) in hamm.iter().enumerate() {
-                if k != label && h <= hamm[label] {
+            for (c, &h) in hamm.iter().enumerate() {
+                if c != label && h <= hamm[label] {
                     let push = alpha * (0.5 - h).max(0.0) as f32;
-                    nonbinary[k].add_scaled(hv, -push);
+                    nonbinary[c].add_scaled(hv, -push);
+                    touched[c] = true;
                 }
             }
         }
-        model = binarize(&nonbinary)?;
+        let update_ns = t.elapsed_ns();
+
+        let t = rec.start();
+        // Re-sign exactly the classes this pass updated; untouched rows are
+        // bit-unchanged, so this equals a full rebinarize.
+        for (c, _) in touched.iter().enumerate().filter(|(_, &t)| t) {
+            model.resign_class(c, &nonbinary[c]);
+        }
+        let binarize_ns = t.elapsed_ns();
+
+        let t = rec.start();
+        let train_accuracy = correct as f64 / train.len() as f64;
+        let test_accuracy = test.map(|ts| engine.accuracy(&model, ts.hvs(), ts.labels()));
+        let eval_ns = t.elapsed_ns();
+
+        let spans = StrategySpans {
+            classify_ns,
+            update_ns,
+            binarize_ns,
+            eval_ns,
+            epoch_ns: epoch_timer.elapsed_ns(),
+            samples: train.len(),
+        };
+        let timing =
+            record_strategy_epoch(rec, "enhanced", iter, &spans, train_accuracy, test_accuracy);
         history.push(EpochRecord {
             epoch: iter,
-            train_accuracy: correct as f64 / train.len() as f64,
-            test_accuracy: test.map(|t| model.accuracy(t.hvs(), t.labels())),
+            train_accuracy,
+            test_accuracy,
             validation_accuracy: None,
             loss: None,
             learning_rate: Some(alpha),
-            timing: None,
+            timing,
         });
     }
     Ok((model, history))

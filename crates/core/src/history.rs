@@ -18,6 +18,17 @@ pub struct EpochTiming {
     pub backward_ns: u64,
     /// Fused optimizer steps (Adam + clips + rebinarize + repack).
     pub optimizer_ns: u64,
+    /// Batched classification of the training corpus against the frozen
+    /// model (comparison-strategy iterations; zero for the LeHDC trainer,
+    /// whose forward cost lands in `forward_ns`).
+    pub classify_ns: u64,
+    /// Misclassification updates — vote accumulation + application for the
+    /// retraining strategies, per-sample scaled updates for the others
+    /// (zero for the LeHDC trainer).
+    pub update_ns: u64,
+    /// Re-binarization of the non-binary shadow model at the end of a
+    /// retraining iteration (zero for strategies without one).
+    pub binarize_ns: u64,
     /// End-of-epoch evaluation (validation + train/test accuracy).
     pub eval_ns: u64,
     /// Whole epoch, wall-clock.

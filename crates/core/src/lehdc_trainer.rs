@@ -611,6 +611,7 @@ fn train_lehdc_impl(
             eval_ns,
             epoch_ns,
             samples_per_sec,
+            ..EpochTiming::default()
         });
         if rec.enabled() {
             rec.observe_ns("train/epoch_ns", epoch_ns);

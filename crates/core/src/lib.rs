@@ -43,6 +43,7 @@
 pub mod adaptive;
 pub mod baseline;
 pub mod encoded;
+pub mod engine;
 pub mod enhanced;
 pub mod error;
 pub mod history;
@@ -59,6 +60,7 @@ pub(crate) mod test_util;
 
 pub use adaptive::AdaptiveConfig;
 pub use encoded::EncodedDataset;
+pub use engine::{EpochEngine, VoteLedger};
 pub use error::LehdcError;
 pub use history::{EpochRecord, EpochTiming, TrainingHistory};
 pub use lehdc_trainer::{EarlyStopping, LehdcConfig};

@@ -73,6 +73,32 @@ impl HdcModel {
         &self.class_hvs
     }
 
+    /// Recomputes class `k`'s hypervector as `real.sign()` in place and
+    /// returns the Hamming distance between the old and new rows (the
+    /// class's contribution to the retraining flip-fraction signal).
+    ///
+    /// The retraining strategies call this for exactly the classes whose
+    /// non-binary hypervector changed in an iteration; classes left
+    /// untouched keep bit-identical rows (an unchanged `RealHv` has an
+    /// unchanged sign), so re-signing only the touched set produces the
+    /// same model as a full rebinarize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or `real`'s dimension differs from the
+    /// model's.
+    pub fn resign_class(&mut self, k: usize, real: &RealHv) -> usize {
+        assert_eq!(
+            real.dim(),
+            self.dim,
+            "class hypervector dimension must match the model"
+        );
+        let new = real.sign();
+        let flipped = self.class_hvs[k].hamming(&new);
+        self.class_hvs[k] = new;
+        flipped
+    }
+
     /// The similarity scores `En(x)ᵀ c_k` for every class (higher = more
     /// similar).
     ///
@@ -388,13 +414,26 @@ impl NonBinaryModel {
     /// Panics if the slices have different lengths or are empty.
     #[must_use]
     pub fn accuracy(&self, queries: &[BinaryHv], labels: &[usize]) -> f64 {
+        self.accuracy_threaded(queries, labels, 1)
+    }
+
+    /// [`accuracy`](Self::accuracy) fanned out over `threads` pool workers.
+    ///
+    /// Each chunk runs the identical per-sample cosine scan and the correct
+    /// count is an exact integer sum, so the result is identical at any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    #[must_use]
+    pub fn accuracy_threaded(&self, queries: &[BinaryHv], labels: &[usize], threads: usize) -> f64 {
         assert_eq!(queries.len(), labels.len(), "one label per query required");
         assert!(!queries.is_empty(), "empty query set has no accuracy");
-        let correct = queries
-            .iter()
-            .zip(labels)
-            .filter(|(q, &y)| self.classify(q) == y)
-            .count();
+        let pool = threadpool::ThreadPool::new(threads);
+        let correct = pool.sum_indices(queries.len(), |i| {
+            usize::from(self.classify(&queries[i]) == labels[i])
+        });
         correct as f64 / queries.len() as f64
     }
 

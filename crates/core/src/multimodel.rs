@@ -15,10 +15,11 @@
 
 use hdc::item_memory::random_codebook;
 use hdc::rng::rng_for;
-use hdc::{Accumulator, BinaryHv};
+use hdc::{kernels, Accumulator, BinaryHv};
 use testkit::Rng;
 
 use crate::encoded::EncodedDataset;
+use crate::engine::{record_strategy_epoch, StrategySpans};
 use crate::error::LehdcError;
 use crate::history::{EpochRecord, TrainingHistory};
 use crate::model::HdcModel;
@@ -120,6 +121,47 @@ impl MultiModel {
         self.best_match(query).0
     }
 
+    /// Classifies a batch of queries through the query-blocked argmax kernel
+    /// over all `K·n` hypervectors, chunked across `threads` pool workers.
+    ///
+    /// The flattened row scan visits classes and models in the same order as
+    /// per-query [`classify`](Self::classify) and keeps the first minimum
+    /// Hamming distance, so predictions are bit-identical at any block size,
+    /// thread count, and kernel tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero or any query dimension differs.
+    #[must_use]
+    pub fn classify_all_blocked(
+        &self,
+        queries: &[BinaryHv],
+        block: usize,
+        threads: usize,
+    ) -> Vec<usize> {
+        let n = self.models_per_class();
+        let rows: Vec<&[u64]> = self
+            .models
+            .iter()
+            .flat_map(|class| class.iter().map(BinaryHv::as_words))
+            .collect();
+        if let Some(bad) = queries.iter().find(|q| q.dim() != self.models[0][0].dim()) {
+            panic!(
+                "query dimension must match the models: {} vs {}",
+                bad.dim(),
+                self.models[0][0].dim()
+            );
+        }
+        let pool = threadpool::ThreadPool::new(threads);
+        let parts = pool.run_chunks(queries.len(), |range| {
+            let chunk: Vec<&[u64]> = queries[range].iter().map(BinaryHv::as_words).collect();
+            let mut flat = vec![0usize; chunk.len()];
+            kernels::argmax_dot_blocked_into(&chunk, &rows, block, &mut flat);
+            flat.iter().map(|&f| f / n).collect::<Vec<usize>>()
+        });
+        parts.concat()
+    }
+
     /// Accuracy on encoded samples.
     ///
     /// # Panics
@@ -127,13 +169,22 @@ impl MultiModel {
     /// Panics if the slices have different lengths or are empty.
     #[must_use]
     pub fn accuracy(&self, queries: &[BinaryHv], labels: &[usize]) -> f64 {
+        self.accuracy_threaded(queries, labels, 1)
+    }
+
+    /// [`accuracy`](Self::accuracy) fanned out over `threads` pool workers
+    /// on the query-blocked classification path — identical result at any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    #[must_use]
+    pub fn accuracy_threaded(&self, queries: &[BinaryHv], labels: &[usize], threads: usize) -> f64 {
         assert_eq!(queries.len(), labels.len(), "one label per query required");
         assert!(!queries.is_empty(), "empty query set has no accuracy");
-        let correct = queries
-            .iter()
-            .zip(labels)
-            .filter(|(q, &y)| self.classify(q) == y)
-            .count();
+        let preds = self.classify_all_blocked(queries, kernels::QUERY_BLOCK, threads);
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
         correct as f64 / queries.len() as f64
     }
 
@@ -161,29 +212,32 @@ impl MultiModel {
     }
 
     /// `(class, model index, dot)` of the globally best-matching hypervector.
+    ///
+    /// Routed through the blocked argmax kernel over the flattened
+    /// class-major row list; the flat first-win scan visits `(k, m)` pairs
+    /// in the same order as the nested loop it replaced, so ties resolve
+    /// identically (lowest class, then lowest model index).
     fn best_match(&self, query: &BinaryHv) -> (usize, usize, i64) {
-        let mut best = (0usize, 0usize, i64::MIN);
-        for (k, class) in self.models.iter().enumerate() {
-            for (m, hv) in class.iter().enumerate() {
-                let dot = query.dot(hv);
-                if dot > best.2 {
-                    best = (k, m, dot);
-                }
-            }
-        }
-        best
+        let rows: Vec<&[u64]> = self
+            .models
+            .iter()
+            .flat_map(|class| class.iter().map(BinaryHv::as_words))
+            .collect();
+        let mut flat = [0usize; 1];
+        kernels::argmax_dot_blocked_into(&[query.as_words()], &rows, 1, &mut flat);
+        let n = self.models_per_class();
+        let (k, m) = (flat[0] / n, flat[0] % n);
+        (k, m, query.dot(&self.models[k][m]))
     }
 
-    /// Best-matching model index within one class.
+    /// Best-matching model index within one class (lowest index on ties,
+    /// like [`best_match`](Self::best_match)).
     fn best_in_class(&self, query: &BinaryHv, k: usize) -> usize {
-        let mut best = (0usize, i64::MIN);
-        for (m, hv) in self.models[k].iter().enumerate() {
-            let dot = query.dot(hv);
-            if dot > best.1 {
-                best = (m, dot);
-            }
-        }
-        best.0
+        kernels::argmax_dot(
+            query.as_words(),
+            self.models[k].iter().map(BinaryHv::as_words),
+        )
+        .expect("every class holds at least one model")
     }
 }
 
@@ -202,6 +256,29 @@ pub fn train_multimodel(
     train: &EncodedDataset,
     test: Option<&EncodedDataset>,
     config: &MultiModelConfig,
+) -> Result<(MultiModel, TrainingHistory), LehdcError> {
+    train_multimodel_recorded(train, test, config, 1, &obs::Recorder::disabled())
+}
+
+/// [`train_multimodel`] with accuracy evaluations fanned out over `threads`
+/// pool workers and per-iteration classify/update/eval spans recorded into
+/// `rec` (and into [`EpochRecord::timing`]) when it is enabled.
+///
+/// The in-pass stochastic updates stay sequential — each sample's flips
+/// depend on the models as already mutated by earlier samples, and the flip
+/// RNG stream is consumed in sample order — so models and histories are
+/// bit-identical to [`train_multimodel`] at any thread count; only the
+/// `best_match` scans and evaluations are kernel-routed.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] for an invalid configuration.
+pub fn train_multimodel_recorded(
+    train: &EncodedDataset,
+    test: Option<&EncodedDataset>,
+    config: &MultiModelConfig,
+    threads: usize,
+    rec: &obs::Recorder,
 ) -> Result<(MultiModel, TrainingHistory), LehdcError> {
     config.validate()?;
     let k = train.n_classes();
@@ -237,14 +314,20 @@ pub fn train_multimodel(
     let d = dim.get();
 
     for iter in 0..config.iterations {
+        let epoch_timer = rec.start();
+        let mut classify_ns = 0u64;
+        let mut update_ns = 0u64;
         let mut correct = 0usize;
         for i in 0..train.len() {
             let (hv, label) = train.sample(i);
+            let t = rec.start();
             let (pred_class, pred_model, pred_dot) = model.best_match(hv);
+            classify_ns += t.elapsed_ns();
             if pred_class == label {
                 correct += 1;
                 continue;
             }
+            let t = rec.start();
             // Flip probability scales with the margin violation: how much
             // more similar the wrong winner is than the best model of the
             // true class. Near-ties get tiny, late-training updates.
@@ -270,15 +353,31 @@ pub fn train_multimodel(
                     }
                 }
             }
+            update_ns += t.elapsed_ns();
         }
+        let t = rec.start();
+        let train_accuracy = correct as f64 / train.len() as f64;
+        let test_accuracy =
+            test.map(|ts| model.accuracy_threaded(ts.hvs(), ts.labels(), threads));
+        let eval_ns = t.elapsed_ns();
+        let spans = StrategySpans {
+            classify_ns,
+            update_ns,
+            binarize_ns: 0,
+            eval_ns,
+            epoch_ns: epoch_timer.elapsed_ns(),
+            samples: train.len(),
+        };
+        let timing =
+            record_strategy_epoch(rec, "multimodel", iter, &spans, train_accuracy, test_accuracy);
         history.push(EpochRecord {
             epoch: iter,
-            train_accuracy: correct as f64 / train.len() as f64,
-            test_accuracy: test.map(|t| model.accuracy(t.hvs(), t.labels())),
+            train_accuracy,
+            test_accuracy,
             validation_accuracy: None,
             loss: None,
             learning_rate: Some(config.flip_rate),
-            timing: None,
+            timing,
         });
     }
     Ok((model, history))
@@ -374,6 +473,28 @@ mod tests {
         let collapsed = mm.collapse(1).unwrap();
         assert_eq!(collapsed.n_classes(), 2);
         assert_eq!(collapsed.dim().get(), 256);
+    }
+
+    #[test]
+    fn blocked_classification_matches_per_query() {
+        let train = multimodal_corpus(3, 4, 300, 25, 25);
+        let (mm, _) = train_multimodel(&train, None, &MultiModelConfig::quick()).unwrap();
+        let serial: Vec<usize> = train.hvs().iter().map(|q| mm.classify(q)).collect();
+        let serial_acc = mm.accuracy(train.hvs(), train.labels());
+        for threads in [1, 4] {
+            for block in [1, 7, 64] {
+                assert_eq!(
+                    mm.classify_all_blocked(train.hvs(), block, threads),
+                    serial,
+                    "threads={threads} block={block}"
+                );
+            }
+            assert_eq!(
+                mm.accuracy_threaded(train.hvs(), train.labels(), threads),
+                serial_acc,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -10,8 +10,9 @@
 use binnet::{softmax_cross_entropy, Adam, BatchSampler, DenseLinear, Dropout, Optimizer, PlateauDecay};
 use hdc::RealHv;
 
-use crate::baseline::accumulate_class_sums;
+use crate::baseline::{accumulate_class_sums, accumulate_class_sums_pooled};
 use crate::encoded::EncodedDataset;
+use crate::engine::{record_strategy_epoch, StrategySpans};
 use crate::error::LehdcError;
 use crate::history::{EpochRecord, TrainingHistory};
 use crate::lehdc_trainer::LehdcConfig;
@@ -60,6 +61,31 @@ pub fn train_nonbinary(
     alpha: f32,
     iterations: usize,
 ) -> Result<(NonBinaryModel, TrainingHistory), LehdcError> {
+    train_nonbinary_recorded(train, test, alpha, iterations, 1, &obs::Recorder::disabled())
+}
+
+/// [`train_nonbinary`] with the class-sum initialization and accuracy
+/// evaluations fanned out over `threads` pool workers, and per-iteration
+/// classify/update/eval spans recorded into `rec` (and into
+/// [`EpochRecord::timing`]) when it is enabled.
+///
+/// The training pass itself stays sequential: the perceptron updates mutate
+/// the class hypervectors mid-pass, so each sample's cosine scan depends on
+/// the updates before it. Models and histories are bit-identical to
+/// [`train_nonbinary`] at any thread count.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] if `iterations == 0`, `alpha` is
+/// non-positive, or a class has no samples.
+pub fn train_nonbinary_recorded(
+    train: &EncodedDataset,
+    test: Option<&EncodedDataset>,
+    alpha: f32,
+    iterations: usize,
+    threads: usize,
+    rec: &obs::Recorder,
+) -> Result<(NonBinaryModel, TrainingHistory), LehdcError> {
     if iterations == 0 {
         return Err(LehdcError::InvalidConfig(
             "non-binary training needs at least one iteration".into(),
@@ -70,14 +96,18 @@ pub fn train_nonbinary(
             "alpha must be positive, got {alpha}"
         )));
     }
-    let mut class_hvs = accumulate_class_sums(train)?;
+    let mut class_hvs = accumulate_class_sums_pooled(train, threads)?;
     let mut history = TrainingHistory::new();
 
     for iter in 0..iterations {
+        let epoch_timer = rec.start();
+        let mut classify_ns = 0u64;
+        let mut update_ns = 0u64;
         let mut correct = 0usize;
         for i in 0..train.len() {
             let (hv, label) = train.sample(i);
             // classify by cosine against the current real class hvs
+            let t = rec.start();
             let mut best = (f64::NEG_INFINITY, 0usize);
             for (k, c) in class_hvs.iter().enumerate() {
                 let cos = c.cosine_binary(hv);
@@ -85,22 +115,40 @@ pub fn train_nonbinary(
                     best = (cos, k);
                 }
             }
+            classify_ns += t.elapsed_ns();
             if best.1 == label {
                 correct += 1;
             } else {
+                let t = rec.start();
                 class_hvs[label].add_scaled(hv, alpha);
                 class_hvs[best.1].add_scaled(hv, -alpha);
+                update_ns += t.elapsed_ns();
             }
         }
         let model = NonBinaryModel::new(class_hvs.clone())?;
+        let t = rec.start();
+        let train_accuracy = correct as f64 / train.len() as f64;
+        let test_accuracy =
+            test.map(|ts| model.accuracy_threaded(ts.hvs(), ts.labels(), threads));
+        let eval_ns = t.elapsed_ns();
+        let spans = StrategySpans {
+            classify_ns,
+            update_ns,
+            binarize_ns: 0,
+            eval_ns,
+            epoch_ns: epoch_timer.elapsed_ns(),
+            samples: train.len(),
+        };
+        let timing =
+            record_strategy_epoch(rec, "nonbinary", iter, &spans, train_accuracy, test_accuracy);
         history.push(EpochRecord {
             epoch: iter,
-            train_accuracy: correct as f64 / train.len() as f64,
-            test_accuracy: test.map(|t| model.accuracy(t.hvs(), t.labels())),
+            train_accuracy,
+            test_accuracy,
             validation_accuracy: None,
             loss: None,
             learning_rate: Some(alpha),
-            timing: None,
+            timing,
         });
     }
     Ok((NonBinaryModel::new(class_hvs)?, history))

@@ -3,17 +3,17 @@
 use hdc::{Dim, RecordEncoder};
 use hdc_datasets::{MinMaxNormalizer, TrainTest};
 
-use crate::adaptive::{train_adaptive, AdaptiveConfig};
-use crate::baseline::train_baseline;
+use crate::adaptive::{train_adaptive_recorded, AdaptiveConfig};
+use crate::baseline::train_baseline_threaded;
 use crate::encoded::EncodedDataset;
-use crate::enhanced::train_enhanced;
+use crate::enhanced::train_enhanced_recorded;
 use crate::error::LehdcError;
 use crate::history::TrainingHistory;
 use crate::lehdc_trainer::{train_lehdc_recorded, LehdcConfig};
 use crate::model::HdcModel;
-use crate::multimodel::{train_multimodel, MultiModelConfig};
-use crate::nonbinary::train_nonbinary;
-use crate::retrain::{train_retraining, RetrainConfig};
+use crate::multimodel::{train_multimodel_recorded, MultiModelConfig};
+use crate::nonbinary::train_nonbinary_recorded;
+use crate::retrain::{train_retraining_recorded, RetrainConfig};
 
 /// An HDC training strategy, as compared in the paper's Table 1 and
 /// Figures 3/5/6.
@@ -149,7 +149,9 @@ impl<'a> PipelineBuilder<'a> {
         self
     }
 
-    /// Sets the encoding thread count (default: available parallelism).
+    /// Sets the worker thread count used for encoding, the batched epoch
+    /// forwards inside every strategy, and outcome evaluation (default:
+    /// available parallelism). Results are bit-identical at any count.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
@@ -208,6 +210,7 @@ impl<'a> PipelineBuilder<'a> {
             encoded_train,
             encoded_test,
             seed: self.seed,
+            threads: self.threads,
             recorder: self.recorder,
         })
     }
@@ -240,6 +243,7 @@ pub struct Pipeline {
     encoded_train: EncodedDataset,
     encoded_test: EncodedDataset,
     seed: u64,
+    threads: usize,
     recorder: obs::Recorder,
 }
 
@@ -286,6 +290,7 @@ impl Pipeline {
             encoded_train: train,
             encoded_test: test,
             seed,
+            threads: 1,
             recorder: obs::Recorder::disabled(),
         })
     }
@@ -365,19 +370,22 @@ impl Pipeline {
         let name = strategy.name();
         match strategy {
             Strategy::Baseline => {
-                let model = train_baseline(train, self.seed)?;
+                let model = train_baseline_threaded(train, self.seed, self.threads)?;
                 Ok(self.outcome_from_model(name, model, TrainingHistory::new()))
             }
             Strategy::Retraining(cfg) => {
-                let (model, history) = train_retraining(train, Some(test), &cfg)?;
+                let (model, history) =
+                    train_retraining_recorded(train, Some(test), &cfg, self.threads, &self.recorder)?;
                 Ok(self.outcome_from_model(name, model, history))
             }
             Strategy::Enhanced(cfg) => {
-                let (model, history) = train_enhanced(train, Some(test), &cfg)?;
+                let (model, history) =
+                    train_enhanced_recorded(train, Some(test), &cfg, self.threads, &self.recorder)?;
                 Ok(self.outcome_from_model(name, model, history))
             }
             Strategy::Adaptive(cfg) => {
-                let (model, history) = train_adaptive(train, Some(test), &cfg)?;
+                let (model, history) =
+                    train_adaptive_recorded(train, Some(test), &cfg, self.threads, &self.recorder)?;
                 Ok(self.outcome_from_model(name, model, history))
             }
             Strategy::Lehdc(cfg) => {
@@ -394,21 +402,33 @@ impl Pipeline {
                     seed: hdc::rng::derive_seed(self.seed, cfg.seed),
                     ..cfg
                 };
-                let (mm, history) = train_multimodel(train, Some(test), &cfg)?;
+                let (mm, history) =
+                    train_multimodel_recorded(train, Some(test), &cfg, self.threads, &self.recorder)?;
                 Ok(Outcome {
                     strategy: name,
-                    train_accuracy: mm.accuracy(train.hvs(), train.labels()),
-                    test_accuracy: mm.accuracy(test.hvs(), test.labels()),
+                    train_accuracy: mm.accuracy_threaded(train.hvs(), train.labels(), self.threads),
+                    test_accuracy: mm.accuracy_threaded(test.hvs(), test.labels(), self.threads),
                     history,
                     model: None,
                 })
             }
             Strategy::NonBinary { alpha, iterations } => {
-                let (model, history) = train_nonbinary(train, Some(test), alpha, iterations)?;
+                let (model, history) = train_nonbinary_recorded(
+                    train,
+                    Some(test),
+                    alpha,
+                    iterations,
+                    self.threads,
+                    &self.recorder,
+                )?;
                 Ok(Outcome {
                     strategy: name,
-                    train_accuracy: model.accuracy(train.hvs(), train.labels()),
-                    test_accuracy: model.accuracy(test.hvs(), test.labels()),
+                    train_accuracy: model.accuracy_threaded(
+                        train.hvs(),
+                        train.labels(),
+                        self.threads,
+                    ),
+                    test_accuracy: model.accuracy_threaded(test.hvs(), test.labels(), self.threads),
                     history,
                     model: None,
                 })
@@ -475,8 +495,16 @@ impl Pipeline {
     ) -> Outcome {
         Outcome {
             strategy,
-            train_accuracy: model.accuracy(self.encoded_train.hvs(), self.encoded_train.labels()),
-            test_accuracy: model.accuracy(self.encoded_test.hvs(), self.encoded_test.labels()),
+            train_accuracy: model.accuracy_threaded(
+                self.encoded_train.hvs(),
+                self.encoded_train.labels(),
+                self.threads,
+            ),
+            test_accuracy: model.accuracy_threaded(
+                self.encoded_test.hvs(),
+                self.encoded_test.labels(),
+                self.threads,
+            ),
             history,
             model: Some(model),
         }

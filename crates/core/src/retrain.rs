@@ -2,8 +2,9 @@
 
 use hdc::RealHv;
 
-use crate::baseline::accumulate_class_sums;
+use crate::baseline::accumulate_class_sums_pooled;
 use crate::encoded::EncodedDataset;
+use crate::engine::{record_strategy_epoch, EpochEngine, StrategySpans, VoteLedger};
 use crate::error::LehdcError;
 use crate::history::{EpochRecord, TrainingHistory};
 use crate::model::HdcModel;
@@ -102,6 +103,20 @@ impl RetrainConfig {
 /// and the binary model is refreshed from the signs after the pass. When
 /// `test` is given, test accuracy is logged per iteration (paper Fig. 3).
 ///
+/// # Batched semantics
+///
+/// The binary model is frozen within an iteration, so the whole pass's
+/// predictions come from one blocked, thread-chunked classification, and the
+/// pass's update to class `k` is the exact integer vote total of its
+/// misclassified samples applied once: `c_nb ← c_nb + α·votes` (see
+/// [`VoteLedger`]). This is the **reference semantics** of retraining — it
+/// rounds each dimension once per iteration instead of once per misclassified
+/// sample, so it is not bit-identical to the historical sequential
+/// `add_scaled` loop, but it is invariant to sample order, thread count,
+/// kernel tier, and query-block size, and its accuracy trajectories match
+/// the sequential path within noise (pinned by the strategy determinism
+/// suite).
+///
 /// # Errors
 ///
 /// Returns [`LehdcError::InvalidConfig`] for an invalid configuration or a
@@ -111,10 +126,46 @@ pub fn train_retraining(
     test: Option<&EncodedDataset>,
     config: &RetrainConfig,
 ) -> Result<(HdcModel, TrainingHistory), LehdcError> {
+    train_retraining_recorded(train, test, config, 1, &obs::Recorder::disabled())
+}
+
+/// [`train_retraining`] fanned out over `threads` pool workers, with
+/// per-iteration classify/update/binarize/eval spans recorded into `rec`
+/// (and into [`EpochRecord::timing`]) when it is enabled.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] for an invalid configuration or a
+/// class with no training samples.
+pub fn train_retraining_recorded(
+    train: &EncodedDataset,
+    test: Option<&EncodedDataset>,
+    config: &RetrainConfig,
+    threads: usize,
+    rec: &obs::Recorder,
+) -> Result<(HdcModel, TrainingHistory), LehdcError> {
+    train_retraining_with_engine(train, test, config, &EpochEngine::new(threads), rec)
+}
+
+/// [`train_retraining_recorded`] against a caller-built [`EpochEngine`] —
+/// the determinism suite uses this to pin block-size invariance.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] for an invalid configuration or a
+/// class with no training samples.
+pub fn train_retraining_with_engine(
+    train: &EncodedDataset,
+    test: Option<&EncodedDataset>,
+    config: &RetrainConfig,
+    engine: &EpochEngine,
+    rec: &obs::Recorder,
+) -> Result<(HdcModel, TrainingHistory), LehdcError> {
     config.validate()?;
-    let mut nonbinary: Vec<RealHv> = accumulate_class_sums(train)?;
+    let mut nonbinary: Vec<RealHv> = accumulate_class_sums_pooled(train, engine.threads())?;
     let mut model = binarize(&nonbinary)?;
     let mut history = TrainingHistory::new();
+    let mut ledger = VoteLedger::new(train.n_classes(), train.dim());
 
     for iter in 0..config.iterations {
         let alpha = if iter == 0 {
@@ -122,37 +173,64 @@ pub fn train_retraining(
         } else {
             config.alpha
         };
+        let epoch_timer = rec.start();
+
+        let t = rec.start();
+        let predictions = engine.classify_epoch(&model, train.hvs());
+        let classify_ns = t.elapsed_ns();
+
+        let t = rec.start();
+        ledger.clear();
         let mut correct = 0usize;
-        for i in 0..train.len() {
+        for (i, &predicted) in predictions.iter().enumerate() {
             let (hv, label) = train.sample(i);
-            let predicted = model.classify(hv);
             if predicted == label {
                 correct += 1;
             } else {
-                nonbinary[label].add_scaled(hv, alpha);
-                nonbinary[predicted].add_scaled(hv, -alpha);
+                ledger.record(hv, label, predicted);
             }
         }
-        let updated = binarize(&nonbinary)?;
-        // Fraction of class-hypervector bits that flipped this iteration —
-        // the paper's "updating on class hypervectors" convergence signal.
-        let flipped: usize = model
-            .class_hvs()
-            .iter()
-            .zip(updated.class_hvs())
-            .map(|(old, new)| old.hamming(new))
+        ledger.apply(&mut nonbinary, alpha, engine.pool());
+        let update_ns = t.elapsed_ns();
+
+        let t = rec.start();
+        // Only the ledger-touched classes can change sign: an untouched
+        // class's non-binary hypervector is bit-unchanged, so its row is
+        // too. Re-sign exactly those rows, folding their Hamming flips into
+        // the paper's "updating on class hypervectors" convergence signal
+        // (untouched classes contribute zero flips by construction).
+        let flipped: usize = ledger
+            .touched_classes()
+            .into_iter()
+            .map(|k| model.resign_class(k, &nonbinary[k]))
             .sum();
+        let binarize_ns = t.elapsed_ns();
         let flip_fraction =
             flipped as f64 / (train.dim().get() * train.n_classes()) as f64;
-        model = updated;
+
+        let t = rec.start();
+        let train_accuracy = correct as f64 / train.len() as f64;
+        let test_accuracy = test.map(|ts| engine.accuracy(&model, ts.hvs(), ts.labels()));
+        let eval_ns = t.elapsed_ns();
+
+        let spans = StrategySpans {
+            classify_ns,
+            update_ns,
+            binarize_ns,
+            eval_ns,
+            epoch_ns: epoch_timer.elapsed_ns(),
+            samples: train.len(),
+        };
+        let timing =
+            record_strategy_epoch(rec, "retraining", iter, &spans, train_accuracy, test_accuracy);
         history.push(EpochRecord {
             epoch: iter,
-            train_accuracy: correct as f64 / train.len() as f64,
-            test_accuracy: test.map(|t| model.accuracy(t.hvs(), t.labels())),
+            train_accuracy,
+            test_accuracy,
             validation_accuracy: None,
             loss: None,
             learning_rate: Some(alpha),
-            timing: None,
+            timing,
         });
         if let Some(threshold) = config.convergence_threshold {
             // Never stop on the first (boosted-α) iteration.

@@ -40,6 +40,7 @@ fn main() {
     let pipeline = Pipeline::builder(&data)
         .dim(Dim::new(opts.dim))
         .seed(opts.seeds)
+        .threads(opts.threads)
         .recorder(rec.clone())
         .build()
         .expect("pipeline build");
@@ -75,6 +76,7 @@ fn main() {
             .dim(Dim::new(opts.dim))
             .levels(q)
             .seed(opts.seeds)
+            .threads(opts.threads)
             .recorder(rec.clone())
             .build()
             .expect("pipeline build");

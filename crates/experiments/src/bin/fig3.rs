@@ -11,8 +11,8 @@
 
 use hdc::Dim;
 use hdc_datasets::BenchmarkProfile;
-use lehdc::enhanced::train_enhanced;
-use lehdc::retrain::train_retraining;
+use lehdc::enhanced::train_enhanced_recorded;
+use lehdc::retrain::train_retraining_recorded;
 use lehdc::{Pipeline, RetrainConfig};
 use lehdc_experiments::{render_series, Options};
 
@@ -41,6 +41,7 @@ fn main() {
     let pipeline = Pipeline::builder(&data)
         .dim(Dim::new(opts.dim))
         .seed(opts.seeds)
+        .threads(opts.threads)
         .recorder(rec.clone())
         .build()
         .expect("pipeline build");
@@ -55,16 +56,20 @@ fn main() {
         ..RetrainConfig::default()
     };
 
-    let (_, basic) = train_retraining(
+    let (_, basic) = train_retraining_recorded(
         pipeline.encoded_train(),
         Some(pipeline.encoded_test()),
         &cfg,
+        opts.threads,
+        &rec,
     )
     .expect("basic retraining");
-    let (_, enhanced) = train_enhanced(
+    let (_, enhanced) = train_enhanced_recorded(
         pipeline.encoded_train(),
         Some(pipeline.encoded_test()),
         &cfg,
+        opts.threads,
+        &rec,
     )
     .expect("enhanced retraining");
 

@@ -54,6 +54,7 @@ fn main() {
     let pipeline = Pipeline::builder(&data)
         .dim(Dim::new(opts.dim))
         .seed(opts.seeds)
+        .threads(opts.threads)
         .recorder(rec.clone())
         .build()
         .expect("pipeline build");

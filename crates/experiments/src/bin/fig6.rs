@@ -91,6 +91,7 @@ fn main() {
                 let pipeline = Pipeline::builder(&data)
                     .dim(Dim::new(d))
                     .seed(seed)
+                    .threads(opts.threads)
                     .recorder(rec.clone())
                     .build()
                     .expect("pipeline build");

@@ -39,6 +39,7 @@ fn main() {
     let pipeline = Pipeline::builder(&data)
         .dim(Dim::new(opts.dim))
         .seed(opts.seeds)
+        .threads(opts.threads)
         .recorder(rec.clone())
         .build()
         .expect("pipeline build");
@@ -101,9 +102,14 @@ fn main() {
                     iterations: 1,
                     ..MultiModelConfig::quick()
                 };
-                let (mm, _) =
-                    lehdc::multimodel::train_multimodel(pipeline.encoded_train(), None, &cfg)
-                        .expect("multimodel");
+                let (mm, _) = lehdc::multimodel::train_multimodel_recorded(
+                    pipeline.encoded_train(),
+                    None,
+                    &cfg,
+                    opts.threads,
+                    &rec,
+                )
+                .expect("multimodel");
                 let built = start.elapsed(); // exclude build time below
                 let start = Instant::now();
                 let mut sink = 0usize;

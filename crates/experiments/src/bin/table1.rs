@@ -67,6 +67,7 @@ fn main() {
             let pipeline = Pipeline::builder(&data)
                 .dim(Dim::new(opts.dim))
                 .seed(seed)
+                .threads(opts.threads)
                 .recorder(rec.clone())
                 .build()
                 .expect("pipeline build");

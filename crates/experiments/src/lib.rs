@@ -13,7 +13,8 @@
 //! | `fig6`   | Figure 6 | Accuracy vs dimension `D` for all four strategies (Fashion-MNIST and ISOLET profiles) |
 //!
 //! Every binary accepts `--quick` (default: small scale, minutes) and
-//! `--full` (paper scale, hours), plus `--seeds N` and `--dim D`.
+//! `--full` (paper scale, hours), plus `--seeds N`, `--dim D`, and
+//! `--threads T`.
 //!
 //! This library holds the shared pieces: a tiny CLI parser, mean/std
 //! aggregation, and plain-text table/series rendering.
@@ -42,6 +43,9 @@ pub struct Options {
     pub dim: usize,
     /// Run at full paper scale instead of the quick scale.
     pub full: bool,
+    /// Worker threads for encoding, the batched strategy forwards, and
+    /// evaluation (default: available parallelism).
+    pub threads: usize,
     /// Echo observability events (epoch spans, throughput) to stderr.
     pub verbose: bool,
     /// Write observability events as JSON lines to this path.
@@ -54,6 +58,7 @@ impl Default for Options {
             seeds: 3,
             dim: 1024,
             full: false,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             verbose: false,
             metrics_out: None,
         }
@@ -92,6 +97,15 @@ impl Options {
                         return Err("--dim must be at least 1".into());
                     }
                 }
+                "--threads" => {
+                    let v = args.next().ok_or("--threads needs a value")?;
+                    opts.threads = v
+                        .parse()
+                        .map_err(|_| format!("bad --threads value {v:?}"))?;
+                    if opts.threads == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                }
                 "--verbose" => opts.verbose = true,
                 "--metrics-out" => {
                     let v = args.next().ok_or("--metrics-out needs a value")?;
@@ -99,12 +113,13 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--quick|--full] [--seeds N] [--dim D] \
+                        "usage: [--quick|--full] [--seeds N] [--dim D] [--threads T] \
                          [--verbose] [--metrics-out <jsonl>]\n  \
                          --quick        laptop scale (default)\n  \
                          --full         paper scale (D=10,000 unless --dim given)\n  \
                          --seeds        seeds to aggregate over (default 3)\n  \
                          --dim          hypervector dimension (default 1024)\n  \
+                         --threads      worker threads (default: available parallelism)\n  \
                          --verbose      echo timing/throughput events to stderr\n  \
                          --metrics-out  write observability events as JSON lines"
                             .into(),
@@ -340,8 +355,16 @@ mod tests {
         assert!(parse(&["--seeds", "zero"]).is_err());
         assert!(parse(&["--seeds", "0"]).is_err());
         assert!(parse(&["--dim", "0"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--metrics-out"]).is_err());
         assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses() {
+        assert_eq!(parse(&["--threads", "4"]).unwrap().threads, 4);
+        assert!(parse(&[]).unwrap().threads >= 1);
     }
 
     #[test]

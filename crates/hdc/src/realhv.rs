@@ -206,7 +206,9 @@ impl RealHv {
     /// This method is infallible; it returns `BinaryHv` directly.
     #[must_use]
     pub fn sign(&self) -> BinaryHv {
-        BinaryHv::from_fn(self.dim, |i| self.values[i] >= 0.0)
+        let mut words = vec![0u64; self.dim.words()];
+        crate::kernels::pack_signs_words(&self.values, &mut words);
+        BinaryHv::from_raw_words(words, self.dim)
     }
 
     /// Checked elementwise addition of another real hypervector.
@@ -248,6 +250,28 @@ mod tests {
         // Eq. 8: sgn(0) = +1.
         let z = RealHv::zeros(Dim::new(10));
         assert_eq!(z.sign(), BinaryHv::ones(Dim::new(10)));
+    }
+
+    #[test]
+    fn packed_sign_matches_per_bit_reference() {
+        // The word-parallel sign kernel must agree with the per-bit
+        // `v >= 0.0` definition at every width, including word boundaries,
+        // and on the IEEE specials (-0.0 is +1, NaN is -1).
+        for d in [1usize, 63, 64, 65, 128, 517] {
+            let dim = Dim::new(d);
+            let mut hv = RealHv::zeros(dim);
+            for (i, v) in hv.values_mut().iter_mut().enumerate() {
+                *v = match i % 5 {
+                    0 => -1.5,
+                    1 => 2.0,
+                    2 => -0.0,
+                    3 => f32::NAN,
+                    _ => 0.0,
+                };
+            }
+            let reference = BinaryHv::from_fn(dim, |i| hv.values()[i] >= 0.0);
+            assert_eq!(hv.sign(), reference, "D={d}");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! lehdc_cli eval    --model model.lehdc --data test.csv [--label-col first|last]
 //!                   [--threads 1] [--verbose] [--metrics-out run.jsonl]
 //! lehdc_cli predict --model model.lehdc --data features.csv
+//!                   [--threads 1] [--verbose] [--metrics-out run.jsonl]
 //! lehdc_cli info    --model model.lehdc
 //! ```
 //!
@@ -64,7 +65,8 @@ const USAGE: &str = "usage: lehdc_cli <train|eval|predict|info> [options]
           [--holdout F] [--threads T] [--verbose] [--metrics-out <jsonl>]
   eval    --model <file> --data <csv> [--label-col first|last] [--threads T]
           [--verbose] [--metrics-out <jsonl>]
-  predict --model <file> --data <csv-of-features>
+  predict --model <file> --data <csv-of-features> [--threads T]
+          [--verbose] [--metrics-out <jsonl>]
   info    --model <file>";
 
 /// Parses `--key value` pairs (and bare `--flag` booleans), rejecting any
@@ -373,11 +375,22 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_predict(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["model", "data"], &[])?;
+    let flags = parse_flags(
+        args,
+        &["model", "data", "threads", "metrics-out"],
+        &["verbose"],
+    )?;
+    let threads = parse_num(&flags, "threads", 1usize)?;
+    let rec = build_recorder(&flags)?;
     let bundle = load_bundle(&PathBuf::from(required(&flags, "model")?))
         .map_err(|e| e.to_string())?;
     let text = std::fs::read_to_string(PathBuf::from(required(&flags, "data")?))
         .map_err(|e| e.to_string())?;
+    // Encode every row up front, then classify the whole batch through the
+    // blocked bulk path — same prediction per row as the one-at-a-time
+    // `bundle.classify`, but the argmax fan-out is threadable.
+    let encode_timer = rec.start();
+    let mut hvs = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -385,12 +398,21 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
         }
         let features: Result<Vec<f32>, _> =
             line.split(',').map(|f| f.trim().parse::<f32>()).collect();
-        let features = features.map_err(|_| {
+        let mut features = features.map_err(|_| {
             format!("line {}: features must all be numeric", lineno + 1)
         })?;
-        let predicted = bundle.classify(&features).map_err(|e| e.to_string())?;
+        if let Some(norm) = &bundle.normalizer {
+            norm.apply_row(&mut features);
+        }
+        let hv = bundle.encoder.encode(&features).map_err(|e| e.to_string())?;
+        hvs.push(hv);
+    }
+    rec.observe_since("encode/corpus_ns", &encode_timer);
+    rec.add("encode/samples", hvs.len() as u64);
+    for predicted in bundle.model.classify_all_recorded(&hvs, threads, &rec) {
         println!("{predicted}");
     }
+    finish_metrics(&rec);
     Ok(())
 }
 

@@ -155,7 +155,7 @@ fn unknown_flags_are_rejected_per_subcommand() {
     for (args, bad) in [
         (vec!["train", "--data", "x.csv", "--out", "y", "--holdouts", "0.3"], "--holdouts"),
         (vec!["eval", "--model", "m", "--data", "x.csv", "--strategy", "lehdc"], "--strategy"),
-        (vec!["predict", "--model", "m", "--data", "x.csv", "--verbose"], "--verbose"),
+        (vec!["predict", "--model", "m", "--data", "x.csv", "--epochs", "3"], "--epochs"),
         (vec!["info", "--model", "m", "--data", "x.csv"], "--data"),
     ] {
         let out = cli().args(&args).output().unwrap();
