@@ -603,6 +603,83 @@ fn bench_pool_dispatch(c: &mut Bench) {
     group.finish();
 }
 
+/// End-to-end serving throughput: 8 concurrent connections driving 1024
+/// classify requests against a live `lehdc_serve` daemon, lockstep
+/// (`single`, window 1 — one request per round trip, so every batch the
+/// collector forms holds at most one request per connection) versus
+/// pipelined (`batched`, window 32 — the queue stays deep enough that the
+/// collector packs full `max_batch` fan-outs). Same sockets, same model,
+/// same responses; the gap is purely the micro-batching amortization of
+/// encode + classify + syscall costs. The acceptance criterion is
+/// `serve_batch/batched ≥ 5 × serve_batch/single` in elements/sec.
+fn bench_serve_batch(c: &mut Bench) {
+    use lehdc_serve::{Client, ServeConfig, Server};
+    use std::time::Duration;
+
+    const CONNS: usize = 8;
+    const REQS: usize = 1024;
+    let d = 1024usize;
+    let n_features = 16usize;
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5E);
+    let dim = Dim::new(d);
+    let class_hvs: Vec<hdc::BinaryHv> = (0..FWD_CLASSES)
+        .map(|_| hdc::BinaryHv::random(dim, &mut rng))
+        .collect();
+    let bundle = lehdc::io::ModelBundle {
+        model: lehdc::HdcModel::new(class_hvs).unwrap(),
+        encoder: hdc::RecordEncoder::builder(dim, n_features)
+            .levels(8)
+            .seed(0x5F)
+            .build()
+            .expect("valid encoder config"),
+        normalizer: None,
+    };
+    let rows: Vec<Vec<f32>> = (0..64)
+        .map(|_| (0..n_features).map(|_| rng.random_range(0.0f32..1.0)).collect())
+        .collect();
+    let cfg = ServeConfig {
+        threads: 2,
+        max_batch: 64,
+        max_wait: Duration::from_micros(200),
+        queue_capacity: 1024,
+    };
+    let server = Server::start(bundle, "127.0.0.1:0", &cfg, obs::Recorder::disabled())
+        .expect("bind ephemeral loopback port");
+    let addr = server.local_addr();
+
+    let mut group = c.benchmark_group("serve_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQS as u64));
+    for (name, window) in [("single", 1usize), ("batched", 32)] {
+        group.bench_with_input(BenchmarkId::new(name, CONNS), &CONNS, |bencher, _| {
+            bencher.iter(|| {
+                std::thread::scope(|scope| {
+                    for conn in 0..CONNS {
+                        let rows = &rows;
+                        scope.spawn(move || {
+                            let mut client = Client::connect(addr).expect("connect to daemon");
+                            let mine = REQS / CONNS;
+                            let (mut sent, mut received) = (0usize, 0usize);
+                            while received < mine {
+                                while sent < mine && sent - received < window {
+                                    let row = &rows[(conn + sent * CONNS) % rows.len()];
+                                    client.send_classify(row).expect("send classify");
+                                    sent += 1;
+                                }
+                                black_box(client.recv_classified().expect("recv classified"));
+                                received += 1;
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+    server.shutdown();
+    server.join();
+}
+
 testkit::bench_main!(
     bench_bind,
     bench_hamming,
@@ -623,4 +700,5 @@ testkit::bench_main!(
     bench_enhanced_epoch,
     bench_multimodel_classify,
     bench_pool_dispatch,
+    bench_serve_batch,
 );

@@ -206,6 +206,96 @@ impl ModelBundle {
         };
         Ok(self.model.classify(&hv))
     }
+
+    /// Expected raw feature count per classify request.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.encoder.n_features()
+    }
+
+    /// Classifies a batch of raw feature vectors end-to-end: the encode is
+    /// fanned out over `threads` pool workers with one [`hdc::EncodeScratch`]
+    /// per chunk, and the packed queries are answered by a single blocked
+    /// argmax fan-out. Results are in query order and bit-identical to
+    /// calling [`ModelBundle::classify`] per row at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LehdcError::Hdc`] naming the first offending row index if
+    /// any row's feature count differs from the encoder's.
+    pub fn classify_all(&self, rows: &[Vec<f32>], threads: usize) -> Result<Vec<usize>, LehdcError> {
+        Ok(self.model.classify_all_blocked(
+            &self.encode_rows(rows, threads)?,
+            hdc::kernels::query_block_for(self.model.dim().words()),
+            threads,
+        ))
+    }
+
+    /// As [`ModelBundle::classify_all`], emitting `encode`/`classify` spans
+    /// and throughput gauges through `rec`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelBundle::classify_all`].
+    pub fn classify_all_recorded(
+        &self,
+        rows: &[Vec<f32>],
+        threads: usize,
+        rec: &obs::Recorder,
+    ) -> Result<Vec<usize>, LehdcError> {
+        let t = rec.start();
+        let queries = self.encode_rows(rows, threads)?;
+        if rec.enabled() {
+            rec.observe_since("encode/ns", &t);
+            rec.emit(
+                "encode",
+                &[
+                    ("samples", obs::Value::U64(rows.len() as u64)),
+                    ("threads", obs::Value::U64(threads as u64)),
+                ],
+            );
+        }
+        Ok(self.model.classify_all_recorded(&queries, threads, rec))
+    }
+
+    /// Normalizes and encodes every row in parallel, validating feature
+    /// counts up front so the fan-out itself cannot fail.
+    fn encode_rows(&self, rows: &[Vec<f32>], threads: usize) -> Result<Vec<BinaryHv>, LehdcError> {
+        let expected = self.encoder.n_features();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != expected {
+                return Err(LehdcError::InvalidConfig(format!(
+                    "row {i}: expected {expected} features, got {}",
+                    row.len()
+                )));
+            }
+        }
+        let dim = self.encoder.dim();
+        let pool = threadpool::ThreadPool::new(threads);
+        let chunks = pool.run_chunks(rows.len(), |range| {
+            let mut scratch = hdc::EncodeScratch::new(dim);
+            let mut normalized = Vec::new();
+            let mut out = Vec::with_capacity(range.len());
+            for row in &rows[range] {
+                let features = match &self.normalizer {
+                    Some(norm) => {
+                        normalized.clear();
+                        normalized.extend_from_slice(row);
+                        norm.apply_row(&mut normalized);
+                        normalized.as_slice()
+                    }
+                    None => row.as_slice(),
+                };
+                let mut hv = BinaryHv::zeros(dim);
+                self.encoder
+                    .encode_into(features, &mut scratch, &mut hv)
+                    .expect("feature counts were validated above");
+                out.push(hv);
+            }
+            out
+        });
+        Ok(chunks.into_iter().flatten().collect())
+    }
 }
 
 /// Serializes a bundle: an encoder-spec header (dim, features, levels,
@@ -286,11 +376,11 @@ pub fn read_bundle<R: Read>(mut reader: R) -> Result<ModelBundle, LehdcError> {
             "implausible encoder shape: D={dim}, N={n_features}"
         )));
     }
-    let encoder = RecordEncoder::builder(Dim::new(dim), n_features)
-        .levels(n_levels)
-        .value_range(min, max)
-        .seed(seed)
-        .build()?;
+    if n_levels < 2 || n_levels > dim {
+        return Err(LehdcError::ModelFormat(format!(
+            "implausible level count L={n_levels} for D={dim} (need 2 ≤ L ≤ D)"
+        )));
+    }
     let has_normalizer = read_array::<1, _>(&mut reader)?[0];
     let normalizer = match has_normalizer {
         0 => None,
@@ -312,13 +402,20 @@ pub fn read_bundle<R: Read>(mut reader: R) -> Result<ModelBundle, LehdcError> {
         }
     };
     let model = read_model(reader)?;
-    if model.dim() != encoder.dim() {
+    if model.dim().get() != dim {
         return Err(LehdcError::ModelFormat(format!(
-            "bundle model dimension {} does not match encoder dimension {}",
-            model.dim(),
-            encoder.dim()
+            "bundle model dimension {} does not match encoder dimension {dim}",
+            model.dim()
         )));
     }
+    // The item memories are regenerated only after the entire payload has
+    // validated: a truncated or corrupted bundle fails fast instead of
+    // paying seconds of codebook construction first.
+    let encoder = RecordEncoder::builder(Dim::new(dim), n_features)
+        .levels(n_levels)
+        .value_range(min, max)
+        .seed(seed)
+        .build()?;
     Ok(ModelBundle {
         model,
         encoder,
@@ -344,6 +441,36 @@ pub fn save_bundle(bundle: &ModelBundle, path: &Path) -> Result<(), LehdcError> 
 pub fn load_bundle(path: &Path) -> Result<ModelBundle, LehdcError> {
     let file = File::open(path)?;
     read_bundle(BufReader::new(file))
+}
+
+/// Loads a bundle with full validation and path context: every failure —
+/// open error, bad magic, implausible shape, truncation, trailing garbage —
+/// comes back as a typed [`LehdcError`] whose message names `path`, never a
+/// panic. This is the one loading code path shared by the CLI and the
+/// serving daemon.
+///
+/// # Errors
+///
+/// As [`read_bundle`], with the offending path prefixed to the message;
+/// additionally rejects files with bytes beyond the bundle payload (a
+/// concatenation or corruption symptom `read_bundle` alone cannot see).
+pub fn load_bundle_validated(path: &Path) -> Result<ModelBundle, LehdcError> {
+    let with_path = |msg: String| LehdcError::ModelFormat(format!("{}: {msg}", path.display()));
+    let file = File::open(path)
+        .map_err(|e| with_path(format!("cannot open bundle: {e}")))?;
+    let mut reader = BufReader::new(file);
+    let bundle = read_bundle(&mut reader).map_err(|e| match e {
+        LehdcError::ModelFormat(msg) => with_path(msg),
+        LehdcError::Hdc(e) => with_path(format!("invalid encoder configuration: {e}")),
+        LehdcError::Dataset(e) => with_path(format!("invalid normalizer payload: {e}")),
+        other => other,
+    })?;
+    let mut probe = [0u8; 1];
+    match reader.read(&mut probe) {
+        Ok(0) => Ok(bundle),
+        Ok(_) => Err(with_path("trailing bytes after the bundle payload".into())),
+        Err(e) => Err(LehdcError::Io(e)),
+    }
 }
 
 const ENCODED_MAGIC: &[u8; 8] = b"LEHDCENC";

@@ -1,0 +1,169 @@
+//! Regression suite for bundle loading: a truncated, corrupted, or padded
+//! bundle must come back as a typed [`LehdcError`] with path context —
+//! never a panic — through the one `load_bundle_validated` code path the
+//! CLI and the serving daemon share.
+
+use std::path::Path;
+
+use hdc::rng::rng_for;
+use hdc::{BinaryHv, Dim, RecordEncoder};
+use hdc_datasets::MinMaxNormalizer;
+use lehdc::io::{load_bundle_validated, save_bundle, write_bundle, ModelBundle};
+use lehdc::{HdcModel, LehdcError};
+
+fn test_bundle() -> ModelBundle {
+    let dim = Dim::new(256);
+    let encoder = RecordEncoder::builder(dim, 6)
+        .levels(8)
+        .seed(41)
+        .build()
+        .unwrap();
+    let mut rng = rng_for(41, 1);
+    let model = HdcModel::new((0..4).map(|_| BinaryHv::random(dim, &mut rng)).collect()).unwrap();
+    let normalizer =
+        MinMaxNormalizer::from_parts(vec![0.0; 6], vec![1.0; 6]).unwrap();
+    ModelBundle {
+        model,
+        encoder,
+        normalizer: Some(normalizer),
+    }
+}
+
+fn bundle_bytes(bundle: &ModelBundle) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_bundle(bundle, &mut buf).unwrap();
+    buf
+}
+
+fn write_temp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("lehdc_bundle_robustness");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+#[test]
+fn valid_bundle_loads_and_classifies() {
+    let bundle = test_bundle();
+    let dir = std::env::temp_dir().join("lehdc_bundle_robustness");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("valid.lehdc");
+    save_bundle(&bundle, &path).unwrap();
+    let loaded = load_bundle_validated(&path).unwrap();
+    let row: Vec<f32> = (0..6).map(|i| i as f32 / 6.0).collect();
+    assert_eq!(
+        loaded.classify(&row).unwrap(),
+        bundle.classify(&row).unwrap()
+    );
+}
+
+#[test]
+fn missing_file_names_the_path() {
+    let err = load_bundle_validated(Path::new("/nonexistent/dir/model.lehdc")).unwrap_err();
+    match err {
+        LehdcError::ModelFormat(msg) => {
+            assert!(msg.contains("/nonexistent/dir/model.lehdc"), "{msg}");
+            assert!(msg.contains("cannot open"), "{msg}");
+        }
+        other => panic!("expected ModelFormat, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncation_at_every_prefix_is_a_typed_error() {
+    // Cutting the bundle anywhere — header, encoder spec, normalizer,
+    // model header, packed payload — must yield a ModelFormat error that
+    // names the file. This is the "no panic on truncated bundles" contract.
+    let bytes = bundle_bytes(&test_bundle());
+    // Dense sweep over the header region, sparse over the payload.
+    let cuts: Vec<usize> = (0..64.min(bytes.len()))
+        .chain((64..bytes.len()).step_by(97))
+        .collect();
+    for cut in cuts {
+        let path = write_temp("truncated.lehdc", &bytes[..cut]);
+        match load_bundle_validated(&path) {
+            Err(LehdcError::ModelFormat(msg)) => {
+                assert!(msg.contains("truncated.lehdc"), "cut={cut}: {msg}")
+            }
+            Err(other) => panic!("cut={cut}: expected ModelFormat, got {other:?}"),
+            Ok(_) => panic!("cut={cut}: truncated bundle must not load"),
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = bundle_bytes(&test_bundle());
+    bytes.extend_from_slice(b"junk");
+    let path = write_temp("trailing.lehdc", &bytes);
+    match load_bundle_validated(&path) {
+        Err(LehdcError::ModelFormat(msg)) => assert!(msg.contains("trailing"), "{msg}"),
+        other => panic!("expected trailing-bytes error, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_level_count_is_rejected_before_codebook_work() {
+    let mut bytes = bundle_bytes(&test_bundle());
+    // n_levels lives after magic(8) + version(4) + dim(8) + n_features(8).
+    let off = 8 + 4 + 8 + 8;
+    bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    let path = write_temp("badlevels.lehdc", &bytes);
+    match load_bundle_validated(&path) {
+        Err(LehdcError::ModelFormat(msg)) => assert!(msg.contains("level"), "{msg}"),
+        other => panic!("expected level-count error, got {other:?}"),
+    }
+    // L=1 (too coarse to quantize) must also be caught by validation,
+    // not by a panic inside item-memory construction.
+    let mut bytes = bundle_bytes(&test_bundle());
+    bytes[off..off + 8].copy_from_slice(&1u64.to_le_bytes());
+    let path = write_temp("onelevel.lehdc", &bytes);
+    assert!(matches!(
+        load_bundle_validated(&path),
+        Err(LehdcError::ModelFormat(_))
+    ));
+}
+
+#[test]
+fn model_file_passed_as_bundle_is_a_typed_error() {
+    let bundle = test_bundle();
+    let mut bytes = Vec::new();
+    lehdc::io::write_model(&bundle.model, &mut bytes).unwrap();
+    let path = write_temp("notabundle.lehdc", &bytes);
+    match load_bundle_validated(&path) {
+        Err(LehdcError::ModelFormat(msg)) => {
+            assert!(msg.contains("magic"), "{msg}");
+            assert!(msg.contains("notabundle.lehdc"), "{msg}");
+        }
+        other => panic!("expected bad-magic error, got {other:?}"),
+    }
+}
+
+#[test]
+fn batch_classify_matches_serial_and_reports_bad_rows() {
+    let bundle = test_bundle();
+    use testkit::Rng;
+    let mut rng = rng_for(7, 7);
+    let rows: Vec<Vec<f32>> = (0..53)
+        .map(|_| {
+            (0..6)
+                .map(|_| (rng.random::<u64>() % 1000) as f32 / 1000.0)
+                .collect()
+        })
+        .collect();
+    let serial: Vec<usize> = rows.iter().map(|r| bundle.classify(r).unwrap()).collect();
+    for threads in [1, 2, 4] {
+        assert_eq!(bundle.classify_all(&rows, threads).unwrap(), serial);
+    }
+
+    let mut bad = rows;
+    bad[17] = vec![0.5; 5]; // wrong feature count mid-batch
+    match bundle.classify_all(&bad, 2) {
+        Err(LehdcError::InvalidConfig(msg)) => {
+            assert!(msg.contains("row 17"), "{msg}");
+            assert!(msg.contains("expected 6"), "{msg}");
+        }
+        other => panic!("expected row-indexed error, got {other:?}"),
+    }
+}

@@ -414,6 +414,44 @@ impl Recorder {
         }
     }
 
+    /// Renders every metric as one JSON object, sorted by name — the
+    /// payload a serving daemon hands back over an admin `STATS` command.
+    /// Counters render as integers, gauges as floats (`null` when
+    /// non-finite), histograms as `{count, sum_ns, mean_ns, min_ns,
+    /// p50_ns, p99_ns, max_ns}` objects. A disabled recorder yields `{}`.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.metrics().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(&json_escape(name));
+            out.push_str("\": ");
+            match value {
+                MetricValue::Counter(c) => out.push_str(&c.to_string()),
+                MetricValue::Gauge(g) if g.is_finite() => out.push_str(&format!("{g}")),
+                MetricValue::Gauge(_) => out.push_str("null"),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\": {}, \"sum_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \
+                         \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                        h.count,
+                        h.sum_ns,
+                        h.mean_ns(),
+                        h.min_ns,
+                        h.quantile_ns(0.5),
+                        h.quantile_ns(0.99),
+                        h.max_ns
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
     /// Flushes the JSON-lines sink, if any.
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
@@ -520,37 +558,46 @@ fn format_ns(ns: u64) -> String {
 /// emitted by [`Recorder::emit`]: `{"key": value, ...}` with string, number,
 /// boolean, or null values. Returns the number of fields on success.
 ///
-/// This is a deliberately small verifier for the event schema (flat objects,
-/// no nesting), used by tests and `scripts/check.sh` to check that captured
+/// This is a deliberately small verifier for the event schema (objects of
+/// scalars, with nested objects allowed for [`Recorder::metrics_json`]
+/// histograms), used by tests and `scripts/check.sh` to check that captured
 /// JSON-lines output parses — not a general JSON parser.
 pub fn validate_json_line(line: &str) -> Result<usize, String> {
     let s = line.trim();
-    let body = s
-        .strip_prefix('{')
-        .and_then(|s| s.strip_suffix('}'))
-        .ok_or_else(|| format!("not an object: {s:?}"))?;
-    let mut chars = body.chars().peekable();
+    let mut chars = s.chars().peekable();
+    let fields = parse_object(&mut chars).map_err(|e| format!("{e}: {s:?}"))?;
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err(format!("trailing characters after the object: {s:?}"));
+    }
+    Ok(fields)
+}
+
+fn parse_object(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<usize, String> {
+    if chars.next() != Some('{') {
+        return Err("not an object".to_string());
+    }
+    skip_ws(chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(0);
+    }
     let mut fields = 0usize;
     loop {
-        skip_ws(&mut chars);
-        if chars.peek().is_none() {
-            if fields == 0 {
-                return Ok(0);
-            }
-            return Err("trailing comma".to_string());
-        }
-        parse_string(&mut chars)?;
-        skip_ws(&mut chars);
+        skip_ws(chars);
+        parse_string(chars)?;
+        skip_ws(chars);
         if chars.next() != Some(':') {
             return Err("expected ':' after key".to_string());
         }
-        skip_ws(&mut chars);
-        parse_scalar(&mut chars)?;
+        skip_ws(chars);
+        parse_scalar(chars)?;
         fields += 1;
-        skip_ws(&mut chars);
+        skip_ws(chars);
         match chars.next() {
-            None => return Ok(fields),
+            Some('}') => return Ok(fields),
             Some(',') => continue,
+            None => return Err("unterminated object".to_string()),
             Some(c) => return Err(format!("unexpected character {c:?} after value")),
         }
     }
@@ -592,6 +639,7 @@ fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<
 fn parse_scalar(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<(), String> {
     match chars.peek() {
         Some('"') => parse_string(chars),
+        Some('{') => parse_object(chars).map(|_| ()),
         Some(c) if c.is_ascii_digit() || *c == '-' => {
             let mut seen = false;
             while matches!(
@@ -624,6 +672,26 @@ fn parse_scalar(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metrics_json_is_valid_and_typed() {
+        let rec = Recorder::builder().build();
+        rec.add("serve/requests_total", 41);
+        rec.add("serve/requests_total", 1);
+        rec.gauge("serve/epoch", 2.0);
+        rec.gauge("serve/bad", f64::NAN);
+        rec.observe_ns("serve/batch_ns", 1_500);
+        rec.observe_ns("serve/batch_ns", 3_000);
+        let json = rec.metrics_json();
+        validate_json_line(&json).expect("STATS payload must be valid JSON");
+        assert!(json.contains("\"serve/requests_total\": 42"), "{json}");
+        assert!(json.contains("\"serve/epoch\": 2"), "{json}");
+        assert!(json.contains("\"serve/bad\": null"), "{json}");
+        assert!(json.contains("\"count\": 2"), "{json}");
+        assert!(json.contains("p99_ns"), "{json}");
+        // A disabled recorder still yields a parseable (empty) object.
+        assert_eq!(Recorder::disabled().metrics_json(), "{}");
+    }
 
     #[test]
     fn disabled_recorder_is_inert() {
@@ -741,6 +809,14 @@ mod tests {
     fn validator_rejects_malformed_lines() {
         assert!(validate_json_line("{\"a\": 1}").is_ok());
         assert_eq!(validate_json_line("{}").unwrap(), 0);
+        // Nested objects (the STATS histogram shape) parse; malformed
+        // nesting does not.
+        assert_eq!(
+            validate_json_line("{\"h\": {\"count\": 2, \"p50_ns\": 10}, \"c\": 1}").unwrap(),
+            2
+        );
+        assert!(validate_json_line("{\"h\": {\"count\": 2}").is_err());
+        assert!(validate_json_line("{\"h\": {count: 2}}").is_err());
         assert!(validate_json_line("not json").is_err());
         assert!(validate_json_line("{\"a\": }").is_err());
         assert!(validate_json_line("{\"a\" 1}").is_err());

@@ -1,0 +1,110 @@
+//! Tiny `--flag value` parser shared by the `lehdc_serve` and
+//! `lehdc_loadgen` binaries (the workspace is hermetic — no argv crates).
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parses `--name value` and bare `--name` boolean flags.
+///
+/// # Errors
+///
+/// Returns a usage message for unknown flags, missing values, or
+/// non-flag positional arguments.
+pub fn parse_flags(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found {key:?}"));
+        };
+        if bool_flags.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+        } else if value_flags.contains(&name) {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            let known: Vec<String> = value_flags
+                .iter()
+                .chain(bool_flags)
+                .map(|f| format!("--{f}"))
+                .collect();
+            return Err(format!(
+                "unknown flag --{name} (expected one of: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    Ok(flags)
+}
+
+/// Fetches a mandatory flag value.
+///
+/// # Errors
+///
+/// Returns a usage message naming the missing flag.
+pub fn required<'a>(
+    flags: &'a HashMap<String, String>,
+    name: &str,
+) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("--{name} is required"))
+}
+
+/// Parses a numeric flag, falling back to `default` when absent.
+///
+/// # Errors
+///
+/// Returns a usage message when the value does not parse.
+pub fn parse_num<T: FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{name} got an unparsable value {raw:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_values_bools_and_defaults() {
+        let flags = parse_flags(
+            &args(&["--model", "m.lehdc", "--verbose", "--threads", "4"]),
+            &["model", "threads"],
+            &["verbose"],
+        )
+        .unwrap();
+        assert_eq!(required(&flags, "model").unwrap(), "m.lehdc");
+        assert_eq!(parse_num(&flags, "threads", 1usize).unwrap(), 4);
+        assert_eq!(parse_num(&flags, "window", 32usize).unwrap(), 32);
+        assert!(flags.contains_key("verbose"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_flags(&args(&["model"]), &["model"], &[]).is_err());
+        assert!(parse_flags(&args(&["--model"]), &["model"], &[]).is_err());
+        assert!(parse_flags(&args(&["--bogus", "1"]), &["model"], &[]).is_err());
+        let flags = parse_flags(&args(&["--threads", "abc"]), &["threads"], &[]).unwrap();
+        assert!(parse_num(&flags, "threads", 1usize).is_err());
+        assert!(required(&flags, "model").is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! The served model: an epoch-stamped, atomically swappable snapshot.
+//!
+//! Connections and the batch collector never hold the model directly — they
+//! take an `Arc` snapshot per batch, so a hot swap publishes a new model
+//! without pausing in-flight work. A batch that snapshotted epoch `e`
+//! finishes on epoch `e`'s model even if the swap lands mid-batch; the
+//! response carries the epoch so clients can observe exactly which model
+//! answered. That is the whole consistency contract: *epoch `e` in the
+//! response ⇒ classified by model `e`*.
+
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use lehdc::io::{load_bundle_validated, ModelBundle};
+use lehdc::LehdcError;
+
+/// One immutable generation of the served model.
+pub struct LoadedModel {
+    /// The deployable bundle (model + encoder + normalizer).
+    pub bundle: ModelBundle,
+    /// Monotonic generation counter, starting at 0 for the boot model.
+    pub epoch: u64,
+}
+
+/// Shared, swappable model state.
+pub struct ModelState {
+    current: RwLock<Arc<LoadedModel>>,
+}
+
+impl ModelState {
+    /// Wraps the boot-time bundle as epoch 0.
+    #[must_use]
+    pub fn new(bundle: ModelBundle) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(LoadedModel { bundle, epoch: 0 })),
+        }
+    }
+
+    /// The current model generation. The returned `Arc` stays valid (and
+    /// the old model alive) across any number of subsequent swaps.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<LoadedModel> {
+        Arc::clone(&self.current.read().unwrap())
+    }
+
+    /// Loads a bundle from `path` and publishes it as the next epoch.
+    /// Loading (the expensive, fallible part) happens outside the lock; the
+    /// swap itself is one pointer store, so readers never block on disk IO.
+    /// On any load error the current model keeps serving untouched.
+    ///
+    /// # Errors
+    ///
+    /// As [`load_bundle_validated`]; additionally rejects a bundle whose
+    /// feature count differs from the serving model's, since already-queued
+    /// requests were validated against the old shape.
+    pub fn swap_from(&self, path: &Path) -> Result<u64, LehdcError> {
+        let bundle = load_bundle_validated(path)?;
+        let expected = self.snapshot().bundle.n_features();
+        if bundle.n_features() != expected {
+            return Err(LehdcError::InvalidConfig(format!(
+                "{}: swap would change the feature count from {expected} to {} — \
+                 queued requests would be misinterpreted",
+                path.display(),
+                bundle.n_features()
+            )));
+        }
+        let mut current = self.current.write().unwrap();
+        let epoch = current.epoch + 1;
+        *current = Arc::new(LoadedModel { bundle, epoch });
+        Ok(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::rng_for;
+    use hdc::{BinaryHv, Dim, RecordEncoder};
+    use lehdc::io::save_bundle;
+    use lehdc::HdcModel;
+
+    fn bundle(seed: u64, n_features: usize) -> ModelBundle {
+        let dim = Dim::new(128);
+        let mut rng = rng_for(seed, 0);
+        ModelBundle {
+            model: HdcModel::new((0..3).map(|_| BinaryHv::random(dim, &mut rng)).collect())
+                .unwrap(),
+            encoder: RecordEncoder::builder(dim, n_features)
+                .levels(4)
+                .seed(seed)
+                .build()
+                .unwrap(),
+            normalizer: None,
+        }
+    }
+
+    #[test]
+    fn swap_bumps_epoch_and_old_snapshots_survive() {
+        let dir = std::env::temp_dir().join("lehdc_serve_state_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("next.lehdc");
+        save_bundle(&bundle(2, 4), &path).unwrap();
+
+        let state = ModelState::new(bundle(1, 4));
+        let before = state.snapshot();
+        assert_eq!(before.epoch, 0);
+        assert_eq!(state.swap_from(&path).unwrap(), 1);
+        assert_eq!(state.snapshot().epoch, 1);
+        // The pre-swap snapshot still classifies with the old model.
+        assert_eq!(before.epoch, 0);
+        before.bundle.classify(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_swap_leaves_the_model_serving() {
+        let state = ModelState::new(bundle(1, 4));
+        assert!(state.swap_from(Path::new("/nonexistent.lehdc")).is_err());
+        assert_eq!(state.snapshot().epoch, 0);
+    }
+
+    #[test]
+    fn swap_rejects_feature_count_changes() {
+        let dir = std::env::temp_dir().join("lehdc_serve_state_shape_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wide.lehdc");
+        save_bundle(&bundle(3, 9), &path).unwrap();
+        let state = ModelState::new(bundle(1, 4));
+        let err = state.swap_from(&path).unwrap_err();
+        assert!(err.to_string().contains("feature count"), "{err}");
+        assert_eq!(state.snapshot().epoch, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,259 @@
+//! End-to-end daemon suite: protocol round-trips over real sockets,
+//! concurrent pipelined clients at several batch sizes, bit-identity
+//! against serial classification, and mid-stream hot swap semantics.
+
+use std::net::TcpStream;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hdc::rng::rng_for;
+use hdc::{BinaryHv, Dim, RecordEncoder};
+use hdc_datasets::MinMaxNormalizer;
+use lehdc::io::{save_bundle, ModelBundle};
+use lehdc::HdcModel;
+use lehdc_serve::{Client, ServeConfig, Server};
+use testkit::Rng;
+
+const N_FEATURES: usize = 8;
+
+fn test_bundle(seed: u64) -> ModelBundle {
+    let dim = Dim::new(256);
+    let mut rng = rng_for(seed, 0);
+    ModelBundle {
+        model: HdcModel::new((0..4).map(|_| BinaryHv::random(dim, &mut rng)).collect()).unwrap(),
+        encoder: RecordEncoder::builder(dim, N_FEATURES)
+            .levels(8)
+            .seed(seed)
+            .build()
+            .unwrap(),
+        normalizer: Some(
+            MinMaxNormalizer::from_parts(vec![0.0; N_FEATURES], vec![1.0; N_FEATURES]).unwrap(),
+        ),
+    }
+}
+
+fn random_rows(n: usize, stream: u64) -> Vec<Vec<f32>> {
+    let mut rng = rng_for(99, stream);
+    (0..n)
+        .map(|_| {
+            (0..N_FEATURES)
+                .map(|_| (rng.random::<u64>() % 1024) as f32 / 1024.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn start(bundle: ModelBundle, max_batch: usize) -> Server {
+    let cfg = ServeConfig {
+        threads: 2,
+        max_batch,
+        max_wait: Duration::from_micros(200),
+        queue_capacity: 256,
+    };
+    Server::start(bundle, "127.0.0.1:0", &cfg, obs::Recorder::builder().build()).unwrap()
+}
+
+#[test]
+fn concurrent_pipelined_clients_match_serial_at_every_batch_size() {
+    // The determinism contract: whatever the batching, threading, or
+    // interleaving, every response is bit-identical to a serial
+    // `bundle.classify` of the same row.
+    let bundle = test_bundle(1);
+    for max_batch in [1usize, 7, 64] {
+        let server = start(bundle.clone(), max_batch);
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..4)
+            .map(|c| {
+                let bundle = bundle.clone();
+                std::thread::spawn(move || {
+                    let rows = random_rows(32, c);
+                    let mut client = Client::connect(addr).unwrap();
+                    // Pipeline a window of 8 so the collector actually
+                    // sees multi-request batches from one connection.
+                    let window = 8.min(rows.len());
+                    for row in &rows[..window] {
+                        client.send_classify(row).unwrap();
+                    }
+                    for (i, row) in rows.iter().enumerate() {
+                        let (class, epoch) = client.recv_classified().unwrap();
+                        assert_eq!(epoch, 0, "no swap happened");
+                        let expected = bundle.classify(row).unwrap() as u32;
+                        assert_eq!(class, expected, "row {i} diverged from serial");
+                        if i + window < rows.len() {
+                            client.send_classify(&rows[i + window]).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+        server.join();
+    }
+}
+
+#[test]
+fn admin_commands_roundtrip() {
+    let bundle = test_bundle(1);
+    let server = start(bundle, 64);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    let (dim, classes, features, epoch) = client.info().unwrap();
+    assert_eq!((dim, classes, features, epoch), (256, 4, N_FEATURES as u64, 0));
+    client.classify(&[0.5; N_FEATURES]).unwrap();
+    let stats = client.stats().unwrap();
+    obs::validate_json_line(&stats).expect("STATS must be valid JSON");
+    assert!(stats.contains("serve/requests_total"), "{stats}");
+    // Wrong feature count: typed error, connection stays usable.
+    let err = client.classify(&[0.5; 3]).unwrap_err();
+    assert!(err.to_string().contains("expected 8 features"), "{err}");
+    client.ping().unwrap();
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn line_mode_speaks_plain_text() {
+    let bundle = test_bundle(1);
+    let expected = bundle.classify(&[0.5; N_FEATURES]).unwrap();
+    let server = start(bundle, 64);
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    let mut roundtrip = |cmd: &str| {
+        (&stream).write_all(cmd.as_bytes()).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        line.trim().to_string()
+    };
+    assert_eq!(roundtrip("ping\n"), "ok pong");
+    let features = vec!["0.5"; N_FEATURES].join(",");
+    assert_eq!(
+        roundtrip(&format!("classify {features}\n")),
+        format!("ok {expected} epoch=0")
+    );
+    assert!(roundtrip("classify 1,2\n").starts_with("err "));
+    assert!(roundtrip("frobnicate\n").starts_with("err "));
+    assert_eq!(roundtrip("shutdown\n"), "ok bye");
+    server.join();
+}
+
+#[test]
+fn hot_swap_is_atomic_and_epoch_stamped() {
+    let dir = std::env::temp_dir().join("lehdc_serve_swap_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let next_path = dir.join("next.lehdc");
+    let bundle0 = test_bundle(1);
+    let bundle1 = test_bundle(2);
+    save_bundle(&bundle1, &next_path).unwrap();
+
+    let server = start(bundle0.clone(), 64);
+    let addr = server.local_addr();
+    let rows = random_rows(64, 7);
+
+    // Phase 1: all responses come from epoch 0 / model 0.
+    let mut client = Client::connect(addr).unwrap();
+    for row in &rows {
+        let (class, epoch) = client.classify(row).unwrap();
+        assert_eq!(epoch, 0);
+        assert_eq!(class, bundle0.classify(row).unwrap() as u32);
+    }
+
+    // Swap. The ack happens-after the publish, so every later request is
+    // answered by the new model.
+    assert_eq!(client.swap(next_path.to_str().unwrap()).unwrap(), 1);
+    for row in &rows {
+        let (class, epoch) = client.classify(row).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(class, bundle1.classify(row).unwrap() as u32);
+    }
+
+    // A bad swap leaves the current model serving.
+    assert!(client.swap("/nonexistent.lehdc").is_err());
+    let (_, _, _, epoch) = client.info().unwrap();
+    assert_eq!(epoch, 1);
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_swap_respects_the_epoch_contract() {
+    // While clients hammer the server, another connection swaps mid-stream.
+    // The invariant (the whole consistency contract): a response stamped
+    // epoch e matches model e's serial classification — never a blend.
+    let dir = std::env::temp_dir().join("lehdc_serve_race_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let next_path = dir.join("next.lehdc");
+    let bundle0 = test_bundle(1);
+    let bundle1 = test_bundle(2);
+    save_bundle(&bundle1, &next_path).unwrap();
+
+    let server = start(bundle0.clone(), 16);
+    let addr = server.local_addr();
+    let bundle0 = Arc::new(bundle0);
+    let bundle1 = Arc::new(bundle1);
+
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let (b0, b1) = (Arc::clone(&bundle0), Arc::clone(&bundle1));
+            std::thread::spawn(move || {
+                let rows = random_rows(96, 200 + c);
+                let mut client = Client::connect(addr).unwrap();
+                let mut saw = [false, false];
+                for row in &rows {
+                    let (class, epoch) = client.classify(row).unwrap();
+                    let expected = match epoch {
+                        0 => b0.classify(row).unwrap(),
+                        1 => b1.classify(row).unwrap(),
+                        other => panic!("impossible epoch {other}"),
+                    };
+                    saw[epoch as usize] = true;
+                    assert_eq!(class, expected as u32, "epoch {epoch} answer diverged");
+                }
+                saw
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(5));
+    let mut admin = Client::connect(addr).unwrap();
+    assert_eq!(admin.swap(next_path.to_str().unwrap()).unwrap(), 1);
+
+    let mut any_new = false;
+    for h in clients {
+        let saw = h.join().unwrap();
+        any_new |= saw[1];
+    }
+    // The swap lands mid-run, so at least one client must have crossed it.
+    assert!(any_new, "no client ever saw the swapped model");
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_frames_close_the_connection_without_harm() {
+    let server = start(test_bundle(1), 64);
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"LHD1").unwrap();
+    stream
+        .write_all(&(u32::MAX).to_le_bytes())
+        .unwrap(); // absurd frame length
+    let mut reader = BufReader::new(stream);
+    let mut sink = Vec::new();
+    // Server drops the connection (possibly after an error frame).
+    let _ = reader.read_to_end(&mut sink);
+    // The daemon itself is unharmed.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+    server.join();
+}

@@ -46,6 +46,47 @@ for event in train_epoch encode strategy_run pool pool_totals metric; do
         || { echo "ERROR: no \"$event\" event in run.jsonl" >&2; exit 1; }
 done
 
+echo "== serve smoke: daemon answers the offline predictions over TCP =="
+# Reuse the trained smoke model: derive a label-less feature file, take the
+# CLI's offline predictions as ground truth, then check a micro-batched
+# pipelined run against them under each kernel tier.
+cut -d, -f2- "$smoke_dir/train.csv" > "$smoke_dir/features.csv"
+./target/release/lehdc_cli predict \
+    --model "$smoke_dir/model.lehdc" --data "$smoke_dir/features.csv" \
+    > "$smoke_dir/offline.txt"
+serve_tiers="scalar"
+if grep -q '\bavx2\b' /proc/cpuinfo 2>/dev/null; then
+    serve_tiers="scalar avx2"
+fi
+for tier in $serve_tiers; do
+    echo "-- serve smoke (kernel tier: $tier) --"
+    LEHDC_KERNEL=$tier ./target/release/lehdc_serve \
+        --model "$smoke_dir/model.lehdc" --addr 127.0.0.1:0 --threads 2 \
+        > "$smoke_dir/serve_$tier.log" 2> "$smoke_dir/serve_$tier.err" &
+    serve_pid=$!
+    serve_addr=""
+    for _ in $(seq 1 100); do
+        serve_addr=$(sed -n 's/^lehdc_serve listening on //p' "$smoke_dir/serve_$tier.log")
+        [ -n "$serve_addr" ] && break
+        kill -0 "$serve_pid" 2>/dev/null \
+            || { echo "ERROR: lehdc_serve died before binding" >&2
+                 cat "$smoke_dir/serve_$tier.err" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$serve_addr" ] || { echo "ERROR: lehdc_serve never printed its address" >&2; exit 1; }
+    LEHDC_KERNEL=$tier ./target/release/lehdc_loadgen \
+        --addr "$serve_addr" --data "$smoke_dir/features.csv" \
+        --requests 360 --connections 4 --window 8 \
+        --check "$smoke_dir/offline.txt" --stats --shutdown \
+        > "$smoke_dir/stats_$tier.json"
+    grep -q '"serve/requests_total": 360' "$smoke_dir/stats_$tier.json" \
+        || { echo "ERROR: STATS did not count all 360 requests" >&2
+             cat "$smoke_dir/stats_$tier.json" >&2; exit 1; }
+    wait "$serve_pid" \
+        || { echo "ERROR: lehdc_serve exited nonzero" >&2
+             cat "$smoke_dir/serve_$tier.err" >&2; exit 1; }
+done
+
 echo "== bench smoke (quick mode, one iteration per benchmark) =="
 TESTKIT_BENCH_QUICK=1 cargo bench -q --offline --workspace
 
@@ -56,7 +97,7 @@ if [ "${CHECK_BENCH_COMPARE:-0}" != "0" ]; then
     echo "== bench regression gate (opt-in via CHECK_BENCH_COMPARE=1) =="
     # Compares the run above against the committed snapshot for the groups
     # whose scaling the thread pool is responsible for.
-    ./scripts/bench_compare.sh --rerun classify_all classify_blocked transpose_matmul backward encode record_encode encode_pooled train_step retrain_epoch enhanced_epoch multimodel_classify
+    ./scripts/bench_compare.sh --rerun classify_all classify_blocked transpose_matmul backward encode record_encode encode_pooled train_step retrain_epoch enhanced_epoch multimodel_classify serve_batch
 fi
 
 echo "== manifest hermeticity check =="

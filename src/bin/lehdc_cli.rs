@@ -32,7 +32,7 @@ use std::process::ExitCode;
 use lehdc_suite::datasets::loader::csv::{load_csv, LabelColumn};
 use lehdc_suite::datasets::TrainTest;
 use lehdc_suite::hdc::{Dim, Encode};
-use lehdc_suite::lehdc::io::{load_bundle, save_bundle, ModelBundle};
+use lehdc_suite::lehdc::io::{load_bundle_validated, save_bundle, ModelBundle};
 use lehdc_suite::lehdc::{AdaptiveConfig, LehdcConfig, Pipeline, RetrainConfig, Strategy};
 use lehdc_suite::{obs, threadpool};
 
@@ -321,7 +321,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     )?;
     let threads = parse_num(&flags, "threads", 1usize)?;
     let rec = build_recorder(&flags)?;
-    let bundle = load_bundle(&PathBuf::from(required(&flags, "model")?))
+    let bundle = load_bundle_validated(&PathBuf::from(required(&flags, "model")?))
         .map_err(|e| e.to_string())?;
     let dataset = load_csv(
         &PathBuf::from(required(&flags, "data")?),
@@ -382,15 +382,11 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
     )?;
     let threads = parse_num(&flags, "threads", 1usize)?;
     let rec = build_recorder(&flags)?;
-    let bundle = load_bundle(&PathBuf::from(required(&flags, "model")?))
+    let bundle = load_bundle_validated(&PathBuf::from(required(&flags, "model")?))
         .map_err(|e| e.to_string())?;
     let text = std::fs::read_to_string(PathBuf::from(required(&flags, "data")?))
         .map_err(|e| e.to_string())?;
-    // Encode every row up front, then classify the whole batch through the
-    // blocked bulk path — same prediction per row as the one-at-a-time
-    // `bundle.classify`, but the argmax fan-out is threadable.
-    let encode_timer = rec.start();
-    let mut hvs = Vec::new();
+    let mut rows = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -398,18 +394,17 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
         }
         let features: Result<Vec<f32>, _> =
             line.split(',').map(|f| f.trim().parse::<f32>()).collect();
-        let mut features = features.map_err(|_| {
+        rows.push(features.map_err(|_| {
             format!("line {}: features must all be numeric", lineno + 1)
-        })?;
-        if let Some(norm) = &bundle.normalizer {
-            norm.apply_row(&mut features);
-        }
-        let hv = bundle.encoder.encode(&features).map_err(|e| e.to_string())?;
-        hvs.push(hv);
+        })?);
     }
-    rec.observe_since("encode/corpus_ns", &encode_timer);
-    rec.add("encode/samples", hvs.len() as u64);
-    for predicted in bundle.model.classify_all_recorded(&hvs, threads, &rec) {
+    // The bundle's bulk path normalizes, encodes (parallel, zero-alloc
+    // scratch per worker), and classifies through the blocked argmax —
+    // same prediction per row as the one-at-a-time `bundle.classify`.
+    let predictions = bundle
+        .classify_all_recorded(&rows, threads, &rec)
+        .map_err(|e| e.to_string())?;
+    for predicted in predictions {
         println!("{predicted}");
     }
     finish_metrics(&rec);
@@ -419,7 +414,7 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &["model"], &[])?;
     let path = PathBuf::from(required(&flags, "model")?);
-    let bundle = load_bundle(&path).map_err(|e| e.to_string())?;
+    let bundle = load_bundle_validated(&path).map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     println!("bundle:   {}", path.display());
     println!("size:     {bytes} bytes");

@@ -17,6 +17,10 @@
 //! - [`obs`] — the hermetic observability layer: counters, gauges, latency
 //!   histograms, and a JSON-lines event sink behind a recorder handle that
 //!   is a no-op when disabled (see [`obs::Recorder`]).
+//! - [`serve`] (crate `lehdc-serve`) — the micro-batching TCP inference
+//!   daemon: coalesces concurrent encode+classify requests into single
+//!   packed kernel fan-outs, with atomic model hot swap and a STATS admin
+//!   surface (binaries `lehdc_serve` / `lehdc_loadgen`).
 //!
 //! # Quickstart
 //!
@@ -41,6 +45,7 @@ pub use binnet;
 pub use hdc;
 pub use hdc_datasets as datasets;
 pub use lehdc;
+pub use lehdc_serve as serve;
 pub use obs;
 pub use threadpool;
 
