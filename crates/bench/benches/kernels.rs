@@ -633,6 +633,7 @@ fn bench_serve_batch(c: &mut Bench) {
             .build()
             .expect("valid encoder config"),
         normalizer: None,
+        selection: None,
     };
     let rows: Vec<Vec<f32>> = (0..64)
         .map(|_| (0..n_features).map(|_| rng.random_range(0.0f32..1.0)).collect())
@@ -680,6 +681,44 @@ fn bench_serve_batch(c: &mut Bench) {
     server.join();
 }
 
+fn bench_format_load(c: &mut Bench) {
+    // Model-load latency across on-disk formats at deployment scale
+    // (D=10,000, K=26): the container's aligned raw planes should load in
+    // one bulk read; the packed variant trades decode time for bytes; the
+    // legacy path is the baseline the container replaces.
+    use lehdc::format::Compression;
+    use lehdc::io::{read_model, write_model_legacy, write_model_with};
+
+    let d = 10_000usize;
+    let k = 26usize;
+    let mut rng = Xoshiro256pp::seed_from_u64(0xF0);
+    let dim = Dim::new(d);
+    let model = lehdc::HdcModel::new(
+        (0..k).map(|_| hdc::BinaryHv::random(dim, &mut rng)).collect(),
+    )
+    .unwrap();
+
+    let mut stored = Vec::new();
+    write_model_with(&model, &mut stored, Compression::Stored).unwrap();
+    let mut packed = Vec::new();
+    write_model_with(&model, &mut packed, Compression::Packed).unwrap();
+    let mut legacy = Vec::new();
+    write_model_legacy(&model, &mut legacy).unwrap();
+
+    let mut group = c.benchmark_group("format_load");
+    for (name, bytes) in [
+        ("container_stored", &stored),
+        ("container_packed", &packed),
+        ("legacy", &legacy),
+    ] {
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new(name, d), bytes, |bencher, bytes| {
+            bencher.iter(|| black_box(read_model(black_box(bytes.as_slice())).unwrap()));
+        });
+    }
+    group.finish();
+}
+
 testkit::bench_main!(
     bench_bind,
     bench_hamming,
@@ -701,4 +740,5 @@ testkit::bench_main!(
     bench_multimodel_classify,
     bench_pool_dispatch,
     bench_serve_batch,
+    bench_format_load,
 );

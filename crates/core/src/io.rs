@@ -1,17 +1,17 @@
-//! Model persistence: a compact binary format for trained HDC models.
+//! Model persistence: the versioned `LHDC` container plus the legacy
+//! readers it replaces.
 //!
-//! Format (all integers little-endian):
+//! Every artifact — bare model, deployable bundle, encoded corpus — is
+//! written as one [`crate::format`] container: magic `LHDC`, version,
+//! artifact/compression bytes, flat JSON metadata, an artifact-specific
+//! aux section, and the packed hypervector word planes on a 64-byte
+//! boundary so the serve SWAP path loads them with a single bulk read.
 //!
-//! ```text
-//! magic   8 bytes  "LEHDCMDL"
-//! version u32      currently 1
-//! dim     u64      hypervector dimension D
-//! k       u64      number of classes
-//! data    k × ⌈D/64⌉ × u64   packed class hypervectors, class-major
-//! ```
-//!
-//! The packed representation makes a saved model exactly the artifact an
-//! embedded deployment would flash: `K × D` bits plus a 28-byte header.
+//! The pre-container formats (`LEHDCMDL` / `LEHDCBDL` / `LEHDCENC`)
+//! remain readable: [`read_model`], [`read_bundle`], and [`read_encoded`]
+//! dispatch on the magic, so old artifacts keep loading while everything
+//! written from now on is a container. The legacy writers survive as
+//! `write_*_legacy` for conversion tooling and dispatch tests.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -21,12 +21,21 @@ use hdc::{BinaryHv, Dim, Encode, RecordEncoder};
 use hdc_datasets::MinMaxNormalizer;
 
 use crate::error::LehdcError;
-use crate::model::HdcModel;
+use crate::format::{
+    self, meta_f32, read_varint, write_varint, Artifact, Compression, MetaWriter, STRIDE_BYTES,
+    STRIDE_F32,
+};
+use crate::model::{project_dims, HdcModel};
 
-const MAGIC: &[u8; 8] = b"LEHDCMDL";
-const VERSION: u32 = 1;
-const BUNDLE_MAGIC: &[u8; 8] = b"LEHDCBDL";
-const BUNDLE_VERSION: u32 = 1;
+const LEGACY_MODEL_MAGIC: &[u8; 8] = b"LEHDCMDL";
+const LEGACY_MODEL_VERSION: u32 = 1;
+const LEGACY_BUNDLE_MAGIC: &[u8; 8] = b"LEHDCBDL";
+const LEGACY_BUNDLE_VERSION: u32 = 1;
+const LEGACY_ENCODED_MAGIC: &[u8; 8] = b"LEHDCENC";
+const LEGACY_ENCODED_VERSION: u32 = 1;
+
+/// Provenance string stamped into every container's metadata.
+const PROVENANCE: &str = concat!("lehdc-suite ", env!("CARGO_PKG_VERSION"));
 
 /// Writes `path` atomically: the payload goes to a sibling temp file that is
 /// flushed and fsynced, then renamed over `path`. A crash, full disk, or
@@ -61,14 +70,94 @@ where
     })
 }
 
-/// Serializes a model to any writer (a `&mut` reference works too).
+// ---------------------------------------------------------------------------
+// Magic dispatch
+// ---------------------------------------------------------------------------
+
+enum Magic {
+    Container,
+    Legacy([u8; 8]),
+}
+
+/// Reads just enough of the stream to route it: 4 bytes decide container
+/// vs legacy (no legacy magic starts with `LHDC`), legacy needs 4 more.
+fn read_magic<R: Read>(reader: &mut R) -> Result<Magic, LehdcError> {
+    let mut first = [0u8; 4];
+    reader.read_exact(&mut first).map_err(truncated)?;
+    if first == format::MAGIC {
+        return Ok(Magic::Container);
+    }
+    let mut rest = [0u8; 4];
+    reader.read_exact(&mut rest).map_err(truncated)?;
+    let mut magic = [0u8; 8];
+    magic[..4].copy_from_slice(&first);
+    magic[4..].copy_from_slice(&rest);
+    Ok(Magic::Legacy(magic))
+}
+
+fn expect_artifact(c: &format::Container, want: Artifact) -> Result<(), LehdcError> {
+    if c.artifact == want {
+        Ok(())
+    } else {
+        Err(LehdcError::ModelFormat(format!(
+            "container holds a {}, not a {}",
+            c.artifact.name(),
+            want.name()
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model: container write/read + legacy
+// ---------------------------------------------------------------------------
+
+/// Serializes a model as an `LHDC` container with the given section
+/// compression (the word planes are always raw).
 ///
 /// # Errors
 ///
 /// Returns [`LehdcError::Io`] on write failure.
-pub fn write_model<W: Write>(model: &HdcModel, mut writer: W) -> Result<(), LehdcError> {
-    writer.write_all(MAGIC)?;
-    writer.write_all(&VERSION.to_le_bytes())?;
+pub fn write_model_with<W: Write>(
+    model: &HdcModel,
+    mut writer: W,
+    compression: Compression,
+) -> Result<(), LehdcError> {
+    let mut meta = MetaWriter::new();
+    meta.u64("dim", model.dim().get() as u64)
+        .u64("classes", model.n_classes() as u64)
+        .str("created_by", PROVENANCE);
+    let planes: Vec<&[u64]> = model.class_hvs().iter().map(BinaryHv::as_words).collect();
+    format::write_container(
+        &mut writer,
+        Artifact::Model,
+        compression,
+        &meta.finish(),
+        &[],
+        STRIDE_BYTES,
+        &planes,
+    )
+}
+
+/// Serializes a model to any writer in the current (container) format.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::Io`] on write failure.
+pub fn write_model<W: Write>(model: &HdcModel, writer: W) -> Result<(), LehdcError> {
+    // A bare model is essentially all planes; stored sections keep the
+    // write single-pass with nothing worth compressing.
+    write_model_with(model, writer, Compression::Stored)
+}
+
+/// Serializes a model in the legacy `LEHDCMDL` layout (for conversion
+/// tooling and legacy-dispatch tests; new artifacts use [`write_model`]).
+///
+/// # Errors
+///
+/// Returns [`LehdcError::Io`] on write failure.
+pub fn write_model_legacy<W: Write>(model: &HdcModel, mut writer: W) -> Result<(), LehdcError> {
+    writer.write_all(LEGACY_MODEL_MAGIC)?;
+    writer.write_all(&LEGACY_MODEL_VERSION.to_le_bytes())?;
     writer.write_all(&(model.dim().get() as u64).to_le_bytes())?;
     writer.write_all(&(model.n_classes() as u64).to_le_bytes())?;
     for hv in model.class_hvs() {
@@ -79,28 +168,7 @@ pub fn write_model<W: Write>(model: &HdcModel, mut writer: W) -> Result<(), Lehd
     Ok(())
 }
 
-/// Deserializes a model from any reader.
-///
-/// # Errors
-///
-/// Returns [`LehdcError::ModelFormat`] for a bad magic, version, or
-/// truncated payload, and [`LehdcError::Io`] on read failure.
-pub fn read_model<R: Read>(mut reader: R) -> Result<HdcModel, LehdcError> {
-    let mut magic = [0u8; 8];
-    reader.read_exact(&mut magic).map_err(truncated)?;
-    if &magic != MAGIC {
-        return Err(LehdcError::ModelFormat(format!(
-            "bad magic {magic:?}, not a LeHDC model file"
-        )));
-    }
-    let version = read_u32(&mut reader)?;
-    if version != VERSION {
-        return Err(LehdcError::ModelFormat(format!(
-            "unsupported version {version} (this build reads {VERSION})"
-        )));
-    }
-    let dim = read_u64(&mut reader)? as usize;
-    let k = read_u64(&mut reader)? as usize;
+fn check_model_shape(dim: usize, k: usize) -> Result<(), LehdcError> {
     if dim == 0 || k == 0 {
         return Err(LehdcError::ModelFormat(format!(
             "degenerate model shape: D={dim}, K={k}"
@@ -111,36 +179,92 @@ pub fn read_model<R: Read>(mut reader: R) -> Result<HdcModel, LehdcError> {
             "implausible model shape: D={dim}, K={k}"
         )));
     }
+    Ok(())
+}
+
+/// Splits a container's word payload into per-hypervector rows, enforcing
+/// the exact word count and the tail-bit invariant.
+fn words_to_hvs(words: &[u64], d: Dim, count: usize, what: &str) -> Result<Vec<BinaryHv>, LehdcError> {
+    let per = d.words();
+    if words.len() != count * per {
+        return Err(LehdcError::ModelFormat(format!(
+            "payload holds {} words but the {what} shape needs {}",
+            words.len(),
+            count * per
+        )));
+    }
+    words
+        .chunks_exact(per)
+        .map(|chunk| {
+            BinaryHv::from_words(chunk.to_vec(), d).map_err(|_| {
+                LehdcError::ModelFormat("padding bits beyond the dimension are set".into())
+            })
+        })
+        .collect()
+}
+
+fn model_from_container(c: &format::Container) -> Result<HdcModel, LehdcError> {
+    expect_artifact(c, Artifact::Model)?;
+    let meta = format::parse_meta(&c.meta)?;
+    let dim = meta.need_u64("dim")? as usize;
+    let k = meta.need_u64("classes")? as usize;
+    check_model_shape(dim, k)?;
+    if !c.aux.is_empty() {
+        return Err(LehdcError::ModelFormat(
+            "model containers carry no aux section".into(),
+        ));
+    }
+    let hvs = words_to_hvs(&c.words, Dim::new(dim), k, "model")?;
+    HdcModel::new(hvs)
+}
+
+fn read_model_legacy_body<R: Read>(reader: &mut R) -> Result<HdcModel, LehdcError> {
+    let version = read_u32(reader)?;
+    if version != LEGACY_MODEL_VERSION {
+        return Err(LehdcError::ModelFormat(format!(
+            "unsupported version {version} (this build reads {LEGACY_MODEL_VERSION})"
+        )));
+    }
+    let dim = read_u64(reader)? as usize;
+    let k = read_u64(reader)? as usize;
+    check_model_shape(dim, k)?;
     let d = Dim::new(dim);
     let words_per_hv = d.words();
     let mut class_hvs = Vec::with_capacity(k);
     for _ in 0..k {
-        let mut hv = BinaryHv::zeros(d);
         let mut buf = [0u8; 8];
         let mut words = Vec::with_capacity(words_per_hv);
         for _ in 0..words_per_hv {
             reader.read_exact(&mut buf).map_err(truncated)?;
             words.push(u64::from_le_bytes(buf));
         }
-        // Validate the tail-bit invariant before reconstructing.
-        if let Some(&last) = words.last() {
-            if last & !d.last_word_mask() != 0 {
-                return Err(LehdcError::ModelFormat(
-                    "padding bits beyond the dimension are set".into(),
-                ));
-            }
-        }
-        for (i, word) in words.iter().enumerate() {
-            let mut bits = *word;
-            while bits != 0 {
-                let b = bits.trailing_zeros() as usize;
-                hv.set(i * 64 + b, true);
-                bits &= bits - 1;
-            }
-        }
+        let hv = BinaryHv::from_words(words, d).map_err(|_| {
+            LehdcError::ModelFormat("padding bits beyond the dimension are set".into())
+        })?;
         class_hvs.push(hv);
     }
     HdcModel::new(class_hvs)
+}
+
+/// Deserializes a model from any reader, dispatching on the magic:
+/// `LHDC` containers and legacy `LEHDCMDL` files both load.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::ModelFormat`] for a bad magic, version, or
+/// truncated payload, and [`LehdcError::Io`] on read failure.
+pub fn read_model<R: Read>(mut reader: R) -> Result<HdcModel, LehdcError> {
+    match read_magic(&mut reader)? {
+        Magic::Container => {
+            model_from_container(&format::read_container_after_magic(&mut reader)?)
+        }
+        Magic::Legacy(magic) if &magic == LEGACY_MODEL_MAGIC => {
+            read_model_legacy_body(&mut reader)
+        }
+        Magic::Legacy(magic) => Err(LehdcError::ModelFormat(format!(
+            "bad magic {magic:?}, not a LeHDC model file"
+        ))),
+    }
 }
 
 /// Saves a model to a file path (atomically: temp file + fsync + rename, so
@@ -153,15 +277,21 @@ pub fn save_model(model: &HdcModel, path: &Path) -> Result<(), LehdcError> {
     write_atomic(path, |w| write_model(model, w))
 }
 
-/// Loads a model from a file path.
+/// Loads a model from a file path with full validation and path context:
+/// every failure — open error, bad magic, implausible shape, truncation,
+/// trailing garbage — comes back as a typed [`LehdcError`] naming `path`.
 ///
 /// # Errors
 ///
-/// As [`read_model`], plus file-open failures.
+/// As [`read_model`], with the offending path prefixed to the message;
+/// additionally rejects files with bytes beyond the payload.
 pub fn load_model(path: &Path) -> Result<HdcModel, LehdcError> {
-    let file = File::open(path)?;
-    read_model(BufReader::new(file))
+    load_validated(path, "model", |reader| read_model(reader))
 }
+
+// ---------------------------------------------------------------------------
+// ModelBundle
+// ---------------------------------------------------------------------------
 
 /// A deployable artifact: a trained model together with everything needed
 /// to re-create its encoder (the item memories are regenerated from the
@@ -179,17 +309,92 @@ pub struct ModelBundle {
     /// training pipeline normalized; raw features must pass through it
     /// before encoding.
     pub normalizer: Option<MinMaxNormalizer>,
+    /// For distilled models: the strictly increasing encoder dimensions
+    /// the model keeps. Queries are encoded at the full encoder dimension
+    /// and projected onto these before classification. `None` means the
+    /// model spans the encoder dimension unchanged.
+    pub selection: Option<Vec<u32>>,
 }
 
 impl ModelBundle {
+    /// Checks the structural invariants between model, encoder, normalizer,
+    /// and selection (called by every writer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LehdcError::InvalidConfig`] naming the violated invariant.
+    pub fn validate_shape(&self) -> Result<(), LehdcError> {
+        match &self.selection {
+            None => {
+                if self.model.dim() != self.encoder.dim() {
+                    return Err(LehdcError::InvalidConfig(format!(
+                        "model dimension {} does not match encoder dimension {}",
+                        self.model.dim(),
+                        self.encoder.dim()
+                    )));
+                }
+            }
+            Some(sel) => {
+                if sel.len() != self.model.dim().get() {
+                    return Err(LehdcError::InvalidConfig(format!(
+                        "selection keeps {} dims but the model dimension is {}",
+                        sel.len(),
+                        self.model.dim()
+                    )));
+                }
+                if sel.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(LehdcError::InvalidConfig(
+                        "selection dims must be strictly increasing".into(),
+                    ));
+                }
+                if sel
+                    .last()
+                    .is_some_and(|&last| last as usize >= self.encoder.dim().get())
+                {
+                    return Err(LehdcError::InvalidConfig(format!(
+                        "selection dim {} is outside the encoder dimension {}",
+                        sel.last().unwrap(),
+                        self.encoder.dim()
+                    )));
+                }
+            }
+        }
+        if let Some(norm) = &self.normalizer {
+            if norm.n_features() != self.encoder.n_features() {
+                return Err(LehdcError::InvalidConfig(format!(
+                    "normalizer covers {} features but the encoder expects {}",
+                    norm.n_features(),
+                    self.encoder.n_features()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Projects an encoder-dimension query onto the model's kept dims.
+    /// Identity (no cost) for non-distilled bundles.
+    #[must_use]
+    pub fn project_query(&self, hv: BinaryHv) -> BinaryHv {
+        match &self.selection {
+            Some(sel) => project_dims(&hv, sel),
+            None => hv,
+        }
+    }
+
     /// Classifies one raw feature vector end-to-end (normalize + encode +
-    /// Hamming inference).
+    /// project + Hamming inference).
     ///
     /// # Errors
     ///
     /// Returns [`LehdcError::Hdc`] if `features.len()` differs from the
-    /// encoder's feature count.
+    /// encoder's feature count, and [`LehdcError::InvalidConfig`] naming
+    /// the first non-finite feature (NaN/±inf cannot be quantized).
     pub fn classify(&self, features: &[f32]) -> Result<usize, LehdcError> {
+        if let Some(i) = features.iter().position(|v| !v.is_finite()) {
+            return Err(LehdcError::InvalidConfig(format!(
+                "feature {i} is not finite (NaN/±inf cannot be quantized)"
+            )));
+        }
         let hv = match &self.normalizer {
             Some(norm) => {
                 if features.len() != norm.n_features() {
@@ -204,7 +409,7 @@ impl ModelBundle {
             }
             None => self.encoder.encode(features)?,
         };
-        Ok(self.model.classify(&hv))
+        Ok(self.model.classify(&self.project_query(hv)))
     }
 
     /// Expected raw feature count per classify request.
@@ -221,8 +426,9 @@ impl ModelBundle {
     ///
     /// # Errors
     ///
-    /// Returns [`LehdcError::Hdc`] naming the first offending row index if
-    /// any row's feature count differs from the encoder's.
+    /// Returns [`LehdcError::InvalidConfig`] naming the first offending row
+    /// if any row's feature count differs from the encoder's or any feature
+    /// is non-finite.
     pub fn classify_all(&self, rows: &[Vec<f32>], threads: usize) -> Result<Vec<usize>, LehdcError> {
         Ok(self.model.classify_all_blocked(
             &self.encode_rows(rows, threads)?,
@@ -258,8 +464,37 @@ impl ModelBundle {
         Ok(self.model.classify_all_recorded(&queries, threads, rec))
     }
 
+    /// Distills the bundle down to `d_out` dimensions: the model keeps the
+    /// `d_out` encoder dims with the highest class-margin contribution
+    /// (see [`HdcModel::distill`]); the encoder spec is unchanged, so the
+    /// distilled bundle still accepts the same raw feature vectors.
+    ///
+    /// Distilling an already-distilled bundle composes the selections, so
+    /// the result always indexes the original encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LehdcError::InvalidConfig`] if `d_out` is zero or exceeds
+    /// the current model dimension.
+    pub fn distill(&self, d_out: usize) -> Result<ModelBundle, LehdcError> {
+        let (model, relative) = self.model.distill(d_out)?;
+        let selection = match &self.selection {
+            None => relative,
+            Some(parent) => relative.iter().map(|&j| parent[j as usize]).collect(),
+        };
+        let distilled = ModelBundle {
+            model,
+            encoder: self.encoder.clone(),
+            normalizer: self.normalizer.clone(),
+            selection: Some(selection),
+        };
+        distilled.validate_shape()?;
+        Ok(distilled)
+    }
+
     /// Normalizes and encodes every row in parallel, validating feature
-    /// counts up front so the fan-out itself cannot fail.
+    /// counts and finiteness up front so the fan-out itself cannot fail,
+    /// then projects distilled bundles onto their kept dims.
     fn encode_rows(&self, rows: &[Vec<f32>], threads: usize) -> Result<Vec<BinaryHv>, LehdcError> {
         let expected = self.encoder.n_features();
         for (i, row) in rows.iter().enumerate() {
@@ -267,6 +502,11 @@ impl ModelBundle {
                 return Err(LehdcError::InvalidConfig(format!(
                     "row {i}: expected {expected} features, got {}",
                     row.len()
+                )));
+            }
+            if let Some(j) = row.iter().position(|v| !v.is_finite()) {
+                return Err(LehdcError::InvalidConfig(format!(
+                    "row {i}: feature {j} is not finite (NaN/±inf cannot be quantized)"
                 )));
             }
         }
@@ -290,7 +530,7 @@ impl ModelBundle {
                 self.encoder
                     .encode_into(features, &mut scratch, &mut hv)
                     .expect("feature counts were validated above");
-                out.push(hv);
+                out.push(self.project_query(hv));
             }
             out
         });
@@ -298,23 +538,114 @@ impl ModelBundle {
     }
 }
 
-/// Serializes a bundle: an encoder-spec header (dim, features, levels,
-/// range, seed) followed by the model payload.
+// ---------------------------------------------------------------------------
+// Bundle: container write/read + legacy
+// ---------------------------------------------------------------------------
+
+/// Serializes a bundle as an `LHDC` container with the given section
+/// compression.
 ///
 /// # Errors
 ///
-/// Returns [`LehdcError::InvalidConfig`] if the model and encoder dimensions
-/// disagree, or [`LehdcError::Io`] on write failure.
-pub fn write_bundle<W: Write>(bundle: &ModelBundle, mut writer: W) -> Result<(), LehdcError> {
-    if bundle.model.dim() != bundle.encoder.dim() {
-        return Err(LehdcError::InvalidConfig(format!(
-            "model dimension {} does not match encoder dimension {}",
-            bundle.model.dim(),
-            bundle.encoder.dim()
-        )));
+/// Returns [`LehdcError::InvalidConfig`] if the bundle's shape invariants
+/// fail (see [`ModelBundle::validate_shape`]), or [`LehdcError::Io`] on
+/// write failure.
+pub fn write_bundle_with<W: Write>(
+    bundle: &ModelBundle,
+    mut writer: W,
+    compression: Compression,
+) -> Result<(), LehdcError> {
+    bundle.validate_shape()?;
+    let enc = &bundle.encoder;
+    let mut meta = MetaWriter::new();
+    meta.u64("dim", bundle.model.dim().get() as u64)
+        .u64("classes", bundle.model.n_classes() as u64)
+        .u64("encoder_dim", enc.dim().get() as u64)
+        .u64("features", enc.n_features() as u64)
+        .u64("levels", enc.levels().n_levels() as u64)
+        .u64("seed", enc.seed());
+    let (vmin, vmax) = enc.quantizer().range();
+    meta_f32(&mut meta, "vmin", vmin);
+    meta_f32(&mut meta, "vmax", vmax);
+    meta.bool("normalizer", bundle.normalizer.is_some())
+        .bool("distilled", bundle.selection.is_some())
+        .str("created_by", PROVENANCE);
+
+    // Aux: selection as delta varints (0 count = not distilled), then the
+    // normalizer tables as raw little-endian f32s.
+    let mut aux = Vec::new();
+    match &bundle.selection {
+        None => write_varint(&mut aux, 0),
+        Some(sel) => {
+            write_varint(&mut aux, sel.len() as u64);
+            let mut prev = 0u64;
+            for (i, &d) in sel.iter().enumerate() {
+                let d = u64::from(d);
+                write_varint(&mut aux, if i == 0 { d } else { d - prev });
+                prev = d;
+            }
+        }
     }
-    writer.write_all(BUNDLE_MAGIC)?;
-    writer.write_all(&BUNDLE_VERSION.to_le_bytes())?;
+    if let Some(norm) = &bundle.normalizer {
+        for &v in norm.mins() {
+            aux.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in norm.ranges() {
+            aux.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let stride = if bundle.normalizer.is_some() {
+        STRIDE_F32
+    } else {
+        STRIDE_BYTES
+    };
+    let planes: Vec<&[u64]> = bundle
+        .model
+        .class_hvs()
+        .iter()
+        .map(BinaryHv::as_words)
+        .collect();
+    format::write_container(
+        &mut writer,
+        Artifact::Bundle,
+        compression,
+        &meta.finish(),
+        &aux,
+        stride,
+        &planes,
+    )
+}
+
+/// Serializes a bundle to any writer in the current (container) format
+/// with the default (packed) section compression.
+///
+/// # Errors
+///
+/// As [`write_bundle_with`].
+pub fn write_bundle<W: Write>(bundle: &ModelBundle, writer: W) -> Result<(), LehdcError> {
+    write_bundle_with(bundle, writer, Compression::Packed)
+}
+
+/// Serializes a bundle in the legacy `LEHDCBDL` layout. Distilled bundles
+/// cannot be represented (the legacy format has no selection section).
+///
+/// # Errors
+///
+/// Returns [`LehdcError::InvalidConfig`] for a distilled bundle or a
+/// model/encoder/normalizer shape mismatch, or [`LehdcError::Io`] on
+/// write failure.
+pub fn write_bundle_legacy<W: Write>(
+    bundle: &ModelBundle,
+    mut writer: W,
+) -> Result<(), LehdcError> {
+    if bundle.selection.is_some() {
+        return Err(LehdcError::InvalidConfig(
+            "the legacy bundle format cannot hold a distilled selection".into(),
+        ));
+    }
+    bundle.validate_shape()?;
+    writer.write_all(LEGACY_BUNDLE_MAGIC)?;
+    writer.write_all(&LEGACY_BUNDLE_VERSION.to_le_bytes())?;
     writer.write_all(&(bundle.encoder.dim().get() as u64).to_le_bytes())?;
     writer.write_all(&(bundle.encoder.n_features() as u64).to_le_bytes())?;
     writer.write_all(&(bundle.encoder.levels().n_levels() as u64).to_le_bytes())?;
@@ -325,13 +656,6 @@ pub fn write_bundle<W: Write>(bundle: &ModelBundle, mut writer: W) -> Result<(),
     match &bundle.normalizer {
         None => writer.write_all(&[0u8])?,
         Some(norm) => {
-            if norm.n_features() != bundle.encoder.n_features() {
-                return Err(LehdcError::InvalidConfig(format!(
-                    "normalizer covers {} features but the encoder expects {}",
-                    norm.n_features(),
-                    bundle.encoder.n_features()
-                )));
-            }
             writer.write_all(&[1u8])?;
             for &v in norm.mins() {
                 writer.write_all(&v.to_le_bytes())?;
@@ -341,57 +665,166 @@ pub fn write_bundle<W: Write>(bundle: &ModelBundle, mut writer: W) -> Result<(),
             }
         }
     }
-    write_model(&bundle.model, writer)
+    write_model_legacy(&bundle.model, writer)
 }
 
-/// Deserializes a bundle, regenerating the encoder's item memories from the
-/// persisted seed.
-///
-/// # Errors
-///
-/// Returns [`LehdcError::ModelFormat`] for a bad magic/version/payload and
-/// [`LehdcError::Hdc`] if the persisted encoder configuration is invalid.
-pub fn read_bundle<R: Read>(mut reader: R) -> Result<ModelBundle, LehdcError> {
-    let mut magic = [0u8; 8];
-    reader.read_exact(&mut magic).map_err(truncated)?;
-    if &magic != BUNDLE_MAGIC {
+fn check_encoder_shape(
+    encoder_dim: usize,
+    n_features: usize,
+    n_levels: usize,
+) -> Result<(), LehdcError> {
+    if encoder_dim == 0 || n_features == 0 || encoder_dim > 1_000_000_000 || n_features > 100_000_000
+    {
         return Err(LehdcError::ModelFormat(format!(
-            "bad magic {magic:?}, not a LeHDC bundle file"
+            "implausible encoder shape: D={encoder_dim}, N={n_features}"
         )));
     }
-    let version = read_u32(&mut reader)?;
-    if version != BUNDLE_VERSION {
+    if n_levels < 2 || n_levels > encoder_dim {
         return Err(LehdcError::ModelFormat(format!(
-            "unsupported bundle version {version} (this build reads {BUNDLE_VERSION})"
+            "implausible level count L={n_levels} for D={encoder_dim} (need 2 ≤ L ≤ D)"
         )));
     }
-    let dim = read_u64(&mut reader)? as usize;
-    let n_features = read_u64(&mut reader)? as usize;
-    let n_levels = read_u64(&mut reader)? as usize;
-    let min = f32::from_le_bytes(read_array(&mut reader)?);
-    let max = f32::from_le_bytes(read_array(&mut reader)?);
-    let seed = read_u64(&mut reader)?;
-    if dim == 0 || n_features == 0 || dim > 1_000_000_000 || n_features > 100_000_000 {
+    Ok(())
+}
+
+fn bundle_from_container(c: &format::Container) -> Result<ModelBundle, LehdcError> {
+    expect_artifact(c, Artifact::Bundle)?;
+    let meta = format::parse_meta(&c.meta)?;
+    let dim = meta.need_u64("dim")? as usize;
+    let k = meta.need_u64("classes")? as usize;
+    let encoder_dim = meta.need_u64("encoder_dim")? as usize;
+    let n_features = meta.need_u64("features")? as usize;
+    let n_levels = meta.need_u64("levels")? as usize;
+    let seed = meta.need_u64("seed")?;
+    let vmin = meta.need_f32("vmin")?;
+    let vmax = meta.need_f32("vmax")?;
+    let has_normalizer = meta.bool_or_false("normalizer")?;
+    let distilled = meta.bool_or_false("distilled")?;
+    check_model_shape(dim, k)?;
+    check_encoder_shape(encoder_dim, n_features, n_levels)?;
+    if dim > encoder_dim {
         return Err(LehdcError::ModelFormat(format!(
-            "implausible encoder shape: D={dim}, N={n_features}"
+            "bundle model dimension {dim} exceeds encoder dimension {encoder_dim}"
         )));
     }
-    if n_levels < 2 || n_levels > dim {
+
+    let mut pos = 0usize;
+    let n_sel = read_varint(&c.aux, &mut pos)? as usize;
+    let selection = if distilled {
+        if n_sel != dim {
+            return Err(LehdcError::ModelFormat(format!(
+                "selection holds {n_sel} dims but the model dimension is {dim}"
+            )));
+        }
+        let mut dims = Vec::with_capacity(n_sel);
+        let mut current = 0u64;
+        for i in 0..n_sel {
+            let delta = read_varint(&c.aux, &mut pos)?;
+            if i > 0 && delta == 0 {
+                return Err(LehdcError::ModelFormat(
+                    "selection dims must be strictly increasing".into(),
+                ));
+            }
+            current = current
+                .checked_add(delta)
+                .ok_or_else(|| LehdcError::ModelFormat("selection dim overflows".into()))?;
+            if current as usize >= encoder_dim {
+                return Err(LehdcError::ModelFormat(format!(
+                    "selection dim {current} is outside the encoder dimension {encoder_dim}"
+                )));
+            }
+            dims.push(current as u32);
+        }
+        Some(dims)
+    } else {
+        if n_sel != 0 {
+            return Err(LehdcError::ModelFormat(
+                "non-distilled bundle carries a selection".into(),
+            ));
+        }
+        if dim != encoder_dim {
+            return Err(LehdcError::ModelFormat(format!(
+                "bundle model dimension {dim} does not match encoder dimension {encoder_dim}"
+            )));
+        }
+        None
+    };
+    let normalizer = if has_normalizer {
+        let need = n_features * 8;
+        if c.aux.len() - pos != need {
+            return Err(LehdcError::ModelFormat(format!(
+                "normalizer section holds {} bytes but N={n_features} needs {need}",
+                c.aux.len() - pos
+            )));
+        }
+        let mut read_f32s = |n: usize| {
+            let out: Vec<f32> = c.aux[pos..pos + n * 4]
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+                .collect();
+            pos += n * 4;
+            out
+        };
+        let mins = read_f32s(n_features);
+        let ranges = read_f32s(n_features);
+        Some(MinMaxNormalizer::from_parts(mins, ranges)?)
+    } else {
+        None
+    };
+    if pos != c.aux.len() {
+        return Err(LehdcError::ModelFormat(
+            "trailing bytes in the bundle aux section".into(),
+        ));
+    }
+
+    let hvs = words_to_hvs(&c.words, Dim::new(dim), k, "bundle")?;
+    let model = HdcModel::new(hvs)?;
+    // The item memories are regenerated only after the entire payload has
+    // validated: a truncated or corrupted bundle fails fast instead of
+    // paying seconds of codebook construction first.
+    let encoder = RecordEncoder::builder(Dim::new(encoder_dim), n_features)
+        .levels(n_levels)
+        .value_range(vmin, vmax)
+        .seed(seed)
+        .build()?;
+    let bundle = ModelBundle {
+        model,
+        encoder,
+        normalizer,
+        selection,
+    };
+    bundle.validate_shape().map_err(|e| match e {
+        LehdcError::InvalidConfig(msg) => LehdcError::ModelFormat(msg),
+        other => other,
+    })?;
+    Ok(bundle)
+}
+
+fn read_bundle_legacy_body<R: Read>(reader: &mut R) -> Result<ModelBundle, LehdcError> {
+    let version = read_u32(reader)?;
+    if version != LEGACY_BUNDLE_VERSION {
         return Err(LehdcError::ModelFormat(format!(
-            "implausible level count L={n_levels} for D={dim} (need 2 ≤ L ≤ D)"
+            "unsupported bundle version {version} (this build reads {LEGACY_BUNDLE_VERSION})"
         )));
     }
-    let has_normalizer = read_array::<1, _>(&mut reader)?[0];
+    let dim = read_u64(reader)? as usize;
+    let n_features = read_u64(reader)? as usize;
+    let n_levels = read_u64(reader)? as usize;
+    let min = f32::from_le_bytes(read_array(reader)?);
+    let max = f32::from_le_bytes(read_array(reader)?);
+    let seed = read_u64(reader)?;
+    check_encoder_shape(dim, n_features, n_levels)?;
+    let has_normalizer = read_array::<1, _>(reader)?[0];
     let normalizer = match has_normalizer {
         0 => None,
         1 => {
             let mut mins = Vec::with_capacity(n_features);
             for _ in 0..n_features {
-                mins.push(f32::from_le_bytes(read_array(&mut reader)?));
+                mins.push(f32::from_le_bytes(read_array(reader)?));
             }
             let mut ranges = Vec::with_capacity(n_features);
             for _ in 0..n_features {
-                ranges.push(f32::from_le_bytes(read_array(&mut reader)?));
+                ranges.push(f32::from_le_bytes(read_array(reader)?));
             }
             Some(MinMaxNormalizer::from_parts(mins, ranges)?)
         }
@@ -401,16 +834,13 @@ pub fn read_bundle<R: Read>(mut reader: R) -> Result<ModelBundle, LehdcError> {
             )));
         }
     };
-    let model = read_model(reader)?;
+    let model = read_model(&mut *reader)?;
     if model.dim().get() != dim {
         return Err(LehdcError::ModelFormat(format!(
             "bundle model dimension {} does not match encoder dimension {dim}",
             model.dim()
         )));
     }
-    // The item memories are regenerated only after the entire payload has
-    // validated: a truncated or corrupted bundle fails fast instead of
-    // paying seconds of codebook construction first.
     let encoder = RecordEncoder::builder(Dim::new(dim), n_features)
         .levels(n_levels)
         .value_range(min, max)
@@ -420,7 +850,44 @@ pub fn read_bundle<R: Read>(mut reader: R) -> Result<ModelBundle, LehdcError> {
         model,
         encoder,
         normalizer,
+        selection: None,
     })
+}
+
+/// Deserializes a bundle from any reader, dispatching on the magic:
+/// `LHDC` containers and legacy `LEHDCBDL` files both load. The encoder's
+/// item memories are regenerated from the persisted seed.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::ModelFormat`] for a bad magic/version/payload and
+/// [`LehdcError::Hdc`] if the persisted encoder configuration is invalid.
+pub fn read_bundle<R: Read>(mut reader: R) -> Result<ModelBundle, LehdcError> {
+    match read_magic(&mut reader)? {
+        Magic::Container => {
+            bundle_from_container(&format::read_container_after_magic(&mut reader)?)
+        }
+        Magic::Legacy(magic) if &magic == LEGACY_BUNDLE_MAGIC => {
+            read_bundle_legacy_body(&mut reader)
+        }
+        Magic::Legacy(magic) => Err(LehdcError::ModelFormat(format!(
+            "bad magic {magic:?}, not a LeHDC bundle file"
+        ))),
+    }
+}
+
+/// Saves a bundle to a file path (atomically: temp file + fsync + rename)
+/// with an explicit section compression.
+///
+/// # Errors
+///
+/// As [`write_bundle_with`], plus file-creation failures.
+pub fn save_bundle_with(
+    bundle: &ModelBundle,
+    path: &Path,
+    compression: Compression,
+) -> Result<(), LehdcError> {
+    write_atomic(path, |w| write_bundle_with(bundle, w, compression))
 }
 
 /// Saves a bundle to a file path (atomically: temp file + fsync + rename, so
@@ -433,65 +900,92 @@ pub fn save_bundle(bundle: &ModelBundle, path: &Path) -> Result<(), LehdcError> 
     write_atomic(path, |w| write_bundle(bundle, w))
 }
 
-/// Loads a bundle from a file path.
+/// Saves a bundle in the legacy `LEHDCBDL` layout (conversion tooling).
 ///
 /// # Errors
 ///
-/// As [`read_bundle`], plus file-open failures.
-pub fn load_bundle(path: &Path) -> Result<ModelBundle, LehdcError> {
-    let file = File::open(path)?;
-    read_bundle(BufReader::new(file))
+/// As [`write_bundle_legacy`], plus file-creation failures.
+pub fn save_bundle_legacy(bundle: &ModelBundle, path: &Path) -> Result<(), LehdcError> {
+    write_atomic(path, |w| write_bundle_legacy(bundle, w))
 }
 
-/// Loads a bundle with full validation and path context: every failure —
-/// open error, bad magic, implausible shape, truncation, trailing garbage —
-/// comes back as a typed [`LehdcError`] whose message names `path`, never a
-/// panic. This is the one loading code path shared by the CLI and the
-/// serving daemon.
+/// Loads a bundle from a file path with full validation and path context:
+/// every failure — open error, bad magic, implausible shape, truncation,
+/// trailing garbage — comes back as a typed [`LehdcError`] whose message
+/// names `path`, never a panic. This is the one loading code path shared
+/// by the CLI and the serving daemon.
 ///
 /// # Errors
 ///
 /// As [`read_bundle`], with the offending path prefixed to the message;
 /// additionally rejects files with bytes beyond the bundle payload (a
 /// concatenation or corruption symptom `read_bundle` alone cannot see).
-pub fn load_bundle_validated(path: &Path) -> Result<ModelBundle, LehdcError> {
-    let with_path = |msg: String| LehdcError::ModelFormat(format!("{}: {msg}", path.display()));
-    let file = File::open(path)
-        .map_err(|e| with_path(format!("cannot open bundle: {e}")))?;
-    let mut reader = BufReader::new(file);
-    let bundle = read_bundle(&mut reader).map_err(|e| match e {
-        LehdcError::ModelFormat(msg) => with_path(msg),
-        LehdcError::Hdc(e) => with_path(format!("invalid encoder configuration: {e}")),
-        LehdcError::Dataset(e) => with_path(format!("invalid normalizer payload: {e}")),
-        other => other,
-    })?;
-    let mut probe = [0u8; 1];
-    match reader.read(&mut probe) {
-        Ok(0) => Ok(bundle),
-        Ok(_) => Err(with_path("trailing bytes after the bundle payload".into())),
-        Err(e) => Err(LehdcError::Io(e)),
-    }
+pub fn load_bundle(path: &Path) -> Result<ModelBundle, LehdcError> {
+    load_validated(path, "bundle", |reader| read_bundle(reader))
 }
 
-const ENCODED_MAGIC: &[u8; 8] = b"LEHDCENC";
-const ENCODED_VERSION: u32 = 1;
+// ---------------------------------------------------------------------------
+// Encoded corpus: container write/read + legacy
+// ---------------------------------------------------------------------------
 
-/// Serializes an encoded corpus (hypervectors + labels) — the cache that
-/// makes paper-scale runs practical, since record encoding at `D = 10,000`
-/// dominates their wall-clock.
-///
-/// Format: magic, u32 version, then `dim`, `n_classes`, `n_samples` as
-/// u64, then per sample a u64 label followed by the packed words.
+/// Serializes an encoded corpus (hypervectors + labels) as an `LHDC`
+/// container — the cache that makes paper-scale runs practical, since
+/// record encoding at `D = 10,000` dominates their wall-clock. Labels ride
+/// in the aux section as varints; the hypervectors are the word planes.
 ///
 /// # Errors
 ///
 /// Returns [`LehdcError::Io`] on write failure.
+pub fn write_encoded_with<W: Write>(
+    encoded: &crate::EncodedDataset,
+    mut writer: W,
+    compression: Compression,
+) -> Result<(), LehdcError> {
+    let mut meta = MetaWriter::new();
+    meta.u64("dim", encoded.dim().get() as u64)
+        .u64("classes", encoded.n_classes() as u64)
+        .u64("samples", encoded.len() as u64)
+        .str("created_by", PROVENANCE);
+    let mut aux = Vec::new();
+    for &label in encoded.labels() {
+        write_varint(&mut aux, label as u64);
+    }
+    let planes: Vec<&[u64]> = encoded.hvs().iter().map(BinaryHv::as_words).collect();
+    format::write_container(
+        &mut writer,
+        Artifact::Encoded,
+        compression,
+        &meta.finish(),
+        &aux,
+        STRIDE_BYTES,
+        &planes,
+    )
+}
+
+/// Serializes an encoded corpus in the current (container) format with the
+/// default (packed) section compression.
+///
+/// # Errors
+///
+/// As [`write_encoded_with`].
 pub fn write_encoded<W: Write>(
+    encoded: &crate::EncodedDataset,
+    writer: W,
+) -> Result<(), LehdcError> {
+    write_encoded_with(encoded, writer, Compression::Packed)
+}
+
+/// Serializes an encoded corpus in the legacy `LEHDCENC` layout.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::Io`] on write failure.
+pub fn write_encoded_legacy<W: Write>(
     encoded: &crate::EncodedDataset,
     mut writer: W,
 ) -> Result<(), LehdcError> {
-    writer.write_all(ENCODED_MAGIC)?;
-    writer.write_all(&ENCODED_VERSION.to_le_bytes())?;
+    writer.write_all(LEGACY_ENCODED_MAGIC)?;
+    writer.write_all(&LEGACY_ENCODED_VERSION.to_le_bytes())?;
     writer.write_all(&(encoded.dim().get() as u64).to_le_bytes())?;
     writer.write_all(&(encoded.n_classes() as u64).to_le_bytes())?;
     writer.write_all(&(encoded.len() as u64).to_le_bytes())?;
@@ -505,29 +999,7 @@ pub fn write_encoded<W: Write>(
     Ok(())
 }
 
-/// Deserializes an encoded corpus written by [`write_encoded`].
-///
-/// # Errors
-///
-/// Returns [`LehdcError::ModelFormat`] for a bad magic/version, implausible
-/// shape, truncated payload, or invalid labels/padding bits.
-pub fn read_encoded<R: Read>(mut reader: R) -> Result<crate::EncodedDataset, LehdcError> {
-    let mut magic = [0u8; 8];
-    reader.read_exact(&mut magic).map_err(truncated)?;
-    if &magic != ENCODED_MAGIC {
-        return Err(LehdcError::ModelFormat(format!(
-            "bad magic {magic:?}, not a LeHDC encoded-corpus file"
-        )));
-    }
-    let version = read_u32(&mut reader)?;
-    if version != ENCODED_VERSION {
-        return Err(LehdcError::ModelFormat(format!(
-            "unsupported encoded-corpus version {version}"
-        )));
-    }
-    let dim = read_u64(&mut reader)? as usize;
-    let n_classes = read_u64(&mut reader)? as usize;
-    let n_samples = read_u64(&mut reader)? as usize;
+fn check_corpus_shape(dim: usize, n_classes: usize, n_samples: usize) -> Result<(), LehdcError> {
     if dim == 0 || n_classes == 0 || n_samples == 0 {
         return Err(LehdcError::ModelFormat(format!(
             "degenerate corpus shape: D={dim}, K={n_classes}, N={n_samples}"
@@ -538,6 +1010,41 @@ pub fn read_encoded<R: Read>(mut reader: R) -> Result<crate::EncodedDataset, Leh
             "implausible corpus shape: D={dim}, K={n_classes}, N={n_samples}"
         )));
     }
+    Ok(())
+}
+
+fn encoded_from_container(c: &format::Container) -> Result<crate::EncodedDataset, LehdcError> {
+    expect_artifact(c, Artifact::Encoded)?;
+    let meta = format::parse_meta(&c.meta)?;
+    let dim = meta.need_u64("dim")? as usize;
+    let n_classes = meta.need_u64("classes")? as usize;
+    let n_samples = meta.need_u64("samples")? as usize;
+    check_corpus_shape(dim, n_classes, n_samples)?;
+    let mut pos = 0usize;
+    let mut labels = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        labels.push(read_varint(&c.aux, &mut pos)? as usize);
+    }
+    if pos != c.aux.len() {
+        return Err(LehdcError::ModelFormat(
+            "trailing bytes in the corpus label section".into(),
+        ));
+    }
+    let hvs = words_to_hvs(&c.words, Dim::new(dim), n_samples, "corpus")?;
+    crate::EncodedDataset::from_parts(hvs, labels, n_classes)
+}
+
+fn read_encoded_legacy_body<R: Read>(reader: &mut R) -> Result<crate::EncodedDataset, LehdcError> {
+    let version = read_u32(reader)?;
+    if version != LEGACY_ENCODED_VERSION {
+        return Err(LehdcError::ModelFormat(format!(
+            "unsupported encoded-corpus version {version}"
+        )));
+    }
+    let dim = read_u64(reader)? as usize;
+    let n_classes = read_u64(reader)? as usize;
+    let n_samples = read_u64(reader)? as usize;
+    check_corpus_shape(dim, n_classes, n_samples)?;
     let d = Dim::new(dim);
     let words_per_hv = d.words();
     let mut hvs = Vec::with_capacity(n_samples);
@@ -546,25 +1053,38 @@ pub fn read_encoded<R: Read>(mut reader: R) -> Result<crate::EncodedDataset, Leh
     for _ in 0..n_samples {
         reader.read_exact(&mut buf).map_err(truncated)?;
         labels.push(u64::from_le_bytes(buf) as usize);
-        let mut hv = BinaryHv::zeros(d);
-        for w in 0..words_per_hv {
+        let mut words = Vec::with_capacity(words_per_hv);
+        for _ in 0..words_per_hv {
             reader.read_exact(&mut buf).map_err(truncated)?;
-            let word = u64::from_le_bytes(buf);
-            if w + 1 == words_per_hv && word & !d.last_word_mask() != 0 {
-                return Err(LehdcError::ModelFormat(
-                    "padding bits beyond the dimension are set".into(),
-                ));
-            }
-            let mut bits = word;
-            while bits != 0 {
-                let b = bits.trailing_zeros() as usize;
-                hv.set(w * 64 + b, true);
-                bits &= bits - 1;
-            }
+            words.push(u64::from_le_bytes(buf));
         }
+        let hv = BinaryHv::from_words(words, d).map_err(|_| {
+            LehdcError::ModelFormat("padding bits beyond the dimension are set".into())
+        })?;
         hvs.push(hv);
     }
     crate::EncodedDataset::from_parts(hvs, labels, n_classes)
+}
+
+/// Deserializes an encoded corpus from any reader, dispatching on the
+/// magic: `LHDC` containers and legacy `LEHDCENC` files both load.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::ModelFormat`] for a bad magic/version, implausible
+/// shape, truncated payload, or invalid labels/padding bits.
+pub fn read_encoded<R: Read>(mut reader: R) -> Result<crate::EncodedDataset, LehdcError> {
+    match read_magic(&mut reader)? {
+        Magic::Container => {
+            encoded_from_container(&format::read_container_after_magic(&mut reader)?)
+        }
+        Magic::Legacy(magic) if &magic == LEGACY_ENCODED_MAGIC => {
+            read_encoded_legacy_body(&mut reader)
+        }
+        Magic::Legacy(magic) => Err(LehdcError::ModelFormat(format!(
+            "bad magic {magic:?}, not a LeHDC encoded-corpus file"
+        ))),
+    }
 }
 
 /// Saves an encoded corpus to a file path (atomically: temp file + fsync +
@@ -577,14 +1097,95 @@ pub fn save_encoded(encoded: &crate::EncodedDataset, path: &Path) -> Result<(), 
     write_atomic(path, |w| write_encoded(encoded, w))
 }
 
-/// Loads an encoded corpus from a file path.
+/// Loads an encoded corpus from a file path with full validation and path
+/// context, rejecting trailing bytes beyond the payload.
 ///
 /// # Errors
 ///
-/// As [`read_encoded`], plus file-open failures.
+/// As [`read_encoded`], with the offending path prefixed to the message.
 pub fn load_encoded(path: &Path) -> Result<crate::EncodedDataset, LehdcError> {
-    let file = File::open(path)?;
-    read_encoded(BufReader::new(file))
+    load_validated(path, "encoded corpus", |reader| read_encoded(reader))
+}
+
+// ---------------------------------------------------------------------------
+// Shared loader validation + file inspection
+// ---------------------------------------------------------------------------
+
+/// The one loading scaffold behind every `load_*`: path-prefixed typed
+/// errors for open/parse failures plus a one-byte probe that rejects
+/// trailing garbage after the payload (a concatenation or corruption
+/// symptom the streaming readers alone cannot see).
+fn load_validated<T>(
+    path: &Path,
+    what: &str,
+    read: impl FnOnce(&mut BufReader<File>) -> Result<T, LehdcError>,
+) -> Result<T, LehdcError> {
+    let with_path = |msg: String| LehdcError::ModelFormat(format!("{}: {msg}", path.display()));
+    let file = File::open(path).map_err(|e| with_path(format!("cannot open {what}: {e}")))?;
+    let mut reader = BufReader::new(file);
+    let value = read(&mut reader).map_err(|e| match e {
+        LehdcError::ModelFormat(msg) => with_path(msg),
+        LehdcError::Hdc(e) => with_path(format!("invalid encoder configuration: {e}")),
+        LehdcError::Dataset(e) => with_path(format!("invalid payload: {e}")),
+        other => other,
+    })?;
+    let mut probe = [0u8; 1];
+    match reader.read(&mut probe) {
+        Ok(0) => Ok(value),
+        Ok(_) => Err(with_path(format!(
+            "trailing bytes after the {what} payload"
+        ))),
+        Err(e) => Err(LehdcError::Io(e)),
+    }
+}
+
+/// Describes an artifact file's on-disk format from its header alone
+/// (no payload parsing, no codebook construction) — what `lehdc_cli info`
+/// prints.
+///
+/// # Errors
+///
+/// Returns [`LehdcError::ModelFormat`] naming `path` if the header is
+/// unreadable or matches no known format.
+pub fn describe_file(path: &Path) -> Result<String, LehdcError> {
+    let with_path = |msg: String| LehdcError::ModelFormat(format!("{}: {msg}", path.display()));
+    let file = File::open(path).map_err(|e| with_path(format!("cannot open: {e}")))?;
+    let mut reader = BufReader::new(file);
+    let mut first = [0u8; 4];
+    reader
+        .read_exact(&mut first)
+        .map_err(|_| with_path("file truncated".into()))?;
+    if first == format::MAGIC {
+        let mut fixed = [0u8; 6];
+        reader
+            .read_exact(&mut fixed)
+            .map_err(|_| with_path("file truncated".into()))?;
+        let version = u32::from_le_bytes(fixed[0..4].try_into().unwrap());
+        let artifact = Artifact::from_byte(fixed[4]).map_err(|_| {
+            with_path(format!("unknown artifact type byte {}", fixed[4]))
+        })?;
+        let compression = Compression::from_byte(fixed[5]).map_err(|_| {
+            with_path(format!("unknown compression byte {}", fixed[5]))
+        })?;
+        return Ok(format!(
+            "LHDC container v{version}, {} artifact, {} sections",
+            artifact.name(),
+            compression.name()
+        ));
+    }
+    let mut rest = [0u8; 4];
+    reader
+        .read_exact(&mut rest)
+        .map_err(|_| with_path("file truncated".into()))?;
+    let mut magic = [0u8; 8];
+    magic[..4].copy_from_slice(&first);
+    magic[4..].copy_from_slice(&rest);
+    match &magic {
+        m if m == LEGACY_MODEL_MAGIC => Ok("legacy LEHDCMDL model".into()),
+        m if m == LEGACY_BUNDLE_MAGIC => Ok("legacy LEHDCBDL bundle".into()),
+        m if m == LEGACY_ENCODED_MAGIC => Ok("legacy LEHDCENC encoded corpus".into()),
+        m => Err(with_path(format!("unknown magic {m:?}"))),
+    }
 }
 
 fn read_array<const N: usize, R: Read>(reader: &mut R) -> Result<[u8; N], LehdcError> {
@@ -632,19 +1233,34 @@ mod tests {
     fn roundtrip_preserves_the_model() {
         for (k, d) in [(2, 64), (5, 100), (26, 1000), (3, 10_000)] {
             let model = random_model(k, d, k as u64);
-            let mut buf = Vec::new();
-            write_model(&model, &mut buf).unwrap();
-            let loaded = read_model(buf.as_slice()).unwrap();
-            assert_eq!(loaded, model, "roundtrip failed for K={k}, D={d}");
+            for compression in [Compression::Stored, Compression::Packed] {
+                let mut buf = Vec::new();
+                write_model_with(&model, &mut buf, compression).unwrap();
+                let loaded = read_model(buf.as_slice()).unwrap();
+                assert_eq!(loaded, model, "roundtrip failed for K={k}, D={d}");
+            }
         }
     }
 
     #[test]
-    fn header_size_is_as_documented() {
-        let model = random_model(2, 64, 1);
+    fn legacy_model_still_loads() {
+        let model = random_model(4, 300, 7);
+        let mut buf = Vec::new();
+        write_model_legacy(&model, &mut buf).unwrap();
+        assert_eq!(&buf[..8], LEGACY_MODEL_MAGIC);
+        assert_eq!(buf.len(), 28 + 4 * Dim::new(300).words() * 8);
+        let loaded = read_model(buf.as_slice()).unwrap();
+        assert_eq!(loaded, model);
+    }
+
+    #[test]
+    fn container_payload_is_aligned() {
+        let model = random_model(2, 128, 1);
         let mut buf = Vec::new();
         write_model(&model, &mut buf).unwrap();
-        assert_eq!(buf.len(), 28 + 2 * 8);
+        assert_eq!(&buf[..4], &format::MAGIC);
+        let planes_bytes = 2 * Dim::new(128).words() * 8;
+        assert_eq!((buf.len() - planes_bytes) % format::PAYLOAD_ALIGN, 0);
     }
 
     #[test]
@@ -663,7 +1279,7 @@ mod tests {
 
         // bad version
         let mut bad = buf.clone();
-        bad[8] = 99;
+        bad[4] = 99;
         assert!(read_model(bad.as_slice()).is_err());
 
         // truncated payload
@@ -679,44 +1295,72 @@ mod tests {
 
     #[test]
     fn rejects_padding_bit_violations() {
-        // D=65 → second word may only use bit 0
+        // D=65 → second word may only use bit 0. Both formats must reject.
         let model = random_model(1, 65, 3);
-        let mut buf = Vec::new();
-        write_model(&model, &mut buf).unwrap();
-        let last = buf.len() - 1;
-        buf[last] |= 0x80; // set a padding bit
-        assert!(matches!(
-            read_model(buf.as_slice()),
-            Err(LehdcError::ModelFormat(msg)) if msg.contains("padding")
-        ));
+        let writers: [fn(&HdcModel, &mut Vec<u8>) -> Result<(), LehdcError>; 2] = [
+            |m, w| write_model(m, w),
+            |m, w| write_model_legacy(m, w),
+        ];
+        for write in writers {
+            let mut buf = Vec::new();
+            write(&model, &mut buf).unwrap();
+            let last = buf.len() - 1;
+            buf[last] |= 0x80; // set a padding bit
+            assert!(matches!(
+                read_model(buf.as_slice()),
+                Err(LehdcError::ModelFormat(msg)) if msg.contains("padding")
+            ));
+        }
     }
 
-    #[test]
-    fn bundle_roundtrip_classifies_identically() {
+    fn test_bundle(normalizer: Option<MinMaxNormalizer>) -> ModelBundle {
         let encoder = RecordEncoder::builder(Dim::new(512), 12)
             .levels(8)
             .seed(5)
             .build()
             .unwrap();
-        let model = random_model(3, 512, 6);
-        let bundle = ModelBundle {
-            model,
+        ModelBundle {
+            model: random_model(3, 512, 6),
             encoder,
-            normalizer: None,
-        };
+            normalizer,
+            selection: None,
+        }
+    }
+
+    #[test]
+    fn bundle_roundtrip_classifies_identically() {
+        let bundle = test_bundle(None);
+        for compression in [Compression::Stored, Compression::Packed] {
+            let mut buf = Vec::new();
+            write_bundle_with(&bundle, &mut buf, compression).unwrap();
+            let restored = read_bundle(buf.as_slice()).unwrap();
+            assert_eq!(restored.model, bundle.model);
+            assert!(restored.selection.is_none());
+            // The regenerated encoder is bit-identical in behaviour.
+            let sample: Vec<f32> = (0..12).map(|i| i as f32 / 12.0).collect();
+            assert_eq!(
+                restored.classify(&sample).unwrap(),
+                bundle.classify(&sample).unwrap()
+            );
+            assert_eq!(
+                restored.encoder.encode(&sample).unwrap(),
+                bundle.encoder.encode(&sample).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_bundle_still_loads() {
+        let bundle = test_bundle(None);
         let mut buf = Vec::new();
-        write_bundle(&bundle, &mut buf).unwrap();
+        write_bundle_legacy(&bundle, &mut buf).unwrap();
+        assert_eq!(&buf[..8], LEGACY_BUNDLE_MAGIC);
         let restored = read_bundle(buf.as_slice()).unwrap();
         assert_eq!(restored.model, bundle.model);
-        // The regenerated encoder is bit-identical in behaviour.
-        let sample: Vec<f32> = (0..12).map(|i| i as f32 / 12.0).collect();
+        let sample: Vec<f32> = (0..12).map(|i| i as f32 / 24.0).collect();
         assert_eq!(
             restored.classify(&sample).unwrap(),
             bundle.classify(&sample).unwrap()
-        );
-        assert_eq!(
-            restored.encoder.encode(&sample).unwrap(),
-            bundle.encoder.encode(&sample).unwrap()
         );
     }
 
@@ -732,17 +1376,71 @@ mod tests {
             model: random_model(2, 256, 9),
             encoder,
             normalizer: Some(normalizer),
+            selection: None,
         };
+        for compression in [Compression::Stored, Compression::Packed] {
+            let mut buf = Vec::new();
+            write_bundle_with(&bundle, &mut buf, compression).unwrap();
+            let restored = read_bundle(buf.as_slice()).unwrap();
+            assert_eq!(restored.normalizer, bundle.normalizer);
+            // Raw (un-normalized) features classify identically through both.
+            let raw = [0.7f32, 4.2];
+            assert_eq!(
+                restored.classify(&raw).unwrap(),
+                bundle.classify(&raw).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn distilled_bundle_roundtrips_and_composes() {
+        let bundle = test_bundle(None);
+        let distilled = bundle.distill(100).unwrap();
+        let sel = distilled.selection.as_ref().unwrap();
+        assert_eq!(sel.len(), 100);
+        assert!(sel.windows(2).all(|w| w[0] < w[1]));
+        for compression in [Compression::Stored, Compression::Packed] {
+            let mut buf = Vec::new();
+            write_bundle_with(&distilled, &mut buf, compression).unwrap();
+            let restored = read_bundle(buf.as_slice()).unwrap();
+            assert_eq!(restored.model, distilled.model);
+            assert_eq!(restored.selection, distilled.selection);
+            let sample: Vec<f32> = (0..12).map(|i| i as f32 / 12.0).collect();
+            assert_eq!(
+                restored.classify(&sample).unwrap(),
+                distilled.classify(&sample).unwrap()
+            );
+        }
+        // Distilling a distilled bundle composes through to encoder dims.
+        let twice = distilled.distill(40).unwrap();
+        let sel2 = twice.selection.as_ref().unwrap();
+        assert_eq!(sel2.len(), 40);
+        assert!(sel2.iter().all(|d| sel.contains(d)));
+        assert!(twice.validate_shape().is_ok());
+        // The legacy format cannot hold a selection.
         let mut buf = Vec::new();
-        write_bundle(&bundle, &mut buf).unwrap();
-        let restored = read_bundle(buf.as_slice()).unwrap();
-        assert_eq!(restored.normalizer, bundle.normalizer);
-        // Raw (un-normalized) features classify identically through both.
-        let raw = [0.7f32, 4.2];
-        assert_eq!(
-            restored.classify(&raw).unwrap(),
-            bundle.classify(&raw).unwrap()
-        );
+        assert!(write_bundle_legacy(&distilled, &mut buf).is_err());
+    }
+
+    #[test]
+    fn classify_rejects_non_finite_features() {
+        let bundle = test_bundle(None);
+        let mut sample: Vec<f32> = (0..12).map(|i| i as f32 / 12.0).collect();
+        sample[7] = f32::NAN;
+        let err = bundle.classify(&sample).unwrap_err();
+        assert!(err.to_string().contains("feature 7"), "{err}");
+        sample[7] = f32::INFINITY;
+        assert!(bundle.classify(&sample).is_err());
+        sample[7] = 0.5;
+        assert!(bundle.classify(&sample).is_ok());
+        // The batch path rejects too, naming the row.
+        let rows = vec![sample.clone(), {
+            let mut r = sample.clone();
+            r[2] = f32::NEG_INFINITY;
+            r
+        }];
+        let err = bundle.classify_all(&rows, 2).unwrap_err();
+        assert!(err.to_string().contains("row 1"), "{err}");
     }
 
     #[test]
@@ -752,16 +1450,18 @@ mod tests {
             model: random_model(2, 128, 1),
             encoder,
             normalizer: Some(MinMaxNormalizer::from_parts(vec![0.0], vec![1.0]).unwrap()),
+            selection: None,
         };
         let mut buf = Vec::new();
         assert!(write_bundle(&bundle, &mut buf).is_err());
+        assert!(write_bundle_legacy(&bundle, &mut buf).is_err());
     }
 
     #[test]
     fn bundle_rejects_mismatched_dimensions() {
         let encoder = RecordEncoder::builder(Dim::new(256), 4).seed(1).build().unwrap();
         let model = random_model(2, 512, 1); // D mismatch
-        let bundle = ModelBundle { model, encoder, normalizer: None };
+        let bundle = ModelBundle { model, encoder, normalizer: None, selection: None };
         let mut buf = Vec::new();
         assert!(matches!(
             write_bundle(&bundle, &mut buf),
@@ -772,8 +1472,16 @@ mod tests {
     #[test]
     fn bundle_rejects_model_file_as_bundle() {
         let model = random_model(2, 64, 2);
+        // Container model artifact: the artifact byte rejects it.
         let mut buf = Vec::new();
         write_model(&model, &mut buf).unwrap();
+        assert!(matches!(
+            read_bundle(buf.as_slice()),
+            Err(LehdcError::ModelFormat(msg)) if msg.contains("not a bundle")
+        ));
+        // Legacy model file: the magic rejects it.
+        let mut buf = Vec::new();
+        write_model_legacy(&model, &mut buf).unwrap();
         assert!(matches!(
             read_bundle(buf.as_slice()),
             Err(LehdcError::ModelFormat(msg)) if msg.contains("magic")
@@ -782,29 +1490,112 @@ mod tests {
 
     #[test]
     fn encoded_corpus_roundtrips() {
-        use hdc::rng::rng_for;
         let mut rng = rng_for(8, 8);
         let d = Dim::new(130);
         let hvs: Vec<BinaryHv> = (0..7).map(|_| BinaryHv::random(d, &mut rng)).collect();
         let labels: Vec<usize> = (0..7).map(|i| i % 3).collect();
         let encoded = crate::EncodedDataset::from_parts(hvs, labels, 3).unwrap();
-        let mut buf = Vec::new();
-        write_encoded(&encoded, &mut buf).unwrap();
-        let restored = read_encoded(buf.as_slice()).unwrap();
-        assert_eq!(restored.len(), encoded.len());
-        assert_eq!(restored.labels(), encoded.labels());
-        assert_eq!(restored.hvs(), encoded.hvs());
-        assert_eq!(restored.n_classes(), 3);
+        for compression in [Compression::Stored, Compression::Packed] {
+            let mut buf = Vec::new();
+            write_encoded_with(&encoded, &mut buf, compression).unwrap();
+            let restored = read_encoded(buf.as_slice()).unwrap();
+            assert_eq!(restored.len(), encoded.len());
+            assert_eq!(restored.labels(), encoded.labels());
+            assert_eq!(restored.hvs(), encoded.hvs());
+            assert_eq!(restored.n_classes(), 3);
+            // corrupted inputs are rejected
+            assert!(read_encoded(&buf[..buf.len() - 1]).is_err());
+            let mut bad = buf.clone();
+            bad[0] = b'X';
+            assert!(read_encoded(bad.as_slice()).is_err());
+        }
+    }
 
-        // corrupted inputs are rejected
-        assert!(read_encoded(&buf[..buf.len() - 1]).is_err());
-        let mut bad = buf.clone();
-        bad[0] = b'X';
-        assert!(read_encoded(bad.as_slice()).is_err());
+    #[test]
+    fn legacy_encoded_corpus_still_loads() {
+        let mut rng = rng_for(9, 9);
+        let d = Dim::new(130);
+        let hvs: Vec<BinaryHv> = (0..5).map(|_| BinaryHv::random(d, &mut rng)).collect();
+        let labels: Vec<usize> = (0..5).map(|i| i % 2).collect();
+        let encoded = crate::EncodedDataset::from_parts(hvs, labels, 2).unwrap();
+        let mut buf = Vec::new();
+        write_encoded_legacy(&encoded, &mut buf).unwrap();
+        assert_eq!(&buf[..8], LEGACY_ENCODED_MAGIC);
+        let restored = read_encoded(buf.as_slice()).unwrap();
+        assert_eq!(restored.hvs(), encoded.hvs());
+        assert_eq!(restored.labels(), encoded.labels());
         // an out-of-range label is rejected by from_parts at load time
+        // (legacy layout: label u64 at offset 36)
         let mut bad = buf.clone();
-        bad[28] = 9; // first sample's label byte
+        bad[36] = 9;
         assert!(read_encoded(bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn loaders_reject_trailing_garbage_and_name_the_path() {
+        let dir = std::env::temp_dir().join("lehdc_trailing_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = random_model(2, 96, 4);
+        let bundle = test_bundle(None);
+        let encoded = {
+            let mut rng = rng_for(5, 5);
+            let hvs: Vec<BinaryHv> = (0..3).map(|_| BinaryHv::random(Dim::new(96), &mut rng)).collect();
+            crate::EncodedDataset::from_parts(hvs, vec![0, 1, 0], 2).unwrap()
+        };
+
+        let model_path = dir.join("m.lehdc");
+        save_model(&model, &model_path).unwrap();
+        let bundle_path = dir.join("b.lehdc");
+        save_bundle(&bundle, &bundle_path).unwrap();
+        let legacy_bundle_path = dir.join("bl.lehdc");
+        save_bundle_legacy(&bundle, &legacy_bundle_path).unwrap();
+        let enc_path = dir.join("e.lehdc");
+        save_encoded(&encoded, &enc_path).unwrap();
+
+        assert!(load_model(&model_path).is_ok());
+        assert!(load_bundle(&bundle_path).is_ok());
+        assert!(load_bundle(&legacy_bundle_path).is_ok());
+        assert!(load_encoded(&enc_path).is_ok());
+
+        for path in [&model_path, &bundle_path, &legacy_bundle_path, &enc_path] {
+            let mut bytes = std::fs::read(path).unwrap();
+            bytes.extend_from_slice(b"junk");
+            std::fs::write(path, &bytes).unwrap();
+        }
+        for (result, path) in [
+            (load_model(&model_path).map(|_| ()), &model_path),
+            (load_bundle(&bundle_path).map(|_| ()), &bundle_path),
+            (load_bundle(&legacy_bundle_path).map(|_| ()), &legacy_bundle_path),
+            (load_encoded(&enc_path).map(|_| ()), &enc_path),
+        ] {
+            let err = result.unwrap_err().to_string();
+            assert!(err.contains("trailing bytes"), "{path:?}: {err}");
+            assert!(
+                err.contains(path.file_name().unwrap().to_str().unwrap()),
+                "{path:?}: {err}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn describe_file_names_every_format() {
+        let dir = std::env::temp_dir().join("lehdc_describe_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bundle = test_bundle(None);
+        let container = dir.join("c.lehdc");
+        save_bundle(&bundle, &container).unwrap();
+        assert_eq!(
+            describe_file(&container).unwrap(),
+            "LHDC container v1, bundle artifact, packed sections"
+        );
+        let legacy = dir.join("l.lehdc");
+        save_bundle_legacy(&bundle, &legacy).unwrap();
+        assert_eq!(describe_file(&legacy).unwrap(), "legacy LEHDCBDL bundle");
+        let junk = dir.join("junk.bin");
+        std::fs::write(&junk, b"not a model").unwrap();
+        assert!(describe_file(&junk).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

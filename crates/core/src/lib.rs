@@ -46,6 +46,7 @@ pub mod encoded;
 pub mod engine;
 pub mod enhanced;
 pub mod error;
+pub mod format;
 pub mod history;
 pub mod io;
 pub mod lehdc_trainer;
@@ -65,7 +66,7 @@ pub use error::LehdcError;
 pub use history::{EpochRecord, EpochTiming, TrainingHistory};
 pub use lehdc_trainer::{EarlyStopping, LehdcConfig};
 pub use lehdc_trainer::{train_lehdc, train_lehdc_recorded};
-pub use model::{HdcModel, NonBinaryModel};
+pub use model::{project_dims, HdcModel, NonBinaryModel};
 pub use multimodel::MultiModelConfig;
 pub use pipeline::{Outcome, Pipeline, PipelineBuilder, Strategy};
 pub use retrain::RetrainConfig;

@@ -293,6 +293,97 @@ impl HdcModel {
         }
     }
 
+    /// Distills the model to `d_out` dimensions by class-margin
+    /// contribution, returning the shrunken model plus the (strictly
+    /// increasing) kept dimension indices.
+    ///
+    /// A dimension contributes to the margin of a class pair exactly when
+    /// the two class hypervectors disagree there, so selection greedily
+    /// balances pairwise separation: repeatedly find the class pair with
+    /// the fewest separating dimensions kept so far and keep that pair's
+    /// next (lowest-index) unkept separating dimension. Every pick credits
+    /// every pair it separates, so well-separated pairs stop attracting
+    /// picks early and the weakest margin is always the one being grown —
+    /// the distilled model degrades its *worst* class pair as slowly as
+    /// possible, unlike prefix [`HdcModel::truncated`], which keeps
+    /// dimensions blindly. Deterministic: ties resolve to the lowest pair
+    /// index and lowest dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LehdcError::InvalidConfig`] if `d_out` is zero or exceeds
+    /// the model dimension.
+    pub fn distill(&self, d_out: usize) -> Result<(HdcModel, Vec<u32>), LehdcError> {
+        let d = self.dim.get();
+        if d_out == 0 || d_out > d {
+            return Err(LehdcError::InvalidConfig(format!(
+                "distill target {d_out} must be in 1..={d}"
+            )));
+        }
+        let k = self.class_hvs.len();
+        let pairs: Vec<(usize, usize)> = (0..k)
+            .flat_map(|i| (i + 1..k).map(move |j| (i, j)))
+            .collect();
+        // Per pair: the ascending list of dimensions where the two class
+        // hypervectors disagree (its margin-contributing dimensions).
+        let mut separating: Vec<Vec<u32>> = vec![Vec::new(); pairs.len()];
+        for dim_idx in 0..d {
+            for (p, &(i, j)) in pairs.iter().enumerate() {
+                if self.class_hvs[i].get(dim_idx) != self.class_hvs[j].get(dim_idx) {
+                    separating[p].push(dim_idx as u32);
+                }
+            }
+        }
+        let mut cursor = vec![0usize; pairs.len()];
+        let mut kept_count = vec![0u32; pairs.len()];
+        let mut kept = vec![false; d];
+        let mut chosen: Vec<u32> = Vec::with_capacity(d_out);
+        while chosen.len() < d_out {
+            let mut weakest: Option<usize> = None;
+            for p in 0..pairs.len() {
+                while cursor[p] < separating[p].len()
+                    && kept[separating[p][cursor[p]] as usize]
+                {
+                    cursor[p] += 1;
+                }
+                if cursor[p] < separating[p].len()
+                    && weakest.map_or(true, |w| kept_count[p] < kept_count[w])
+                {
+                    weakest = Some(p);
+                }
+            }
+            let Some(p) = weakest else {
+                break; // no remaining dimension separates any pair
+            };
+            let dim_idx = separating[p][cursor[p]] as usize;
+            kept[dim_idx] = true;
+            chosen.push(dim_idx as u32);
+            for (q, &(i, j)) in pairs.iter().enumerate() {
+                if self.class_hvs[i].get(dim_idx) != self.class_hvs[j].get(dim_idx) {
+                    kept_count[q] += 1;
+                }
+            }
+        }
+        // Single-class models and fully separated remainders pad with the
+        // lowest-index unkept dimensions.
+        for dim_idx in 0..d {
+            if chosen.len() == d_out {
+                break;
+            }
+            if !kept[dim_idx] {
+                kept[dim_idx] = true;
+                chosen.push(dim_idx as u32);
+            }
+        }
+        chosen.sort_unstable();
+        let class_hvs: Vec<BinaryHv> = self
+            .class_hvs
+            .iter()
+            .map(|hv| project_dims(hv, &chosen))
+            .collect();
+        Ok((HdcModel::new(class_hvs)?, chosen))
+    }
+
     /// Accuracy on encoded samples with known labels.
     ///
     /// # Panics
@@ -319,6 +410,19 @@ impl HdcModel {
         let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
         correct as f64 / queries.len() as f64
     }
+}
+
+/// Projects a hypervector onto a dimension subset: output bit `j` is input
+/// bit `dims[j]`. The companion to [`HdcModel::distill`] — queries encoded
+/// at the full dimension are projected through the model's selection
+/// before classification.
+///
+/// # Panics
+///
+/// Panics if `dims` is empty or any index is out of range.
+#[must_use]
+pub fn project_dims(hv: &BinaryHv, dims: &[u32]) -> BinaryHv {
+    BinaryHv::from_fn(Dim::new(dims.len()), |j| hv.get(dims[j] as usize))
 }
 
 /// A non-binary HDC classifier: real-valued class hypervectors with cosine
@@ -460,6 +564,74 @@ mod tests {
             .map(|_| BinaryHv::random(Dim::new(d), &mut rng))
             .collect();
         (HdcModel::new(hvs.clone()).unwrap(), hvs)
+    }
+
+    #[test]
+    fn distill_selects_margin_dims_deterministically() {
+        let (model, hvs) = random_model(4, 500);
+        let (small, sel) = model.distill(120).unwrap();
+        assert_eq!(small.dim(), Dim::new(120));
+        assert_eq!(sel.len(), 120);
+        assert!(sel.windows(2).all(|w| w[0] < w[1]), "selection must be sorted");
+        assert!(sel.iter().all(|&d| (d as usize) < 500));
+        // The shrunken class rows are exact projections of the originals.
+        for (k, hv) in hvs.iter().enumerate() {
+            assert_eq!(small.class_hvs()[k], project_dims(hv, &sel));
+        }
+        // Deterministic across calls.
+        let (again, sel2) = model.distill(120).unwrap();
+        assert_eq!(sel, sel2);
+        assert_eq!(small, again);
+        // Every kept dimension separates at least one class pair when
+        // enough separating dims exist (random hvs at D=500 always do).
+        for &d in &sel {
+            let d = d as usize;
+            assert!(
+                (0..4).any(|i| (i + 1..4).any(|j| hvs[i].get(d) != hvs[j].get(d))),
+                "dim {d} separates no pair"
+            );
+        }
+    }
+
+    #[test]
+    fn distill_full_width_is_identity() {
+        let (model, _) = random_model(3, 130);
+        let (same, sel) = model.distill(130).unwrap();
+        assert_eq!(same, model);
+        assert_eq!(sel, (0..130u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distill_validates_target_and_pads_single_class() {
+        let (model, _) = random_model(2, 64);
+        assert!(model.distill(0).is_err());
+        assert!(model.distill(65).is_err());
+        // A single-class model has no pairs: padding keeps the lowest dims.
+        let mut rng = rng_for(4, 4);
+        let one = HdcModel::new(vec![BinaryHv::random(Dim::new(96), &mut rng)]).unwrap();
+        let (small, sel) = one.distill(10).unwrap();
+        assert_eq!(sel, (0..10u32).collect::<Vec<_>>());
+        assert_eq!(small.dim(), Dim::new(10));
+    }
+
+    #[test]
+    fn distill_beats_prefix_truncation_on_weak_pairs() {
+        // Two nearly identical classes (weak pair) whose few separating
+        // dims all sit at the high end: prefix truncation throws them away,
+        // distillation keeps them first.
+        let d = Dim::new(256);
+        let base = BinaryHv::from_fn(d, |i| i % 2 == 0);
+        let mut near = base.clone();
+        for i in 250..256 {
+            near.flip(i);
+        }
+        let model = HdcModel::new(vec![base.clone(), near.clone()]).unwrap();
+        let (small, sel) = model.distill(6).unwrap();
+        assert_eq!(sel, vec![250, 251, 252, 253, 254, 255]);
+        assert_ne!(small.class_hvs()[0], small.class_hvs()[1]);
+        // Prefix truncation at the same width cannot tell the classes apart.
+        let truncated = model.truncated(Dim::new(6));
+        assert_eq!(truncated.class_hvs()[0], truncated.class_hvs()[1]);
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! Regression suite for bundle loading: a truncated, corrupted, or padded
 //! bundle must come back as a typed [`LehdcError`] with path context —
-//! never a panic — through the one `load_bundle_validated` code path the
-//! CLI and the serving daemon share.
+//! never a panic — through the one `load_bundle` code path the CLI and
+//! the serving daemon share. Both the `LHDC` container format and the
+//! legacy `LEHDCBDL` format go through the same sweep.
 
 use std::path::Path;
 
 use hdc::rng::rng_for;
 use hdc::{BinaryHv, Dim, RecordEncoder};
 use hdc_datasets::MinMaxNormalizer;
-use lehdc::io::{load_bundle_validated, save_bundle, write_bundle, ModelBundle};
+use lehdc::io::{
+    load_bundle, save_bundle, write_bundle, write_bundle_legacy, ModelBundle,
+};
 use lehdc::{HdcModel, LehdcError};
 
 fn test_bundle() -> ModelBundle {
@@ -26,12 +29,19 @@ fn test_bundle() -> ModelBundle {
         model,
         encoder,
         normalizer: Some(normalizer),
+        selection: None,
     }
 }
 
 fn bundle_bytes(bundle: &ModelBundle) -> Vec<u8> {
     let mut buf = Vec::new();
     write_bundle(bundle, &mut buf).unwrap();
+    buf
+}
+
+fn legacy_bundle_bytes(bundle: &ModelBundle) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_bundle_legacy(bundle, &mut buf).unwrap();
     buf
 }
 
@@ -50,7 +60,7 @@ fn valid_bundle_loads_and_classifies() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("valid.lehdc");
     save_bundle(&bundle, &path).unwrap();
-    let loaded = load_bundle_validated(&path).unwrap();
+    let loaded = load_bundle(&path).unwrap();
     let row: Vec<f32> = (0..6).map(|i| i as f32 / 6.0).collect();
     assert_eq!(
         loaded.classify(&row).unwrap(),
@@ -60,7 +70,7 @@ fn valid_bundle_loads_and_classifies() {
 
 #[test]
 fn missing_file_names_the_path() {
-    let err = load_bundle_validated(Path::new("/nonexistent/dir/model.lehdc")).unwrap_err();
+    let err = load_bundle(Path::new("/nonexistent/dir/model.lehdc")).unwrap_err();
     match err {
         LehdcError::ModelFormat(msg) => {
             assert!(msg.contains("/nonexistent/dir/model.lehdc"), "{msg}");
@@ -72,55 +82,69 @@ fn missing_file_names_the_path() {
 
 #[test]
 fn truncation_at_every_prefix_is_a_typed_error() {
-    // Cutting the bundle anywhere — header, encoder spec, normalizer,
-    // model header, packed payload — must yield a ModelFormat error that
-    // names the file. This is the "no panic on truncated bundles" contract.
-    let bytes = bundle_bytes(&test_bundle());
-    // Dense sweep over the header region, sparse over the payload.
-    let cuts: Vec<usize> = (0..64.min(bytes.len()))
-        .chain((64..bytes.len()).step_by(97))
-        .collect();
-    for cut in cuts {
-        let path = write_temp("truncated.lehdc", &bytes[..cut]);
-        match load_bundle_validated(&path) {
-            Err(LehdcError::ModelFormat(msg)) => {
-                assert!(msg.contains("truncated.lehdc"), "cut={cut}: {msg}")
+    // Cutting the bundle anywhere — header, metadata, aux sections, packed
+    // payload — must yield a typed error that names the file, for BOTH
+    // on-disk formats. This is the "no panic on truncated bundles" contract.
+    for (tag, bytes) in [
+        ("container", bundle_bytes(&test_bundle())),
+        ("legacy", legacy_bundle_bytes(&test_bundle())),
+    ] {
+        // Dense sweep over the header region, sparse over the payload.
+        let cuts: Vec<usize> = (0..64.min(bytes.len()))
+            .chain((64..bytes.len()).step_by(97))
+            .collect();
+        for cut in cuts {
+            let path = write_temp("truncated.lehdc", &bytes[..cut]);
+            match load_bundle(&path) {
+                Err(LehdcError::ModelFormat(msg)) => {
+                    assert!(msg.contains("truncated.lehdc"), "{tag} cut={cut}: {msg}")
+                }
+                Err(other) => {
+                    panic!("{tag} cut={cut}: expected ModelFormat, got {other:?}")
+                }
+                Ok(_) => panic!("{tag} cut={cut}: truncated bundle must not load"),
             }
-            Err(other) => panic!("cut={cut}: expected ModelFormat, got {other:?}"),
-            Ok(_) => panic!("cut={cut}: truncated bundle must not load"),
         }
     }
 }
 
 #[test]
-fn trailing_garbage_is_rejected() {
-    let mut bytes = bundle_bytes(&test_bundle());
-    bytes.extend_from_slice(b"junk");
-    let path = write_temp("trailing.lehdc", &bytes);
-    match load_bundle_validated(&path) {
-        Err(LehdcError::ModelFormat(msg)) => assert!(msg.contains("trailing"), "{msg}"),
-        other => panic!("expected trailing-bytes error, got {other:?}"),
+fn trailing_garbage_is_rejected_in_both_formats() {
+    for (tag, mut bytes) in [
+        ("container", bundle_bytes(&test_bundle())),
+        ("legacy", legacy_bundle_bytes(&test_bundle())),
+    ] {
+        bytes.extend_from_slice(b"junk");
+        let path = write_temp("trailing.lehdc", &bytes);
+        match load_bundle(&path) {
+            Err(LehdcError::ModelFormat(msg)) => {
+                assert!(msg.contains("trailing"), "{tag}: {msg}")
+            }
+            other => panic!("{tag}: expected trailing-bytes error, got {other:?}"),
+        }
     }
 }
 
 #[test]
 fn corrupted_level_count_is_rejected_before_codebook_work() {
-    let mut bytes = bundle_bytes(&test_bundle());
+    // The legacy layout has n_levels at a fixed offset; flipping it to an
+    // absurd value must be caught by validation, not by a panic (or an
+    // attempted multi-terabyte allocation) inside item-memory construction.
+    let mut bytes = legacy_bundle_bytes(&test_bundle());
     // n_levels lives after magic(8) + version(4) + dim(8) + n_features(8).
     let off = 8 + 4 + 8 + 8;
     bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
     let path = write_temp("badlevels.lehdc", &bytes);
-    match load_bundle_validated(&path) {
+    match load_bundle(&path) {
         Err(LehdcError::ModelFormat(msg)) => assert!(msg.contains("level"), "{msg}"),
         other => panic!("expected level-count error, got {other:?}"),
     }
-    // L=1 (too coarse to quantize) must also be caught by validation,
-    // not by a panic inside item-memory construction.
-    let mut bytes = bundle_bytes(&test_bundle());
+    // L=1 (too coarse to quantize) must also be caught by validation.
+    let mut bytes = legacy_bundle_bytes(&test_bundle());
     bytes[off..off + 8].copy_from_slice(&1u64.to_le_bytes());
     let path = write_temp("onelevel.lehdc", &bytes);
     assert!(matches!(
-        load_bundle_validated(&path),
+        load_bundle(&path),
         Err(LehdcError::ModelFormat(_))
     ));
 }
@@ -128,13 +152,26 @@ fn corrupted_level_count_is_rejected_before_codebook_work() {
 #[test]
 fn model_file_passed_as_bundle_is_a_typed_error() {
     let bundle = test_bundle();
+    // Container model: same magic as a container bundle, so the artifact
+    // byte is what routes the rejection.
     let mut bytes = Vec::new();
     lehdc::io::write_model(&bundle.model, &mut bytes).unwrap();
     let path = write_temp("notabundle.lehdc", &bytes);
-    match load_bundle_validated(&path) {
+    match load_bundle(&path) {
+        Err(LehdcError::ModelFormat(msg)) => {
+            assert!(msg.contains("not a bundle"), "{msg}");
+            assert!(msg.contains("notabundle.lehdc"), "{msg}");
+        }
+        other => panic!("expected artifact-mismatch error, got {other:?}"),
+    }
+    // Legacy model: distinct 8-byte magic, rejected at the magic check.
+    let mut bytes = Vec::new();
+    lehdc::io::write_model_legacy(&bundle.model, &mut bytes).unwrap();
+    let path = write_temp("notabundle_legacy.lehdc", &bytes);
+    match load_bundle(&path) {
         Err(LehdcError::ModelFormat(msg)) => {
             assert!(msg.contains("magic"), "{msg}");
-            assert!(msg.contains("notabundle.lehdc"), "{msg}");
+            assert!(msg.contains("notabundle_legacy.lehdc"), "{msg}");
         }
         other => panic!("expected bad-magic error, got {other:?}"),
     }

@@ -76,6 +76,29 @@ impl BinaryHv {
         BinaryHv { words, dim }
     }
 
+    /// Wraps externally supplied packed words (e.g. deserialized planes),
+    /// validating the storage invariants instead of assuming them.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a word count other than `dim.words()` and any set bit at or
+    /// above `dim` in the final word (the crate-wide tail invariant).
+    pub fn from_words(words: Vec<u64>, dim: Dim) -> Result<Self, HdcError> {
+        if words.len() != dim.words() {
+            return Err(HdcError::InvalidConfig(format!(
+                "{} packed words cannot hold {dim} (expected {})",
+                words.len(),
+                dim.words()
+            )));
+        }
+        if words.last().copied().unwrap_or(0) & !dim.last_word_mask() != 0 {
+            return Err(HdcError::InvalidConfig(format!(
+                "padding bits beyond {dim} are set in the final word"
+            )));
+        }
+        Ok(BinaryHv { words, dim })
+    }
+
     /// Samples a uniformly random hypervector.
     #[must_use]
     pub fn random<R: Rng + ?Sized>(dim: Dim, rng: &mut R) -> Self {

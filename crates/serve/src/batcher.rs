@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hdc::kernels::query_block_for;
-use hdc::{BinaryHv, EncodeScratch};
+use hdc::{BinaryHv, Encode, EncodeScratch};
 use obs::Recorder;
 use threadpool::ThreadPool;
 
@@ -65,36 +65,49 @@ impl Collector {
             let snap = self.state.snapshot();
             let bundle = &snap.bundle;
 
-            // Reject shape mismatches up front so the fan-out below is
-            // infallible; the rest of the batch proceeds unaffected.
+            // Reject shape mismatches and non-finite features up front so
+            // the fan-out below is infallible; the rest of the batch
+            // proceeds unaffected. The protocol layer already screens for
+            // NaN/±inf, so the finiteness check here is defense in depth
+            // (e.g. against a future ingress path that skips decode).
             let expected = bundle.n_features();
             pending.retain(|req| {
-                if req.features.len() == expected {
-                    return true;
+                if req.features.len() != expected {
+                    let _ = req.reply.send(Err(format!(
+                        "expected {expected} features, got {}",
+                        req.features.len()
+                    )));
+                    return false;
                 }
-                let _ = req.reply.send(Err(format!(
-                    "expected {expected} features, got {}",
-                    req.features.len()
-                )));
-                false
+                if let Some(i) = req.features.iter().position(|v| !v.is_finite()) {
+                    let _ = req.reply.send(Err(format!(
+                        "feature {i} is not finite (NaN/±inf cannot be quantized)"
+                    )));
+                    return false;
+                }
+                true
             });
             let n = pending.len();
             if n == 0 {
                 continue;
             }
 
-            let dim = bundle.model.dim();
-            if scratch_dim != Some(dim) {
+            // Queries are encoded at the *encoder* dimension; a distilled
+            // bundle then projects each one down to the model dimension
+            // before the argmax fan-out.
+            let enc_dim = bundle.encoder.dim();
+            let model_dim = bundle.model.dim();
+            if scratch_dim != Some(enc_dim) {
                 queries.clear();
                 scratches.clear();
-                scratch_dim = Some(dim);
+                scratch_dim = Some(enc_dim);
             }
             while queries.len() < n {
-                queries.push(BinaryHv::zeros(dim));
+                queries.push(BinaryHv::zeros(enc_dim));
             }
             let ranges = threadpool::chunk_ranges(n, self.pool.threads());
             while scratches.len() < ranges.len() {
-                scratches.push(EncodeScratch::new(dim));
+                scratches.push(EncodeScratch::new(enc_dim));
             }
 
             // Encode fan-out: each worker gets a disjoint slice of requests
@@ -131,11 +144,20 @@ impl Collector {
 
             // One blocked argmax fan-out answers the whole batch.
             let classify_timer = self.rec.start();
-            let preds = bundle.model.classify_all_blocked(
-                &queries[..n],
-                query_block_for(dim.words()),
-                self.pool.threads(),
-            );
+            let block = query_block_for(model_dim.words());
+            let preds = if bundle.selection.is_some() {
+                let projected: Vec<BinaryHv> = queries[..n]
+                    .iter()
+                    .map(|q| bundle.project_query(q.clone()))
+                    .collect();
+                bundle
+                    .model
+                    .classify_all_blocked(&projected, block, self.pool.threads())
+            } else {
+                bundle
+                    .model
+                    .classify_all_blocked(&queries[..n], block, self.pool.threads())
+            };
             self.rec.observe_since("serve/classify_ns", &classify_timer);
 
             // Record before replying: a client that just received its

@@ -58,6 +58,18 @@ const OP_SWAP: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
 const STATUS_ERROR: u8 = 0x00;
 
+/// Rejects feature vectors that cannot be quantized. Both wire dialects
+/// funnel through this before a classify request reaches the batcher, so
+/// NaN/±inf never poison a shared micro-batch.
+fn check_features_finite(features: &[f32]) -> Result<(), String> {
+    match features.iter().position(|v| !v.is_finite()) {
+        None => Ok(()),
+        Some(i) => Err(format!(
+            "classify feature {i} is not finite (NaN/±inf cannot be quantized)"
+        )),
+    }
+}
+
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -235,10 +247,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
                     feat_bytes.len()
                 ));
             }
-            let features = feat_bytes
+            let features: Vec<f32> = feat_bytes
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
                 .collect();
+            check_features_finite(&features)?;
             Ok(Request::Classify(features))
         }
         OP_PING => Ok(Request::Ping),
@@ -337,11 +350,15 @@ pub fn parse_line(line: &str) -> Result<Request, String> {
             if rest.is_empty() {
                 return Err("classify needs comma-separated features".into());
             }
-            let features: Result<Vec<f32>, _> =
-                rest.split(',').map(|f| f.trim().parse::<f32>()).collect();
-            features
-                .map(Request::Classify)
-                .map_err(|_| "classify features must all be numeric".into())
+            // `f32::parse` happily accepts "NaN" and "inf", which would
+            // otherwise flow into quantization — screen them out here.
+            let features: Vec<f32> = rest
+                .split(',')
+                .map(|f| f.trim().parse::<f32>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| "classify features must all be numeric".to_string())?;
+            check_features_finite(&features)?;
+            Ok(Request::Classify(features))
         }
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
@@ -443,6 +460,30 @@ mod tests {
         assert!(decode_response(&[]).is_err());
         assert!(decode_response(&[0x01, 1, 2]).is_err()); // short classified
         assert!(decode_response(&[0xEE]).is_err());
+    }
+
+    #[test]
+    fn non_finite_features_are_rejected_in_both_dialects() {
+        // Line mode: parse succeeds numerically but the values are unusable.
+        for bad in ["classify NaN", "classify 1.0,inf", "classify -inf,0.5"] {
+            let err = parse_line(bad).unwrap_err();
+            assert!(err.contains("not finite"), "{bad}: {err}");
+        }
+        // Binary mode: a well-formed frame carrying a NaN/inf payload.
+        for (idx, bad) in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY]
+            .into_iter()
+            .enumerate()
+        {
+            let mut features = vec![0.5f32; 4];
+            features[idx] = bad;
+            let mut frame = Vec::new();
+            encode_request(&Request::Classify(features), &mut frame);
+            let err = decode_request(&frame[4..]).unwrap_err();
+            assert!(err.contains(&format!("feature {idx}")), "{err}");
+            assert!(err.contains("not finite"), "{err}");
+        }
+        // Finite extremes stay accepted.
+        assert!(parse_line("classify 3.4e38,-3.4e38").is_ok());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::path::Path;
 use std::sync::{Arc, RwLock};
 
-use lehdc::io::{load_bundle_validated, ModelBundle};
+use lehdc::io::{load_bundle, ModelBundle};
 use lehdc::LehdcError;
 
 /// One immutable generation of the served model.
@@ -50,11 +50,11 @@ impl ModelState {
     ///
     /// # Errors
     ///
-    /// As [`load_bundle_validated`]; additionally rejects a bundle whose
+    /// As [`load_bundle`]; additionally rejects a bundle whose
     /// feature count differs from the serving model's, since already-queued
     /// requests were validated against the old shape.
     pub fn swap_from(&self, path: &Path) -> Result<u64, LehdcError> {
-        let bundle = load_bundle_validated(path)?;
+        let bundle = load_bundle(path)?;
         let expected = self.snapshot().bundle.n_features();
         if bundle.n_features() != expected {
             return Err(LehdcError::InvalidConfig(format!(
@@ -91,6 +91,7 @@ mod tests {
                 .build()
                 .unwrap(),
             normalizer: None,
+            selection: None,
         }
     }
 

@@ -30,6 +30,7 @@ fn test_bundle(seed: u64) -> ModelBundle {
         normalizer: Some(
             MinMaxNormalizer::from_parts(vec![0.0; N_FEATURES], vec![1.0; N_FEATURES]).unwrap(),
         ),
+        selection: None,
     }
 }
 
@@ -232,6 +233,111 @@ fn concurrent_swap_respects_the_epoch_contract() {
     }
     // The swap lands mid-run, so at least one client must have crossed it.
     assert!(any_new, "no client ever saw the swapped model");
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn non_finite_features_are_rejected_in_both_protocol_modes() {
+    let server = start(test_bundle(1), 64);
+    let addr = server.local_addr();
+
+    // Binary mode: a well-formed CLASSIFY frame carrying NaN/±inf gets a
+    // typed error frame and the connection stays usable.
+    let mut client = Client::connect(addr).unwrap();
+    for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        let mut row = vec![0.5f32; N_FEATURES];
+        row[2] = bad;
+        let err = client.classify(&row).unwrap_err();
+        assert!(err.to_string().contains("not finite"), "{err}");
+    }
+    client.ping().unwrap();
+
+    // Line mode: `f32::parse` would happily accept these spellings.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    let mut roundtrip = |cmd: &str| {
+        (&stream).write_all(cmd.as_bytes()).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        line.trim().to_string()
+    };
+    for bad in ["NaN", "inf", "-inf"] {
+        let mut cells = vec!["0.5"; N_FEATURES];
+        cells[0] = bad;
+        let reply = roundtrip(&format!("classify {}\n", cells.join(",")));
+        assert!(reply.starts_with("err "), "{bad}: {reply}");
+        assert!(reply.contains("not finite"), "{bad}: {reply}");
+    }
+    // The connection survives and still classifies.
+    let good = vec!["0.5"; N_FEATURES].join(",");
+    assert!(roundtrip(&format!("classify {good}\n")).starts_with("ok "));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn swap_across_formats_and_distillation_is_bit_identical() {
+    // The deployment story end-to-end: the daemon starts on one bundle,
+    // swaps to (a) the same bundle re-encoded in the legacy format, then
+    // (b) a container-format copy, then (c) a distilled sub-D model —
+    // and every answer matches the corresponding serial classification.
+    use lehdc::format::Compression;
+    use lehdc::io::{save_bundle_legacy, save_bundle_with};
+
+    let dir = std::env::temp_dir().join("lehdc_serve_format_swap_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bundle = test_bundle(5);
+    let distilled = bundle.distill(64).unwrap();
+
+    let legacy_path = dir.join("legacy.lehdc");
+    save_bundle_legacy(&bundle, &legacy_path).unwrap();
+    let stored_path = dir.join("stored.lehdc");
+    save_bundle_with(&bundle, &stored_path, Compression::Stored).unwrap();
+    let packed_path = dir.join("packed.lehdc");
+    save_bundle_with(&bundle, &packed_path, Compression::Packed).unwrap();
+    let distilled_path = dir.join("distilled.lehdc");
+    save_bundle(&distilled, &distilled_path).unwrap();
+
+    let server = start(bundle.clone(), 16);
+    let addr = server.local_addr();
+    let rows = random_rows(32, 11);
+    let mut client = Client::connect(addr).unwrap();
+
+    // Full-width swaps: every format encodes the same model, so answers
+    // must be bit-identical to the original bundle across all of them.
+    for (i, path) in [&legacy_path, &stored_path, &packed_path].iter().enumerate() {
+        let epoch = client.swap(path.to_str().unwrap()).unwrap();
+        assert_eq!(epoch, i as u64 + 1);
+        for row in &rows {
+            let (class, got_epoch) = client.classify(row).unwrap();
+            assert_eq!(got_epoch, epoch);
+            assert_eq!(
+                class,
+                bundle.classify(row).unwrap() as u32,
+                "format swap {i} diverged from serial"
+            );
+        }
+    }
+
+    // Distilled swap: D drops 256 -> 64 but the serial distilled bundle is
+    // the reference — the daemon must project exactly the same way.
+    let epoch = client.swap(distilled_path.to_str().unwrap()).unwrap();
+    let (dim, _, _, _) = client.info().unwrap();
+    assert_eq!(dim, 64, "daemon must report the distilled dimension");
+    for row in &rows {
+        let (class, got_epoch) = client.classify(row).unwrap();
+        assert_eq!(got_epoch, epoch);
+        assert_eq!(
+            class,
+            distilled.classify(row).unwrap() as u32,
+            "distilled swap diverged from serial"
+        );
+    }
 
     server.shutdown();
     server.join();

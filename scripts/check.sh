@@ -87,6 +87,82 @@ for tier in $serve_tiers; do
              cat "$smoke_dir/serve_$tier.err" >&2; exit 1; }
 done
 
+echo "== format gate: conversions preserve predictions bit-for-bit =="
+# The trained smoke model (container, packed by default) converted through
+# every on-disk representation must predict identically: legacy, container
+# stored, and container packed are three encodings of one model.
+./target/release/lehdc_cli convert \
+    --model "$smoke_dir/model.lehdc" --out "$smoke_dir/legacy.lehdc" --format legacy
+./target/release/lehdc_cli convert \
+    --model "$smoke_dir/legacy.lehdc" --out "$smoke_dir/stored.lehdc" --compression stored
+./target/release/lehdc_cli convert \
+    --model "$smoke_dir/stored.lehdc" --out "$smoke_dir/packed.lehdc" --compression packed
+for variant in legacy stored packed; do
+    ./target/release/lehdc_cli predict \
+        --model "$smoke_dir/$variant.lehdc" --data "$smoke_dir/features.csv" \
+        > "$smoke_dir/offline_$variant.txt"
+    cmp "$smoke_dir/offline.txt" "$smoke_dir/offline_$variant.txt" \
+        || { echo "ERROR: $variant format predictions diverged" >&2; exit 1; }
+done
+
+echo "== distill gate: sub-D model trains, saves, and predicts =="
+./target/release/lehdc_cli distill \
+    --model "$smoke_dir/model.lehdc" --out "$smoke_dir/small.lehdc" --dim 64
+# Capture, then grep: `grep -q` exiting early would SIGPIPE the CLI
+# under pipefail.
+./target/release/lehdc_cli info --model "$smoke_dir/small.lehdc" > "$smoke_dir/info_small.txt"
+grep -q 'distill:  64 of 256' "$smoke_dir/info_small.txt" \
+    || { echo "ERROR: distilled bundle does not report its selection" >&2; exit 1; }
+./target/release/lehdc_cli predict \
+    --model "$smoke_dir/small.lehdc" --data "$smoke_dir/features.csv" \
+    > "$smoke_dir/offline_small.txt" \
+    || { echo "ERROR: distilled model failed to predict" >&2; exit 1; }
+
+echo "== serve SWAP format gate: daemon is bit-identical across formats =="
+# Start on the packed container, then drive checked runs that hot-swap to
+# the legacy and stored artifacts first: every answer must still match the
+# offline predictions of the one underlying model.
+./target/release/lehdc_serve \
+    --model "$smoke_dir/model.lehdc" --addr 127.0.0.1:0 --threads 2 \
+    > "$smoke_dir/serve_swap.log" 2> "$smoke_dir/serve_swap.err" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr=$(sed -n 's/^lehdc_serve listening on //p' "$smoke_dir/serve_swap.log")
+    [ -n "$serve_addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null \
+        || { echo "ERROR: lehdc_serve died before binding" >&2
+             cat "$smoke_dir/serve_swap.err" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$serve_addr" ] || { echo "ERROR: lehdc_serve never printed its address" >&2; exit 1; }
+for variant in legacy stored; do
+    ./target/release/lehdc_loadgen \
+        --addr "$serve_addr" --data "$smoke_dir/features.csv" \
+        --requests 180 --connections 2 --window 8 \
+        --swap "$smoke_dir/$variant.lehdc" \
+        --check "$smoke_dir/offline.txt" \
+        > /dev/null \
+        || { echo "ERROR: responses diverged after swapping to $variant" >&2; exit 1; }
+done
+# Finally swap to the distilled model and check against its own offline run.
+./target/release/lehdc_loadgen \
+    --addr "$serve_addr" --data "$smoke_dir/features.csv" \
+    --requests 180 --connections 2 --window 8 \
+    --swap "$smoke_dir/small.lehdc" \
+    --check "$smoke_dir/offline_small.txt" --shutdown \
+    > /dev/null \
+    || { echo "ERROR: responses diverged after swapping to the distilled model" >&2; exit 1; }
+wait "$serve_pid" \
+    || { echo "ERROR: lehdc_serve exited nonzero after format swaps" >&2
+         cat "$smoke_dir/serve_swap.err" >&2; exit 1; }
+
+echo "== distill sweep: deployment headline (D<=2000 within 2pp of D=10000) =="
+./target/release/distill_sweep > "$smoke_dir/sweep.json"
+grep -q '"headline_ok": true' "$smoke_dir/sweep.json" \
+    || { echo "ERROR: distill sweep headline failed:" >&2
+         cat "$smoke_dir/sweep.json" >&2; exit 1; }
+
 echo "== bench smoke (quick mode, one iteration per benchmark) =="
 TESTKIT_BENCH_QUICK=1 cargo bench -q --offline --workspace
 
@@ -97,7 +173,7 @@ if [ "${CHECK_BENCH_COMPARE:-0}" != "0" ]; then
     echo "== bench regression gate (opt-in via CHECK_BENCH_COMPARE=1) =="
     # Compares the run above against the committed snapshot for the groups
     # whose scaling the thread pool is responsible for.
-    ./scripts/bench_compare.sh --rerun classify_all classify_blocked transpose_matmul backward encode record_encode encode_pooled train_step retrain_epoch enhanced_epoch multimodel_classify serve_batch
+    ./scripts/bench_compare.sh --rerun classify_all classify_blocked transpose_matmul backward encode record_encode encode_pooled train_step retrain_epoch enhanced_epoch multimodel_classify serve_batch format_load
 fi
 
 echo "== manifest hermeticity check =="

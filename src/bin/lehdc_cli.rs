@@ -10,6 +10,8 @@
 //!                   [--threads 1] [--verbose] [--metrics-out run.jsonl]
 //! lehdc_cli predict --model model.lehdc --data features.csv
 //!                   [--threads 1] [--verbose] [--metrics-out run.jsonl]
+//! lehdc_cli distill --model model.lehdc --out small.lehdc --dim 2000
+//! lehdc_cli convert --model model.lehdc --out legacy.lehdc --format legacy
 //! lehdc_cli info    --model model.lehdc
 //! ```
 //!
@@ -18,7 +20,10 @@
 //! `multimodel` strategy is accepted for parity with the library but rejected
 //! at save time: it trains an ensemble with no single-model artifact.
 //! `predict` reads label-free CSV rows (features only) and prints one
-//! predicted class per line.
+//! predicted class per line. `distill` shrinks a trained bundle to `--dim`
+//! dimensions by class-margin contribution (train big, deploy small);
+//! `convert` rewrites an artifact between the `LHDC` container and the
+//! legacy format, or between compression modes.
 //!
 //! `--verbose` echoes per-epoch timing and throughput to stderr;
 //! `--metrics-out <path>` additionally writes every observability event as
@@ -32,7 +37,10 @@ use std::process::ExitCode;
 use lehdc_suite::datasets::loader::csv::{load_csv, LabelColumn};
 use lehdc_suite::datasets::TrainTest;
 use lehdc_suite::hdc::{Dim, Encode};
-use lehdc_suite::lehdc::io::{load_bundle_validated, save_bundle, ModelBundle};
+use lehdc_suite::lehdc::format::Compression;
+use lehdc_suite::lehdc::io::{
+    describe_file, load_bundle, save_bundle, save_bundle_legacy, save_bundle_with, ModelBundle,
+};
 use lehdc_suite::lehdc::{AdaptiveConfig, LehdcConfig, Pipeline, RetrainConfig, Strategy};
 use lehdc_suite::{obs, threadpool};
 
@@ -42,6 +50,8 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
+        Some("distill") => cmd_distill(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("--help" | "-h") | None => {
             eprintln!("{USAGE}");
@@ -58,7 +68,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: lehdc_cli <train|eval|predict|info> [options]
+const USAGE: &str = "usage: lehdc_cli <train|eval|predict|distill|convert|info> [options]
   train   --data <csv> --out <file>
           [--strategy lehdc|baseline|retraining|enhanced|adaptive|multimodel]
           [--dim D] [--levels Q] [--epochs N] [--seed S] [--label-col first|last]
@@ -67,6 +77,9 @@ const USAGE: &str = "usage: lehdc_cli <train|eval|predict|info> [options]
           [--verbose] [--metrics-out <jsonl>]
   predict --model <file> --data <csv-of-features> [--threads T]
           [--verbose] [--metrics-out <jsonl>]
+  distill --model <file> --out <file> --dim D
+  convert --model <file> --out <file> [--format container|legacy]
+          [--compression packed|stored]
   info    --model <file>";
 
 /// Parses `--key value` pairs (and bare `--flag` booleans), rejecting any
@@ -306,6 +319,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         model,
         encoder: pipeline.encoder().clone(),
         normalizer: pipeline.normalizer().cloned(),
+        selection: None,
     };
     save_bundle(&bundle, &out_path).map_err(|e| e.to_string())?;
     println!("saved bundle to {}", out_path.display());
@@ -321,7 +335,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     )?;
     let threads = parse_num(&flags, "threads", 1usize)?;
     let rec = build_recorder(&flags)?;
-    let bundle = load_bundle_validated(&PathBuf::from(required(&flags, "model")?))
+    let bundle = load_bundle(&PathBuf::from(required(&flags, "model")?))
         .map_err(|e| e.to_string())?;
     let dataset = load_csv(
         &PathBuf::from(required(&flags, "data")?),
@@ -382,7 +396,7 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
     )?;
     let threads = parse_num(&flags, "threads", 1usize)?;
     let rec = build_recorder(&flags)?;
-    let bundle = load_bundle_validated(&PathBuf::from(required(&flags, "model")?))
+    let bundle = load_bundle(&PathBuf::from(required(&flags, "model")?))
         .map_err(|e| e.to_string())?;
     let text = std::fs::read_to_string(PathBuf::from(required(&flags, "data")?))
         .map_err(|e| e.to_string())?;
@@ -394,9 +408,18 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
         }
         let features: Result<Vec<f32>, _> =
             line.split(',').map(|f| f.trim().parse::<f32>()).collect();
-        rows.push(features.map_err(|_| {
-            format!("line {}: features must all be numeric", lineno + 1)
-        })?);
+        let features = features
+            .map_err(|_| format!("line {}: features must all be numeric", lineno + 1))?;
+        // `f32::parse` accepts "NaN"/"inf"; those cannot be quantized, so
+        // reject them here with the line number instead of deep in encode.
+        if let Some(j) = features.iter().position(|v| !v.is_finite()) {
+            return Err(format!(
+                "line {}: feature {} is not finite (NaN/±inf are rejected)",
+                lineno + 1,
+                j + 1
+            ));
+        }
+        rows.push(features);
     }
     // The bundle's bulk path normalizes, encodes (parallel, zero-alloc
     // scratch per worker), and classifies through the blocked argmax —
@@ -411,15 +434,83 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_distill(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["model", "out", "dim"], &[])?;
+    let out_path = PathBuf::from(required(&flags, "out")?);
+    let d_out: usize = required(&flags, "dim")?
+        .parse()
+        .map_err(|_| "bad --dim value".to_string())?;
+    let bundle = load_bundle(&PathBuf::from(required(&flags, "model")?))
+        .map_err(|e| e.to_string())?;
+    let distilled = bundle.distill(d_out).map_err(|e| e.to_string())?;
+    save_bundle(&distilled, &out_path).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "distilled {} -> {} dims ({} bytes) at {}",
+        bundle.model.dim(),
+        distilled.model.dim(),
+        bytes,
+        out_path.display()
+    );
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["model", "out", "format", "compression"], &[])?;
+    let out_path = PathBuf::from(required(&flags, "out")?);
+    let bundle = load_bundle(&PathBuf::from(required(&flags, "model")?))
+        .map_err(|e| e.to_string())?;
+    match flags.get("format").map(String::as_str) {
+        Some("legacy") => {
+            if flags.contains_key("compression") {
+                return Err("--compression applies only to the container format".into());
+            }
+            save_bundle_legacy(&bundle, &out_path).map_err(|e| e.to_string())?;
+        }
+        None | Some("container") => {
+            let compression = match flags.get("compression").map(String::as_str) {
+                None | Some("packed") => Compression::Packed,
+                Some("stored") => Compression::Stored,
+                Some(other) => {
+                    return Err(format!(
+                        "--compression must be packed or stored, got {other:?}"
+                    ))
+                }
+            };
+            save_bundle_with(&bundle, &out_path, compression).map_err(|e| e.to_string())?;
+        }
+        Some(other) => {
+            return Err(format!(
+                "--format must be container or legacy, got {other:?}"
+            ))
+        }
+    }
+    println!(
+        "converted to {} ({})",
+        out_path.display(),
+        describe_file(&out_path).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &["model"], &[])?;
     let path = PathBuf::from(required(&flags, "model")?);
-    let bundle = load_bundle_validated(&path).map_err(|e| e.to_string())?;
+    let format = describe_file(&path).map_err(|e| e.to_string())?;
+    let bundle = load_bundle(&path).map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     println!("bundle:   {}", path.display());
+    println!("format:   {format}");
     println!("size:     {bytes} bytes");
     println!("classes:  {}", bundle.model.n_classes());
     println!("dim:      {}", bundle.model.dim());
+    if let Some(sel) = &bundle.selection {
+        println!(
+            "distill:  {} of {} encoder dims kept",
+            sel.len(),
+            bundle.encoder.dim()
+        );
+    }
     println!("features: {}", bundle.encoder.n_features());
     println!("levels:   {}", bundle.encoder.levels().n_levels());
     println!("range:    {:?}", bundle.encoder.quantizer().range());

@@ -3,7 +3,7 @@
 //! ```text
 //! lehdc_loadgen --addr HOST:PORT --data features.csv [--requests 1024]
 //!               [--connections 8] [--window 32] [--check offline.txt]
-//!               [--stats] [--shutdown]
+//!               [--swap bundle.lehdc] [--stats] [--shutdown]
 //! ```
 //!
 //! Opens `--connections` concurrent connections and drives `--requests`
@@ -15,8 +15,11 @@
 //! `lehdc_cli predict`) every response is verified against the offline
 //! prediction; any mismatch fails the run with a nonzero exit.
 //!
-//! `--stats` drains and prints the server's STATS JSON after the run;
-//! `--shutdown` asks the daemon to exit once done.
+//! `--swap <bundle>` hot-swaps the daemon onto the given bundle *before*
+//! driving requests, so a `--check` file produced offline against that
+//! bundle verifies the daemon end-to-end through a SWAP. `--stats` drains
+//! and prints the server's STATS JSON after the run; `--shutdown` asks the
+//! daemon to exit once done.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,7 +30,7 @@ use lehdc_suite::serve::Client;
 
 const USAGE: &str = "usage: lehdc_loadgen --addr HOST:PORT --data <features-csv>
   [--requests N] [--connections C] [--window W] [--check <predictions-file>]
-  [--stats] [--shutdown]";
+  [--swap <bundle>] [--stats] [--shutdown]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,7 +82,7 @@ fn load_expected(path: &str) -> Result<Vec<u32>, String> {
 fn run(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
-        &["addr", "data", "requests", "connections", "window", "check"],
+        &["addr", "data", "requests", "connections", "window", "check", "swap"],
         &["stats", "shutdown"],
     )?;
     let addr = required(&flags, "addr")?.to_string();
@@ -101,6 +104,14 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         None => None,
     };
+
+    if let Some(bundle) = flags.get("swap") {
+        let mut admin = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let epoch = admin
+            .swap(bundle)
+            .map_err(|e| format!("swap {bundle}: {e}"))?;
+        eprintln!("swapped to {bundle} (epoch {epoch})");
+    }
 
     let mismatches = AtomicU64::new(0);
     let started = Instant::now();

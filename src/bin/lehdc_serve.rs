@@ -22,7 +22,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
-use lehdc_suite::lehdc::io::load_bundle_validated;
+use lehdc_suite::lehdc::io::load_bundle;
 use lehdc_suite::obs;
 use lehdc_suite::serve::flags::{parse_flags, parse_num, required};
 use lehdc_suite::serve::{ServeConfig, Server};
@@ -81,7 +81,7 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     let rec = builder.build();
 
-    let bundle = load_bundle_validated(&model_path).map_err(|e| e.to_string())?;
+    let bundle = load_bundle(&model_path).map_err(|e| e.to_string())?;
     eprintln!(
         "serving {}: D={}, {} classes, {} features, batch ≤{} / wait ≤{}µs / {} threads",
         model_path.display(),
